@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The pyproject.toml metadata is authoritative; this file exists so that the
+package can be installed in environments whose pip/setuptools combination
+cannot build PEP 660 editable wheels offline (``python setup.py develop``
+keeps working there).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""Analysis utilities: case studies, transfer experiments, report formatting."""
+
+from repro.analysis.case_study import CaseStudy, describe_structure
+from repro.analysis.transfer import TransferResult, transfer_matrix
+from repro.analysis.reporting import format_table, format_series
+
+__all__ = [
+    "CaseStudy",
+    "describe_structure",
+    "TransferResult",
+    "transfer_matrix",
+    "format_table",
+    "format_series",
+]

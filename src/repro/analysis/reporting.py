@@ -1,0 +1,105 @@
+"""Plain-text table and series formatting for the benchmark harness.
+
+The benchmark scripts print every reproduced table/figure as aligned text so
+the output can be diffed against EXPERIMENTS.md; no plotting dependency is
+required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+Number = Union[int, float]
+Cell = Union[str, Number, None]
+
+
+def _format_cell(value: Cell, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Cell]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render a list of row dicts as an aligned text table."""
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    header = list(columns)
+    body: List[List[str]] = [
+        [_format_cell(row.get(column), precision) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Iterable[Number]],
+    title: Optional[str] = None,
+    precision: int = 3,
+    index_label: str = "step",
+) -> str:
+    """Render named numeric series (e.g. any-time curves) as a text table.
+
+    Shorter series are padded with the last observed value, which matches
+    how any-time-best curves are compared at a common budget.
+    """
+    materialized: Dict[str, List[Number]] = {name: list(values) for name, values in series.items()}
+    if not materialized:
+        return title or ""
+    length = max(len(values) for values in materialized.values())
+    rows: List[Dict[str, Cell]] = []
+    for step in range(length):
+        row: Dict[str, Cell] = {index_label: step + 1}
+        for name, values in materialized.items():
+            if not values:
+                row[name] = None
+            elif step < len(values):
+                row[name] = values[step]
+            else:
+                row[name] = values[-1]
+        rows.append(row)
+    return format_table(rows, title=title, precision=precision)
+
+
+def format_paper_comparison(
+    rows: Sequence[Mapping[str, Cell]],
+    metric_columns: Sequence[str],
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render a "paper vs. measured" comparison table.
+
+    Each row should contain ``<metric>`` and ``<metric>_paper`` entries; the
+    output interleaves them so qualitative agreement is easy to scan.
+    """
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns and key not in metric_columns and not key.endswith("_paper"):
+                columns.append(key)
+    for metric in metric_columns:
+        columns.append(metric)
+        columns.append(f"{metric}_paper")
+    return format_table(rows, columns=columns, title=title, precision=precision)

@@ -1,0 +1,167 @@
+"""Command-line interface for the AutoSF reproduction.
+
+Three subcommands cover the common workflows without writing any Python:
+
+* ``repro-autosf stats``  — print the Table III-style relation-pattern
+  statistics of a built-in miniature benchmark or a TSV dataset directory;
+* ``repro-autosf train``  — train one named scoring function and report the
+  filtered link-prediction metrics;
+* ``repro-autosf search`` — run the progressive greedy search and print the
+  case study of the best structure found.
+
+Every subcommand accepts either ``--benchmark <name>`` (one of the built-in
+miniatures) or ``--data <dir>`` (a directory with ``train.txt`` /
+``valid.txt`` / ``test.txt`` in the standard tab-separated format).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+from repro.analysis import CaseStudy, format_table
+from repro.core import AutoSFSearch
+from repro.datasets import (
+    available_benchmarks,
+    dataset_statistics,
+    load_benchmark,
+    load_tsv_dataset,
+)
+from repro.datasets.knowledge_graph import KnowledgeGraph
+from repro.kge import train_model
+from repro.kge.scoring import available_scoring_functions
+from repro.utils.config import SearchConfig, TrainingConfig
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--benchmark",
+        default="wn18rr",
+        choices=available_benchmarks(),
+        help="built-in miniature benchmark to use (default: wn18rr)",
+    )
+    group.add_argument("--data", help="directory with train.txt/valid.txt/test.txt")
+    parser.add_argument("--scale", type=float, default=0.5, help="miniature scale factor")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def _add_training_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dimension", type=int, default=32, help="embedding dimension")
+    parser.add_argument("--epochs", type=int, default=30, help="training epochs")
+    parser.add_argument("--batch-size", type=int, default=256, help="mini-batch size")
+    parser.add_argument("--learning-rate", type=float, default=0.5, help="Adagrad learning rate")
+    parser.add_argument("--l2", type=float, default=1e-4, help="L2 penalty")
+
+
+def _load_graph(args: argparse.Namespace) -> KnowledgeGraph:
+    if args.data:
+        return load_tsv_dataset(args.data, name=str(args.data))
+    return load_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
+
+
+def _training_config(args: argparse.Namespace) -> TrainingConfig:
+    return TrainingConfig(
+        dimension=args.dimension,
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        learning_rate=args.learning_rate,
+        l2_penalty=args.l2,
+        seed=args.seed,
+    )
+
+
+def command_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    statistics = dataset_statistics(graph)
+    row = {"dataset": graph.name}
+    row.update(statistics.as_row())
+    print(format_table([row], title="Relation-pattern statistics"))
+    if statistics.inverse_pairs:
+        print("inverse relation pairs:", statistics.inverse_pairs)
+    return 0
+
+
+def command_train(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    config = _training_config(args)
+    print(f"training {args.model} on {graph.name} "
+          f"(d={config.dimension}, {config.epochs} epochs)")
+    model = train_model(graph, args.model, config)
+    rows = []
+    for split in ("valid", "test"):
+        result = model.evaluate(graph, split=split)
+        row = {"split": split}
+        row.update(result.as_dict())
+        rows.append(row)
+    print(format_table(rows, title=f"{args.model} on {graph.name}"))
+    if args.save:
+        path = model.save(args.save)
+        print(f"model saved to {path}")
+    return 0
+
+
+def command_search(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    training_config = _training_config(args)
+    search_config = SearchConfig(
+        max_blocks=args.max_blocks,
+        candidates_per_step=args.candidates,
+        top_parents=args.top_parents,
+        train_per_step=args.train_per_step,
+        seed=args.seed,
+    )
+    print(f"searching a scoring function for {graph.name} "
+          f"(up to {args.max_blocks} blocks, {args.budget or 'unbounded'} trained models)")
+    search = AutoSFSearch(graph, training_config, search_config)
+    result = search.run(max_evaluations=args.budget)
+    study = CaseStudy(graph.name, result.best_structure, result.best_mrr, dataset_statistics(graph))
+    print(study.report())
+    print("any-time best validation MRR:",
+          " ".join(f"{value:.3f}" for value in result.anytime_curve()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-autosf",
+        description="AutoSF reproduction: train and search scoring functions for KG embedding",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    stats_parser = subparsers.add_parser("stats", help="dataset relation-pattern statistics")
+    _add_dataset_arguments(stats_parser)
+    stats_parser.set_defaults(handler=command_stats)
+
+    train_parser = subparsers.add_parser("train", help="train one scoring function")
+    _add_dataset_arguments(train_parser)
+    _add_training_arguments(train_parser)
+    train_parser.add_argument(
+        "--model",
+        default="simple",
+        choices=available_scoring_functions(),
+        help="scoring function to train (default: simple)",
+    )
+    train_parser.add_argument("--save", help="directory to save the trained model into")
+    train_parser.set_defaults(handler=command_train)
+
+    search_parser = subparsers.add_parser("search", help="run the AutoSF greedy search")
+    _add_dataset_arguments(search_parser)
+    _add_training_arguments(search_parser)
+    search_parser.add_argument("--max-blocks", type=int, default=6, help="largest block count B")
+    search_parser.add_argument("--candidates", type=int, default=24, help="pool size N per stage")
+    search_parser.add_argument("--top-parents", type=int, default=5, help="parents K1 per stage")
+    search_parser.add_argument("--train-per-step", type=int, default=6, help="trained candidates K2")
+    search_parser.add_argument("--budget", type=int, default=None, help="cap on trained models")
+    search_parser.set_defaults(handler=command_search)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console entry point
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""AutoSF core: search space, constraints, invariance, SRF, predictor, search.
+
+This package implements the paper's contribution proper:
+
+* :mod:`repro.core.search_space` — candidate generation in the unified
+  block-matrix space (Definition 2);
+* :mod:`repro.core.constraints` — expressiveness (C1) and non-degeneracy
+  (C2) constraints (Sec. IV-A1);
+* :mod:`repro.core.invariance` — the 9,216-element invariance group and
+  canonical forms (Sec. IV-A2);
+* :mod:`repro.core.srf` — symmetry-related features (Appendix C);
+* :mod:`repro.core.filters` / :mod:`repro.core.predictor` — the filter Q and
+  predictor P of Alg. 2;
+* :mod:`repro.core.greedy_search` — the progressive greedy search;
+* :mod:`repro.core.baselines` — random / Bayes / general-approximator
+  AutoML baselines (Sec. V-D);
+* :mod:`repro.core.hpo` — hyper-parameter tuning of the benchmark model
+  (Sec. V-A2).
+"""
+
+from repro.core.baselines import BayesSearch, RandomSearch, general_approximator_baseline
+from repro.core.constraints import ConstraintReport, check_structure, satisfies_c1, satisfies_c2
+from repro.core.evaluator import CandidateEvaluation, CandidateEvaluator
+from repro.core.filters import CandidateFilter, FilterStatistics
+from repro.core.greedy_search import (
+    AutoSFSearch,
+    SearchRecord,
+    SearchResult,
+    search_scoring_function,
+)
+from repro.core.hpo import HPOResult, HPOSpace, HPOTrial, random_search_hpo, tpe_search_hpo
+from repro.core.invariance import (
+    are_equivalent,
+    canonical_form,
+    canonical_key,
+    distinct_representatives,
+    orbit,
+    orbit_set,
+)
+from repro.core.predictor import PerformancePredictor, get_feature_extractor
+from repro.core.search_space import (
+    enumerate_f4_structures,
+    extend_structure,
+    random_structure,
+    search_space_size,
+    total_search_space_size,
+)
+from repro.core.srf import (
+    SRF_DIMENSION,
+    can_be_skew_symmetric,
+    can_be_symmetric,
+    is_expressive,
+    onehot_features,
+    srf_features,
+    srf_summary,
+)
+
+__all__ = [
+    "BayesSearch",
+    "RandomSearch",
+    "general_approximator_baseline",
+    "ConstraintReport",
+    "check_structure",
+    "satisfies_c1",
+    "satisfies_c2",
+    "CandidateEvaluation",
+    "CandidateEvaluator",
+    "CandidateFilter",
+    "FilterStatistics",
+    "AutoSFSearch",
+    "SearchRecord",
+    "SearchResult",
+    "search_scoring_function",
+    "HPOResult",
+    "HPOSpace",
+    "HPOTrial",
+    "random_search_hpo",
+    "tpe_search_hpo",
+    "are_equivalent",
+    "canonical_form",
+    "canonical_key",
+    "distinct_representatives",
+    "orbit",
+    "orbit_set",
+    "PerformancePredictor",
+    "get_feature_extractor",
+    "enumerate_f4_structures",
+    "extend_structure",
+    "random_structure",
+    "search_space_size",
+    "total_search_space_size",
+    "SRF_DIMENSION",
+    "can_be_skew_symmetric",
+    "can_be_symmetric",
+    "is_expressive",
+    "onehot_features",
+    "srf_features",
+    "srf_summary",
+]

@@ -1,0 +1,116 @@
+"""Structural constraints on candidate scoring functions (Sec. IV-A1).
+
+Two constraints separate promising candidates from degenerate ones:
+
+* **(C1) expressiveness** — ``g(r)`` must admit both a symmetric and a
+  skew-symmetric value assignment (Proposition 1); otherwise the scoring
+  function cannot model all of the common relation patterns of Tab. II.
+  The check is delegated to the SRF machinery (:mod:`repro.core.srf`).
+* **(C2) non-degeneracy** — the substitute matrix must have no zero rows or
+  columns (otherwise some embedding dimensions are never trained), must use
+  all four relation chunks, and must have no repeated rows or columns
+  (repetitions make chunks redundant).
+
+The filter enforces (C2) cheaply on every generated candidate; (C1) is what
+the SRF-based predictor learns to exploit, and it is also available here as
+an explicit check for tests and for strict generation modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.srf import can_be_skew_symmetric, can_be_symmetric
+from repro.kge.scoring.blocks import NUM_CHUNKS, BlockStructure
+
+
+@dataclass(frozen=True)
+class ConstraintReport:
+    """Outcome of checking one structure against (C1) and (C2)."""
+
+    no_zero_rows: bool
+    no_zero_columns: bool
+    covers_all_components: bool
+    no_repeated_rows: bool
+    no_repeated_columns: bool
+    can_be_symmetric: bool
+    can_be_skew_symmetric: bool
+
+    @property
+    def satisfies_c2(self) -> bool:
+        return (
+            self.no_zero_rows
+            and self.no_zero_columns
+            and self.covers_all_components
+            and self.no_repeated_rows
+            and self.no_repeated_columns
+        )
+
+    @property
+    def satisfies_c1(self) -> bool:
+        return self.can_be_symmetric and self.can_be_skew_symmetric
+
+    @property
+    def satisfies_all(self) -> bool:
+        return self.satisfies_c1 and self.satisfies_c2
+
+    def violations(self) -> List[str]:
+        """Names of the violated sub-constraints (empty when fully valid)."""
+        problems = []
+        if not self.no_zero_rows:
+            problems.append("zero row")
+        if not self.no_zero_columns:
+            problems.append("zero column")
+        if not self.covers_all_components:
+            problems.append("unused relation chunk")
+        if not self.no_repeated_rows:
+            problems.append("repeated rows")
+        if not self.no_repeated_columns:
+            problems.append("repeated columns")
+        if not self.can_be_symmetric:
+            problems.append("cannot be symmetric")
+        if not self.can_be_skew_symmetric:
+            problems.append("cannot be skew-symmetric")
+        return problems
+
+
+def _has_repeats(vectors: np.ndarray) -> bool:
+    """True if any two rows of ``vectors`` are identical."""
+    unique = np.unique(vectors, axis=0)
+    return unique.shape[0] < vectors.shape[0]
+
+
+def check_structure(structure: BlockStructure, check_expressiveness: bool = True) -> ConstraintReport:
+    """Evaluate all structural constraints for ``structure``."""
+    matrix = structure.substitute_matrix()
+    row_nonzero = np.any(matrix != 0, axis=1)
+    col_nonzero = np.any(matrix != 0, axis=0)
+    components = set(structure.components_used())
+
+    symmetric_ok = skew_ok = True
+    if check_expressiveness:
+        symmetric_ok = can_be_symmetric(structure)
+        skew_ok = can_be_skew_symmetric(structure)
+
+    return ConstraintReport(
+        no_zero_rows=bool(row_nonzero.all()),
+        no_zero_columns=bool(col_nonzero.all()),
+        covers_all_components=components == set(range(NUM_CHUNKS)),
+        no_repeated_rows=not _has_repeats(matrix),
+        no_repeated_columns=not _has_repeats(matrix.T),
+        can_be_symmetric=symmetric_ok,
+        can_be_skew_symmetric=skew_ok,
+    )
+
+
+def satisfies_c2(structure: BlockStructure) -> bool:
+    """Constraint (C2) only (what the filter enforces on every candidate)."""
+    return check_structure(structure, check_expressiveness=False).satisfies_c2
+
+
+def satisfies_c1(structure: BlockStructure) -> bool:
+    """Constraint (C1): expressiveness via Proposition 1."""
+    return can_be_symmetric(structure) and can_be_skew_symmetric(structure)

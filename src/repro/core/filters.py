@@ -1,0 +1,113 @@
+"""The candidate filter Q (Sec. IV-B2).
+
+The filter performs the two cheap checks that save the search from wasting
+full training runs:
+
+1. **constraint (C2)** on the substitute matrix (no zero / repeated rows or
+   columns, all relation chunks used);
+2. **invariance deduplication** — a candidate is rejected when an equivalent
+   structure (same canonical form under the 9,216-element invariance group)
+   has already been accepted in the current pool or already trained in the
+   search history.
+
+The filter keeps simple acceptance/rejection counters so that the ablation
+study (Fig. 7) and the running-time table (Table VII) can report how much
+work it absorbs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.constraints import satisfies_c2
+from repro.core.invariance import canonical_key
+from repro.kge.scoring.blocks import BlockStructure
+
+
+@dataclass
+class FilterStatistics:
+    """Counters describing what the filter did."""
+
+    accepted: int = 0
+    rejected_constraint: int = 0
+    rejected_duplicate: int = 0
+
+    @property
+    def total_seen(self) -> int:
+        return self.accepted + self.rejected_constraint + self.rejected_duplicate
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "accepted": self.accepted,
+            "rejected_constraint": self.rejected_constraint,
+            "rejected_duplicate": self.rejected_duplicate,
+            "total_seen": self.total_seen,
+        }
+
+
+class CandidateFilter:
+    """Stateful filter over candidate structures.
+
+    Parameters
+    ----------
+    enforce_constraints:
+        Apply constraint (C2).  Disabled in the "no filter" ablation.
+    deduplicate:
+        Reject candidates equivalent (under the invariance group) to one
+        already accepted or already recorded in the history.
+    """
+
+    def __init__(self, enforce_constraints: bool = True, deduplicate: bool = True) -> None:
+        self.enforce_constraints = enforce_constraints
+        self.deduplicate = deduplicate
+        self.statistics = FilterStatistics()
+        self._seen_keys: Set[Tuple[int, ...]] = set()
+
+    # ------------------------------------------------------------------
+    # History management
+    # ------------------------------------------------------------------
+    def record_history(self, structure: BlockStructure) -> None:
+        """Mark a structure (e.g. one already trained) as seen."""
+        self._seen_keys.add(canonical_key(structure))
+
+    def reset_pool(self) -> None:
+        """Forget nothing: history keys persist across greedy stages.
+
+        The paper keeps the full history ``T`` across stages, so previously
+        trained structures stay excluded; this method only exists to make
+        the intent explicit at stage boundaries.
+        """
+        return None
+
+    def has_seen(self, structure: BlockStructure) -> bool:
+        """True if an equivalent structure has already been accepted/recorded."""
+        return canonical_key(structure) in self._seen_keys
+
+    # ------------------------------------------------------------------
+    # Filtering
+    # ------------------------------------------------------------------
+    def accept(self, structure: BlockStructure) -> bool:
+        """Check one candidate; record and return ``True`` when it passes."""
+        if self.enforce_constraints and not satisfies_c2(structure):
+            self.statistics.rejected_constraint += 1
+            return False
+        if self.deduplicate:
+            key = canonical_key(structure)
+            if key in self._seen_keys:
+                self.statistics.rejected_duplicate += 1
+                return False
+            self._seen_keys.add(key)
+        self.statistics.accepted += 1
+        return True
+
+    def explain(self, structure: BlockStructure) -> Optional[str]:
+        """Reason the structure *would* be rejected (``None`` if acceptable).
+
+        Unlike :meth:`accept`, this performs no bookkeeping.
+        """
+        if self.enforce_constraints and not satisfies_c2(structure):
+            return "violates constraint C2"
+        if self.deduplicate and canonical_key(structure) in self._seen_keys:
+            return "equivalent structure already seen"
+        return None

@@ -1,0 +1,271 @@
+"""The progressive greedy search (Alg. 2) — the AutoSF search algorithm.
+
+The search grows candidate scoring functions stage by stage:
+
+1. evaluate the small set of seed structures with ``b = 4`` blocks (after
+   filtering and invariance deduplication only a handful remain);
+2. for every later stage ``b = 6, 8, ... B``: repeatedly pick one of the
+   top-``K1`` structures of stage ``b - 2`` and add two random blocks
+   (Eq. 7), pass the candidate through the **filter** Q (constraint C2 +
+   invariance dedup against both the current pool and the full history),
+   until ``N`` candidates are collected;
+3. rank the pool with the **predictor** P (a tiny MLP over SRF features,
+   trained on every structure evaluated so far) and train only the
+   top-``K2``;
+4. record the trained structures and their validation MRR in the history
+   ``T`` and move to the next stage.
+
+The class exposes ablation switches (disable the filter, the predictor, or
+both — the "Greedy" baseline of Fig. 7) and a timing recorder whose phase
+totals reproduce the running-time breakdown of Table VII.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.evaluator import CandidateEvaluation, CandidateEvaluator
+from repro.core.filters import CandidateFilter
+from repro.core.predictor import PerformancePredictor
+from repro.core.search_space import enumerate_f4_structures, extend_structure
+from repro.datasets.knowledge_graph import KnowledgeGraph
+from repro.kge.scoring.blocks import BlockStructure
+from repro.utils.config import SearchConfig, TrainingConfig
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import TimingRecorder
+
+
+@dataclass
+class SearchRecord:
+    """One trained candidate inside a search run."""
+
+    structure: BlockStructure
+    validation_mrr: float
+    num_blocks: int
+    stage: int
+    order: int
+    elapsed_seconds: float
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search run."""
+
+    best_structure: BlockStructure
+    best_mrr: float
+    records: List[SearchRecord] = field(default_factory=list)
+    timing: Optional[TimingRecorder] = None
+    filter_statistics: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def num_evaluations(self) -> int:
+        return len(self.records)
+
+    def best_per_stage(self) -> Dict[int, SearchRecord]:
+        """The best record of every stage (keyed by block count)."""
+        best: Dict[int, SearchRecord] = {}
+        for record in self.records:
+            current = best.get(record.num_blocks)
+            if current is None or record.validation_mrr > current.validation_mrr:
+                best[record.num_blocks] = record
+        return best
+
+    def anytime_curve(self) -> List[float]:
+        """Best-so-far validation MRR after each trained model (Fig. 6/7)."""
+        curve: List[float] = []
+        best = -np.inf
+        for record in sorted(self.records, key=lambda item: item.order):
+            best = max(best, record.validation_mrr)
+            curve.append(float(best))
+        return curve
+
+    def top(self, count: int = 5) -> List[SearchRecord]:
+        """The ``count`` best records overall."""
+        return sorted(self.records, key=lambda item: -item.validation_mrr)[:count]
+
+
+class AutoSFSearch:
+    """Progressive greedy search over block-structured scoring functions."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        training_config: Optional[TrainingConfig] = None,
+        search_config: Optional[SearchConfig] = None,
+        evaluator: Optional[CandidateEvaluator] = None,
+    ) -> None:
+        self.graph = graph
+        self.training_config = training_config or TrainingConfig()
+        self.search_config = search_config or SearchConfig()
+        self.timing = TimingRecorder()
+        self.evaluator = evaluator or CandidateEvaluator(
+            graph, self.training_config, timing=self.timing
+        )
+        self.rng = ensure_rng(self.search_config.seed)
+        self.candidate_filter = CandidateFilter(
+            enforce_constraints=self.search_config.use_filter,
+            deduplicate=self.search_config.use_filter,
+        )
+        self.predictor: Optional[PerformancePredictor] = (
+            PerformancePredictor(self.search_config.predictor)
+            if self.search_config.use_predictor
+            else None
+        )
+        self._history: List[CandidateEvaluation] = []
+        self._records: List[SearchRecord] = []
+        self._order = 0
+        self._start_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # History helpers
+    # ------------------------------------------------------------------
+    def _history_for_blocks(self, num_blocks: int) -> List[CandidateEvaluation]:
+        return [item for item in self._history if item.structure.num_blocks == num_blocks]
+
+    def _top_parents(self, num_blocks: int, count: int) -> List[BlockStructure]:
+        stage_history = self._history_for_blocks(num_blocks)
+        stage_history.sort(key=lambda item: -item.validation_mrr)
+        return [item.structure for item in stage_history[:count]]
+
+    def _record(self, evaluation: CandidateEvaluation, stage: int) -> None:
+        self._history.append(evaluation)
+        self._order += 1
+        elapsed = time.perf_counter() - self._start_time if self._start_time else 0.0
+        self._records.append(
+            SearchRecord(
+                structure=evaluation.structure,
+                validation_mrr=evaluation.validation_mrr,
+                num_blocks=evaluation.structure.num_blocks,
+                stage=stage,
+                order=self._order,
+                elapsed_seconds=elapsed,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Stage logic
+    # ------------------------------------------------------------------
+    def _evaluate_batch(self, structures: Sequence[BlockStructure], stage: int) -> None:
+        for structure in structures:
+            evaluation = self.evaluator.evaluate(structure)
+            self.candidate_filter.record_history(structure)
+            self._record(evaluation, stage)
+
+    def _seed_stage(self) -> None:
+        """Stage b = 4: evaluate every distinct seed structure."""
+        with self.timing.measure("filter"):
+            seeds = enumerate_f4_structures(deduplicate=True)
+            accepted = [seed for seed in seeds if self.candidate_filter.accept(seed)]
+        if not accepted:
+            # With the filter disabled the seeds are still the deduplicated
+            # f4 structures; acceptance can only fail on duplicates.
+            accepted = seeds
+        self._evaluate_batch(accepted, stage=4)
+
+    def _generate_pool(self, stage: int) -> List[BlockStructure]:
+        """Steps 2–6 of Alg. 2: collect up to N filtered candidates."""
+        config = self.search_config
+        parents = self._top_parents(stage - 2, config.top_parents)
+        if not parents:
+            return []
+        pool: List[BlockStructure] = []
+        pool_keys = set()
+        max_attempts = 200 * config.candidates_per_step
+        attempts = 0
+        with self.timing.measure("filter"):
+            while len(pool) < config.candidates_per_step and attempts < max_attempts:
+                attempts += 1
+                parent = parents[int(self.rng.integers(0, len(parents)))]
+                candidate = extend_structure(parent, num_new_blocks=2, rng=self.rng)
+                if candidate is None:
+                    continue
+                if config.use_filter:
+                    if not self.candidate_filter.accept(candidate):
+                        continue
+                else:
+                    # Without the filter only exact duplicates inside the pool
+                    # are skipped, mirroring the "no filter" ablation.
+                    if candidate.key() in pool_keys:
+                        continue
+                pool_keys.add(candidate.key())
+                pool.append(candidate)
+        return pool
+
+    def _select_candidates(self, pool: List[BlockStructure]) -> List[BlockStructure]:
+        """Step 7 of Alg. 2: keep the K2 most promising candidates."""
+        config = self.search_config
+        if len(pool) <= config.train_per_step:
+            return pool
+        if self.predictor is not None and self.predictor.is_trained:
+            with self.timing.measure("predictor"):
+                return self.predictor.select_top(pool, config.train_per_step)
+        selection = self.rng.choice(len(pool), size=config.train_per_step, replace=False)
+        return [pool[int(index)] for index in selection]
+
+    def _update_predictor(self) -> None:
+        """Steps 10–11 of Alg. 2: refit the predictor on the full history."""
+        if self.predictor is None or not self._history:
+            return
+        with self.timing.measure("predictor"):
+            structures = [item.structure for item in self._history]
+            scores = [item.validation_mrr for item in self._history]
+            self.predictor.fit(structures, scores)
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+    def run(self, max_evaluations: Optional[int] = None) -> SearchResult:
+        """Run the full progressive search and return the result.
+
+        Parameters
+        ----------
+        max_evaluations:
+            Optional hard cap on the number of *trained* models (useful for
+            the any-time comparison plots, where every method gets the same
+            training budget).
+        """
+        self._start_time = time.perf_counter()
+        self._seed_stage()
+        self._update_predictor()
+
+        for stage in range(6, self.search_config.max_blocks + 1, 2):
+            if max_evaluations is not None and len(self._records) >= max_evaluations:
+                break
+            pool = self._generate_pool(stage)
+            if not pool:
+                break
+            selected = self._select_candidates(pool)
+            if max_evaluations is not None:
+                remaining = max_evaluations - len(self._records)
+                selected = selected[: max(remaining, 0)]
+            self._evaluate_batch(selected, stage=stage)
+            self._update_predictor()
+
+        return self._build_result()
+
+    def _build_result(self) -> SearchResult:
+        if not self._records:
+            raise RuntimeError("search produced no evaluations")
+        best = max(self._records, key=lambda record: record.validation_mrr)
+        return SearchResult(
+            best_structure=best.structure,
+            best_mrr=best.validation_mrr,
+            records=list(self._records),
+            timing=self.timing,
+            filter_statistics=self.candidate_filter.statistics.as_dict(),
+        )
+
+
+def search_scoring_function(
+    graph: KnowledgeGraph,
+    training_config: Optional[TrainingConfig] = None,
+    search_config: Optional[SearchConfig] = None,
+    max_evaluations: Optional[int] = None,
+) -> SearchResult:
+    """Convenience wrapper: run AutoSF on ``graph`` with the given configs."""
+    search = AutoSFSearch(graph, training_config, search_config)
+    return search.run(max_evaluations=max_evaluations)

@@ -1,0 +1,196 @@
+"""Hyper-parameter optimization for the benchmark training configuration.
+
+Section V-A2 of the paper tunes the learning rate, L2 penalty, decay rate
+and batch size of a fixed benchmark model (SimplE) with HyperOpt/TPE before
+running the scoring-function search with those hyper-parameters frozen.
+This module provides the same capability with two lightweight strategies:
+
+* :func:`random_search_hpo` — uniform random sampling of the search ranges;
+* :func:`tpe_search_hpo` — a simplified Tree-structured Parzen Estimator:
+  after a warm-up phase, candidates are sampled around the best-performing
+  configurations (the "good" density) and ranked by how much more likely
+  they are under the good density than under the overall density.
+
+Both return the best :class:`~repro.utils.config.TrainingConfig` found plus
+the full trial log, so benches can report the tuning trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.knowledge_graph import KnowledgeGraph
+from repro.kge.evaluation import evaluate_link_prediction
+from repro.kge.model import train_model
+from repro.utils.config import TrainingConfig
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class HPOSpace:
+    """Search ranges mirroring Sec. V-A2 of the paper."""
+
+    learning_rate: Tuple[float, float] = (0.01, 1.0)
+    l2_penalty: Tuple[float, float] = (1e-5, 1e-1)
+    decay_rate: Tuple[float, float] = (0.99, 1.0)
+    batch_sizes: Sequence[int] = (256, 512, 1024)
+
+    def sample(self, rng: np.random.Generator) -> Dict[str, float]:
+        """Draw one configuration (log-uniform for rate-like parameters)."""
+        low_lr, high_lr = np.log(self.learning_rate[0]), np.log(self.learning_rate[1])
+        low_l2, high_l2 = np.log(self.l2_penalty[0]), np.log(self.l2_penalty[1])
+        return {
+            "learning_rate": float(np.exp(rng.uniform(low_lr, high_lr))),
+            "l2_penalty": float(np.exp(rng.uniform(low_l2, high_l2))),
+            "decay_rate": float(rng.uniform(*self.decay_rate)),
+            "batch_size": int(rng.choice(list(self.batch_sizes))),
+        }
+
+
+@dataclass
+class HPOTrial:
+    """One evaluated hyper-parameter configuration."""
+
+    settings: Dict[str, float]
+    validation_mrr: float
+
+
+@dataclass
+class HPOResult:
+    """Best configuration plus the full trial history."""
+
+    best_config: TrainingConfig
+    best_mrr: float
+    trials: List[HPOTrial] = field(default_factory=list)
+
+
+def _default_objective(
+    graph: KnowledgeGraph, base_config: TrainingConfig, model_name: str
+) -> Callable[[Dict[str, float]], float]:
+    """Objective: train ``model_name`` with the settings, return valid MRR."""
+
+    def objective(settings: Dict[str, float]) -> float:
+        config = base_config.replace(**settings)
+        model = train_model(graph, model_name, config)
+        result = model.evaluate(graph, split="valid")
+        return result.mrr
+
+    return objective
+
+
+def random_search_hpo(
+    graph: KnowledgeGraph,
+    base_config: Optional[TrainingConfig] = None,
+    model_name: str = "simple",
+    num_trials: int = 8,
+    space: Optional[HPOSpace] = None,
+    seed: RngLike = 0,
+    objective: Optional[Callable[[Dict[str, float]], float]] = None,
+) -> HPOResult:
+    """Uniform random search over the hyper-parameter space."""
+    if num_trials <= 0:
+        raise ValueError("num_trials must be positive")
+    rng = ensure_rng(seed)
+    space = space or HPOSpace()
+    base_config = base_config or TrainingConfig()
+    objective = objective or _default_objective(graph, base_config, model_name)
+
+    trials: List[HPOTrial] = []
+    for _trial in range(num_trials):
+        settings = space.sample(rng)
+        score = float(objective(settings))
+        trials.append(HPOTrial(settings=settings, validation_mrr=score))
+
+    best = max(trials, key=lambda trial: trial.validation_mrr)
+    return HPOResult(
+        best_config=base_config.replace(**best.settings),
+        best_mrr=best.validation_mrr,
+        trials=trials,
+    )
+
+
+def tpe_search_hpo(
+    graph: KnowledgeGraph,
+    base_config: Optional[TrainingConfig] = None,
+    model_name: str = "simple",
+    num_trials: int = 12,
+    warmup_trials: int = 4,
+    candidates_per_trial: int = 16,
+    good_fraction: float = 0.3,
+    space: Optional[HPOSpace] = None,
+    seed: RngLike = 0,
+    objective: Optional[Callable[[Dict[str, float]], float]] = None,
+) -> HPOResult:
+    """A simplified TPE: sample near good configurations after a warm-up."""
+    if num_trials <= 0:
+        raise ValueError("num_trials must be positive")
+    if warmup_trials < 2:
+        raise ValueError("warmup_trials must be at least 2")
+    rng = ensure_rng(seed)
+    space = space or HPOSpace()
+    base_config = base_config or TrainingConfig()
+    objective = objective or _default_objective(graph, base_config, model_name)
+
+    continuous_keys = ("learning_rate", "l2_penalty", "decay_rate")
+    trials: List[HPOTrial] = []
+
+    def to_vector(settings: Dict[str, float]) -> np.ndarray:
+        return np.array(
+            [np.log(settings["learning_rate"]), np.log(settings["l2_penalty"]), settings["decay_rate"]]
+        )
+
+    def propose() -> Dict[str, float]:
+        if len(trials) < warmup_trials:
+            return space.sample(rng)
+        ordered = sorted(trials, key=lambda trial: -trial.validation_mrr)
+        num_good = max(1, int(round(good_fraction * len(ordered))))
+        good = np.stack([to_vector(trial.settings) for trial in ordered[:num_good]])
+        everyone = np.stack([to_vector(trial.settings) for trial in ordered])
+        bandwidth = np.maximum(everyone.std(axis=0), 1e-3)
+
+        def log_density(samples: np.ndarray, centers: np.ndarray) -> np.ndarray:
+            # Kernel-density log-likelihood with a diagonal Gaussian kernel.
+            diffs = (samples[:, None, :] - centers[None, :, :]) / bandwidth
+            log_kernel = -0.5 * np.sum(diffs**2, axis=2)
+            return np.log(np.mean(np.exp(log_kernel), axis=1) + 1e-12)
+
+        best_candidate, best_ratio = None, -np.inf
+        for _candidate in range(candidates_per_trial):
+            # Sample around a random good configuration.
+            center = good[int(rng.integers(0, good.shape[0]))]
+            sample = center + rng.normal(0.0, bandwidth)
+            sample[2] = float(np.clip(sample[2], space.decay_rate[0], space.decay_rate[1]))
+            sample[0] = float(
+                np.clip(sample[0], np.log(space.learning_rate[0]), np.log(space.learning_rate[1]))
+            )
+            sample[1] = float(
+                np.clip(sample[1], np.log(space.l2_penalty[0]), np.log(space.l2_penalty[1]))
+            )
+            ratio = float(
+                log_density(sample[None, :], good)[0] - log_density(sample[None, :], everyone)[0]
+            )
+            if ratio > best_ratio:
+                best_ratio = ratio
+                best_candidate = sample
+        assert best_candidate is not None
+        return {
+            "learning_rate": float(np.exp(best_candidate[0])),
+            "l2_penalty": float(np.exp(best_candidate[1])),
+            "decay_rate": float(best_candidate[2]),
+            "batch_size": int(rng.choice(list(space.batch_sizes))),
+        }
+
+    for _trial in range(num_trials):
+        settings = propose()
+        score = float(objective(settings))
+        trials.append(HPOTrial(settings=settings, validation_mrr=score))
+
+    best = max(trials, key=lambda trial: trial.validation_mrr)
+    return HPOResult(
+        best_config=base_config.replace(**best.settings),
+        best_mrr=best.validation_mrr,
+        trials=trials,
+    )

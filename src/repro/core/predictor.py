@@ -1,0 +1,171 @@
+"""The performance predictor P (Sec. IV-B3).
+
+A tiny fully-connected regressor maps structure features to (predicted)
+validation MRR.  Two feature extractors are available:
+
+* **SRF** (the paper's choice) — the 22-dimensional symmetry-related
+  features, consumed by a 22-2-1 network;
+* **one-hot** (the PNAS-style ablation of Fig. 8) — a one-hot encoding of
+  the substitute matrix, consumed by a wider network.
+
+The predictor only has to *rank* candidates (principle P1) and must learn
+from a few dozen samples (principle P2), so the network is deliberately tiny
+and trained with plain full-batch Adam on a mean-squared-error objective.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.srf import ONEHOT_DIMENSION, SRF_DIMENSION, onehot_features, srf_features
+from repro.kge.scoring.blocks import BlockStructure
+from repro.utils.config import PredictorConfig
+from repro.utils.rng import ensure_rng
+
+#: Signature of a feature extractor.
+FeatureExtractor = Callable[[BlockStructure], np.ndarray]
+
+_FEATURE_EXTRACTORS: Dict[str, Tuple[FeatureExtractor, int]] = {
+    "srf": (srf_features, SRF_DIMENSION),
+    "onehot": (onehot_features, ONEHOT_DIMENSION),
+}
+
+
+def get_feature_extractor(name: str) -> Tuple[FeatureExtractor, int]:
+    """Return (extractor, dimension) for a feature type name."""
+    key = name.lower()
+    if key not in _FEATURE_EXTRACTORS:
+        raise KeyError(
+            f"unknown feature type {name!r}; available: {', '.join(sorted(_FEATURE_EXTRACTORS))}"
+        )
+    return _FEATURE_EXTRACTORS[key]
+
+
+class PerformancePredictor:
+    """A one-hidden-layer MLP regressor over structure features."""
+
+    def __init__(self, config: Optional[PredictorConfig] = None) -> None:
+        self.config = config or PredictorConfig()
+        self.extractor, self.input_dimension = get_feature_extractor(self.config.feature_type)
+        hidden = self.config.hidden_units
+        rng = ensure_rng(self.config.seed)
+        scale_in = 1.0 / np.sqrt(max(self.input_dimension, 1))
+        scale_hidden = 1.0 / np.sqrt(max(hidden, 1))
+        self._w1 = rng.normal(0.0, scale_in, size=(self.input_dimension, hidden))
+        self._b1 = np.zeros(hidden)
+        self._w2 = rng.normal(0.0, scale_hidden, size=(hidden, 1))
+        self._b2 = np.zeros(1)
+        self._adam_state: Dict[str, Dict[str, np.ndarray]] = {}
+        self._adam_step = 0
+        self._trained_samples = 0
+
+    # ------------------------------------------------------------------
+    # Features
+    # ------------------------------------------------------------------
+    def featurize(self, structures: Sequence[BlockStructure]) -> np.ndarray:
+        """Stack the feature vectors of many structures."""
+        if not structures:
+            return np.zeros((0, self.input_dimension))
+        return np.stack([self.extractor(structure) for structure in structures])
+
+    # ------------------------------------------------------------------
+    # Forward / training
+    # ------------------------------------------------------------------
+    def _forward(self, features: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        hidden = np.tanh(features @ self._w1 + self._b1)
+        output = hidden @ self._w2 + self._b2
+        return output[:, 0], hidden
+
+    def _adam_update(self, name: str, param: np.ndarray, grad: np.ndarray) -> None:
+        state = self._adam_state.setdefault(
+            name, {"m": np.zeros_like(param), "v": np.zeros_like(param)}
+        )
+        beta1, beta2, epsilon = 0.9, 0.999, 1e-8
+        state["m"] = beta1 * state["m"] + (1 - beta1) * grad
+        state["v"] = beta2 * state["v"] + (1 - beta2) * grad * grad
+        m_hat = state["m"] / (1 - beta1**self._adam_step)
+        v_hat = state["v"] / (1 - beta2**self._adam_step)
+        param -= self.config.learning_rate * m_hat / (np.sqrt(v_hat) + epsilon)
+
+    def fit(self, structures: Sequence[BlockStructure], scores: Sequence[float]) -> float:
+        """Train on (structure, observed score) pairs; returns the final MSE.
+
+        The search calls this after every greedy stage with the full history
+        ``T``, so training always restarts from the current weights (warm
+        start), which is both cheap and stable for such a small network.
+        """
+        if len(structures) != len(scores):
+            raise ValueError("structures and scores must have the same length")
+        if not structures:
+            return 0.0
+        features = self.featurize(structures)
+        targets = np.asarray(scores, dtype=np.float64)
+        weight_decay = self.config.l2_penalty
+        final_mse = 0.0
+        for _epoch in range(self.config.epochs):
+            self._adam_step += 1
+            predictions, hidden = self._forward(features)
+            errors = predictions - targets
+            final_mse = float(np.mean(errors**2))
+            doutput = (2.0 / targets.size) * errors[:, None]
+            grad_w2 = hidden.T @ doutput + weight_decay * self._w2
+            grad_b2 = doutput.sum(axis=0)
+            dhidden = (doutput @ self._w2.T) * (1.0 - hidden**2)
+            grad_w1 = features.T @ dhidden + weight_decay * self._w1
+            grad_b1 = dhidden.sum(axis=0)
+            self._adam_update("w2", self._w2, grad_w2)
+            self._adam_update("b2", self._b2, grad_b2)
+            self._adam_update("w1", self._w1, grad_w1)
+            self._adam_update("b1", self._b1, grad_b1)
+        self._trained_samples = len(structures)
+        return final_mse
+
+    # ------------------------------------------------------------------
+    # Prediction / selection
+    # ------------------------------------------------------------------
+    @property
+    def is_trained(self) -> bool:
+        return self._trained_samples > 0
+
+    def predict(self, structures: Sequence[BlockStructure]) -> np.ndarray:
+        """Predicted scores (higher = better) for each structure."""
+        features = self.featurize(structures)
+        if features.shape[0] == 0:
+            return np.zeros(0)
+        predictions, _hidden = self._forward(features)
+        return predictions
+
+    def select_top(
+        self, structures: Sequence[BlockStructure], count: int
+    ) -> List[BlockStructure]:
+        """The ``count`` structures with the highest predicted score."""
+        if count <= 0:
+            return []
+        if not structures:
+            return []
+        predictions = self.predict(structures)
+        order = np.argsort(-predictions)[:count]
+        return [structures[int(index)] for index in order]
+
+    def ranking_correlation(
+        self, structures: Sequence[BlockStructure], scores: Sequence[float]
+    ) -> float:
+        """Spearman rank correlation between predictions and observed scores.
+
+        A diagnostic for principle (P1): the predictor is useful as soon as
+        this is clearly positive, even if absolute predictions are off.
+        """
+        if len(structures) < 2:
+            return 0.0
+        from scipy import stats
+
+        predictions = self.predict(structures)
+        observed = np.asarray(scores, dtype=np.float64)
+        if np.allclose(predictions, predictions[0]) or np.allclose(observed, observed[0]):
+            return 0.0
+        correlation = stats.spearmanr(predictions, observed).statistic
+        if np.isnan(correlation):
+            return 0.0
+        return float(correlation)

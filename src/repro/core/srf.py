@@ -1,0 +1,153 @@
+"""Symmetry-related features (SRF) — Appendix C / Alg. 3 of the paper.
+
+The SRF of a block structure answers, for eleven canonical families of
+relation-value assignments (S1–S11), the two questions "can ``g(r)`` be made
+*symmetric* under some assignment of this family?" and "can it be made
+*skew-symmetric*?".  Each family is described by a 4-vector of scalar values
+standing in for ``(r_1, r_2, r_3, r_4)``; the family is explored by permuting
+the four values and flipping their signs, exactly as in Alg. 3.
+
+The resulting 22-dimensional binary vector is
+
+* invariant on invariance-group orbits (Proposition 2(i)), and
+* directly tied to which relation patterns (symmetric / anti-symmetric /
+  inverse, Tab. II) the scoring function can model (Proposition 2(ii)),
+
+which is why it is such an effective, cheap feature for the performance
+predictor.  The same machinery also answers the expressiveness question of
+Constraint (C1): a structure is expressive iff it can be symmetric under
+*some* non-zero assignment and skew-symmetric under some other.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations, product
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.kge.scoring.blocks import NUM_CHUNKS, BlockStructure
+
+#: The base example of each assignment family (Remark A.1).  S1–S5 have four
+#: non-zero values, S6–S8 three, S9–S10 two and S11 one.
+SRF_BASE_ASSIGNMENTS: Tuple[Tuple[float, float, float, float], ...] = (
+    (1.0, 2.0, 3.0, 4.0),  # S1: all different
+    (1.0, 1.0, 2.0, 2.0),  # S2: two equal pairs
+    (1.0, 1.0, 2.0, 3.0),  # S3: one equal pair, two distinct
+    (1.0, 1.0, 1.0, 2.0),  # S4: three equal, one distinct
+    (1.0, 1.0, 1.0, 1.0),  # S5: all equal
+    (0.0, 1.0, 2.0, 3.0),  # S6: one zero, rest different
+    (0.0, 1.0, 1.0, 2.0),  # S7: one zero, one equal pair
+    (0.0, 1.0, 1.0, 1.0),  # S8: one zero, rest equal
+    (0.0, 0.0, 1.0, 2.0),  # S9: two zeros, two different
+    (0.0, 0.0, 1.0, 1.0),  # S10: two zeros, equal pair
+    (0.0, 0.0, 0.0, 1.0),  # S11: a single non-zero value
+)
+
+#: Number of SRF cases and total feature dimension (11 * 2 = 22).
+NUM_SRF_CASES = len(SRF_BASE_ASSIGNMENTS)
+SRF_DIMENSION = 2 * NUM_SRF_CASES
+
+
+def _assignment_variants(base: Tuple[float, float, float, float]) -> np.ndarray:
+    """All distinct permutations-with-sign-flips of one base assignment."""
+    variants = set()
+    for perm in permutations(base):
+        for flips in product((1.0, -1.0), repeat=NUM_CHUNKS):
+            variants.add(tuple(value * flip for value, flip in zip(perm, flips)))
+    return np.asarray(sorted(variants), dtype=np.float64)
+
+
+#: Precomputed variant matrices, one per case, shape (num_variants, 4).
+_ASSIGNMENT_VARIANTS: Tuple[np.ndarray, ...] = tuple(
+    _assignment_variants(base) for base in SRF_BASE_ASSIGNMENTS
+)
+
+
+def _evaluate_matrices(structure: BlockStructure, assignments: np.ndarray) -> np.ndarray:
+    """Evaluate ``g(v)`` for every assignment row; returns (n, 4, 4)."""
+    matrices = np.zeros((assignments.shape[0], NUM_CHUNKS, NUM_CHUNKS), dtype=np.float64)
+    for row, col, component, sign in structure.blocks:
+        matrices[:, row, col] += sign * assignments[:, component]
+    return matrices
+
+
+def case_feature(structure: BlockStructure, case_index: int) -> Tuple[int, int]:
+    """The (symmetric, skew-symmetric) feature pair for one case S_i.
+
+    A non-trivial requirement is imposed on the skew-symmetric check: the
+    assignment must produce a non-zero matrix, otherwise the all-zero
+    assignment of e.g. S11 would make every structure trivially
+    "skew-symmetric".
+    """
+    if not 0 <= case_index < NUM_SRF_CASES:
+        raise IndexError(f"case index must be in [0, {NUM_SRF_CASES})")
+    assignments = _ASSIGNMENT_VARIANTS[case_index]
+    matrices = _evaluate_matrices(structure, assignments)
+    transposed = matrices.transpose(0, 2, 1)
+    nonzero = np.any(matrices != 0.0, axis=(1, 2))
+    symmetric = bool(np.any(np.all(matrices == transposed, axis=(1, 2)) & nonzero))
+    skew_symmetric = bool(np.any(np.all(matrices == -transposed, axis=(1, 2)) & nonzero))
+    return int(symmetric), int(skew_symmetric)
+
+
+def srf_features(structure: BlockStructure) -> np.ndarray:
+    """The 22-dimensional SRF vector of ``structure`` (Alg. 3)."""
+    features = np.zeros(SRF_DIMENSION, dtype=np.float64)
+    for case_index in range(NUM_SRF_CASES):
+        symmetric, skew_symmetric = case_feature(structure, case_index)
+        features[2 * case_index] = symmetric
+        features[2 * case_index + 1] = skew_symmetric
+    return features
+
+
+def srf_feature_names() -> List[str]:
+    """Human-readable names for the 22 SRF dimensions."""
+    names: List[str] = []
+    for case_index in range(NUM_SRF_CASES):
+        names.append(f"S{case_index + 1}-sym")
+        names.append(f"S{case_index + 1}-skew")
+    return names
+
+
+def srf_summary(structure: BlockStructure) -> Dict[str, int]:
+    """SRF as a readable name -> 0/1 mapping (used in the case study)."""
+    return {
+        name: int(value)
+        for name, value in zip(srf_feature_names(), srf_features(structure))
+    }
+
+
+def can_be_symmetric(structure: BlockStructure) -> bool:
+    """True if ``g(r)`` is symmetric under some non-zero assignment."""
+    return any(case_feature(structure, index)[0] for index in range(NUM_SRF_CASES))
+
+
+def can_be_skew_symmetric(structure: BlockStructure) -> bool:
+    """True if ``g(r)`` is skew-symmetric under some non-zero assignment."""
+    return any(case_feature(structure, index)[1] for index in range(NUM_SRF_CASES))
+
+
+def is_expressive(structure: BlockStructure) -> bool:
+    """Constraint (C1) / Proposition 1: symmetric *and* skew-symmetric achievable."""
+    return can_be_symmetric(structure) and can_be_skew_symmetric(structure)
+
+
+def onehot_features(structure: BlockStructure) -> np.ndarray:
+    """Plain one-hot encoding of the substitute matrix (the PNAS-style baseline).
+
+    Every one of the 16 cells is encoded as a 9-way one-hot over the values
+    ``{0, ±1, ±2, ±3, ±4}``, giving a 144-dimensional vector.  (The paper's
+    one-hot baseline uses a 96-dimensional encoding specific to f6
+    structures; this version works for any block count, which is the role
+    the feature plays in the Fig. 8 ablation.)
+    """
+    matrix = structure.substitute_matrix().ravel()
+    num_values = 2 * NUM_CHUNKS + 1
+    features = np.zeros(matrix.size * num_values, dtype=np.float64)
+    for cell, value in enumerate(matrix):
+        features[cell * num_values + int(value) + NUM_CHUNKS] = 1.0
+    return features
+
+
+ONEHOT_DIMENSION = 16 * (2 * NUM_CHUNKS + 1)

@@ -1,0 +1,240 @@
+"""Synthetic knowledge-graph generators with controlled relation patterns.
+
+The original AutoSF evaluation uses WN18, FB15k, WN18RR, FB15k-237 and
+YAGO3-10.  Training on the full dumps is not possible in this CPU-only
+environment, so this module generates *miniature* knowledge graphs whose
+relation-pattern mix (symmetric / anti-symmetric / inverse / general
+asymmetric, the quantity Table III reports) is controlled explicitly.
+
+The generative model is a latent-type (cluster) model:
+
+* entities are partitioned into ``num_clusters`` types;
+* a **symmetric** relation links entities inside selected type pairs in both
+  directions — every generated edge ``(h, t)`` is accompanied by ``(t, h)``;
+* an **anti-symmetric** relation imposes a strict order inside a type and
+  only links lower-ranked to higher-ranked entities, so the reverse edge
+  never occurs while heads and tails share the same type (the paper's
+  "joint set" requirement);
+* an **inverse** pair is a general-asymmetric relation plus a second relation
+  containing exactly the reversed pairs;
+* a **general asymmetric** relation links one type to a *different* type, so
+  reverses are absent and head/tail sets are disjoint.
+
+Because entities of a type behave interchangeably, the generated graphs are
+learnable by embedding models: a model that can represent the relevant
+pattern class (e.g. anti-symmetry) has a measurable advantage, which is
+exactly the signal the AutoSF search consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.datasets.knowledge_graph import KnowledgeGraph
+from repro.datasets.statistics import RelationPattern
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class GeneratorProfile:
+    """Full description of one synthetic benchmark.
+
+    Attributes
+    ----------
+    name:
+        Dataset label (e.g. ``"wn18-mini"``).
+    num_entities:
+        Entity vocabulary size.
+    num_clusters:
+        Number of latent entity types.
+    relation_counts:
+        How many relations of each pattern to generate.  Inverse relations
+        are counted individually, so a value of 4 yields two inverse pairs;
+        odd values are rounded down to the nearest pair.
+    triples_per_relation:
+        Target number of (directed) triples per relation before the
+        symmetric completion doubles symmetric relations.
+    valid_fraction / test_fraction:
+        Split sizes handed to :meth:`KnowledgeGraph.from_triples`.
+    """
+
+    name: str
+    num_entities: int = 500
+    num_clusters: int = 8
+    relation_counts: Dict[RelationPattern, int] = field(
+        default_factory=lambda: {
+            RelationPattern.SYMMETRIC: 2,
+            RelationPattern.ANTI_SYMMETRIC: 2,
+            RelationPattern.INVERSE: 2,
+            RelationPattern.GENERAL: 4,
+        }
+    )
+    triples_per_relation: int = 300
+    valid_fraction: float = 0.1
+    test_fraction: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_entities < self.num_clusters:
+            raise ValueError("need at least one entity per cluster")
+        if self.num_clusters < 2:
+            raise ValueError("need at least two clusters")
+        if self.triples_per_relation <= 0:
+            raise ValueError("triples_per_relation must be positive")
+        total_relations = sum(self.relation_counts.values())
+        if total_relations <= 0:
+            raise ValueError("profile must request at least one relation")
+
+    @property
+    def num_relations(self) -> int:
+        """Number of relations the profile will generate."""
+        counts = dict(self.relation_counts)
+        inverse = counts.get(RelationPattern.INVERSE, 0)
+        counts[RelationPattern.INVERSE] = (inverse // 2) * 2
+        return sum(counts.values())
+
+
+def _assign_clusters(num_entities: int, num_clusters: int, rng: np.random.Generator) -> List[np.ndarray]:
+    """Partition entity indices into roughly equal clusters."""
+    order = rng.permutation(num_entities)
+    return [np.sort(chunk) for chunk in np.array_split(order, num_clusters)]
+
+
+def _sample_pairs_between(
+    heads: np.ndarray,
+    tails: np.ndarray,
+    count: int,
+    rng: np.random.Generator,
+    forbid_self_loops: bool = True,
+) -> Set[Tuple[int, int]]:
+    """Sample up to ``count`` distinct (h, t) pairs from heads x tails."""
+    pairs: Set[Tuple[int, int]] = set()
+    max_possible = len(heads) * len(tails)
+    target = min(count, max_possible)
+    attempts = 0
+    while len(pairs) < target and attempts < 50 * target + 100:
+        h = int(rng.choice(heads))
+        t = int(rng.choice(tails))
+        attempts += 1
+        if forbid_self_loops and h == t:
+            continue
+        pairs.add((h, t))
+    return pairs
+
+
+def generate_relation_triples(
+    pattern: RelationPattern,
+    clusters: Sequence[np.ndarray],
+    num_triples: int,
+    rng: RngLike = None,
+) -> Tuple[List[Tuple[int, int]], Optional[List[Tuple[int, int]]]]:
+    """Generate the (head, tail) pairs for one relation of the given pattern.
+
+    Returns
+    -------
+    (pairs, inverse_pairs):
+        ``pairs`` is the pair list of the relation itself; ``inverse_pairs``
+        is only populated for :attr:`RelationPattern.INVERSE` and contains
+        the reversed pairs intended for the partner relation.
+    """
+    gen = ensure_rng(rng)
+    cluster_ids = list(range(len(clusters)))
+
+    if pattern is RelationPattern.SYMMETRIC:
+        cluster = clusters[int(gen.choice(cluster_ids))]
+        base = _sample_pairs_between(cluster, cluster, num_triples // 2, gen)
+        pairs: Set[Tuple[int, int]] = set()
+        for h, t in base:
+            pairs.add((h, t))
+            pairs.add((t, h))
+        return sorted(pairs), None
+
+    if pattern is RelationPattern.ANTI_SYMMETRIC:
+        cluster = clusters[int(gen.choice(cluster_ids))]
+        # A strict order inside the cluster: only lower rank -> higher rank.
+        ranked = gen.permutation(cluster)
+        rank_of = {int(e): i for i, e in enumerate(ranked)}
+        raw = _sample_pairs_between(cluster, cluster, num_triples, gen)
+        pairs = set()
+        for h, t in raw:
+            if rank_of[h] < rank_of[t]:
+                pairs.add((h, t))
+            elif rank_of[t] < rank_of[h]:
+                pairs.add((t, h))
+        return sorted(pairs), None
+
+    if pattern is RelationPattern.GENERAL:
+        source, target = gen.choice(cluster_ids, size=2, replace=False)
+        pairs = _sample_pairs_between(clusters[int(source)], clusters[int(target)], num_triples, gen)
+        return sorted(pairs), None
+
+    if pattern is RelationPattern.INVERSE:
+        source, target = gen.choice(cluster_ids, size=2, replace=False)
+        pairs = _sample_pairs_between(clusters[int(source)], clusters[int(target)], num_triples, gen)
+        forward = sorted(pairs)
+        backward = sorted((t, h) for h, t in forward)
+        return forward, backward
+
+    raise ValueError(f"unknown relation pattern: {pattern!r}")
+
+
+def generate_knowledge_graph(profile: GeneratorProfile, seed: Optional[int] = None) -> KnowledgeGraph:
+    """Generate a full synthetic :class:`KnowledgeGraph` from ``profile``.
+
+    The relation index order is: symmetric relations first, then
+    anti-symmetric, then inverse pairs (forward immediately followed by its
+    partner), then general asymmetric relations.
+    """
+    rng = ensure_rng(profile.seed if seed is None else seed)
+    clusters = _assign_clusters(profile.num_entities, profile.num_clusters, rng)
+
+    triples: List[Tuple[int, int, int]] = []
+    relation_names: List[str] = []
+    relation_index = 0
+
+    def add_relation(pairs: Sequence[Tuple[int, int]], label: str) -> None:
+        nonlocal relation_index
+        for h, t in pairs:
+            triples.append((h, relation_index, t))
+        relation_names.append(f"{label}_{relation_index}")
+        relation_index += 1
+
+    counts = profile.relation_counts
+    for _ in range(counts.get(RelationPattern.SYMMETRIC, 0)):
+        pairs, _unused = generate_relation_triples(
+            RelationPattern.SYMMETRIC, clusters, profile.triples_per_relation, rng
+        )
+        add_relation(pairs, "sym")
+    for _ in range(counts.get(RelationPattern.ANTI_SYMMETRIC, 0)):
+        pairs, _unused = generate_relation_triples(
+            RelationPattern.ANTI_SYMMETRIC, clusters, profile.triples_per_relation, rng
+        )
+        add_relation(pairs, "antisym")
+    for _ in range(counts.get(RelationPattern.INVERSE, 0) // 2):
+        forward, backward = generate_relation_triples(
+            RelationPattern.INVERSE, clusters, profile.triples_per_relation, rng
+        )
+        add_relation(forward, "inv_fwd")
+        add_relation(backward or [], "inv_bwd")
+    for _ in range(counts.get(RelationPattern.GENERAL, 0)):
+        pairs, _unused = generate_relation_triples(
+            RelationPattern.GENERAL, clusters, profile.triples_per_relation, rng
+        )
+        add_relation(pairs, "gen")
+
+    if not triples:
+        raise ValueError("profile generated no triples")
+
+    return KnowledgeGraph.from_triples(
+        triples,
+        num_entities=profile.num_entities,
+        num_relations=relation_index,
+        valid_fraction=profile.valid_fraction,
+        test_fraction=profile.test_fraction,
+        seed=int(rng.integers(0, 2**31 - 1)),
+        name=profile.name,
+        relation_names=relation_names,
+    )

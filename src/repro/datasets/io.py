@@ -1,0 +1,128 @@
+"""TSV loaders and writers for knowledge-graph benchmark dumps.
+
+The standard benchmark distribution format is three files (``train.txt``,
+``valid.txt``, ``test.txt``), each line holding ``head<TAB>relation<TAB>tail``
+with string identifiers.  These helpers build the entity/relation vocabularies
+from the training split (plus any new symbols in valid/test) and return a
+:class:`~repro.datasets.knowledge_graph.KnowledgeGraph`, so a user with the
+real WN18/FB15k dumps can drop them in place of the synthetic miniatures.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.datasets.knowledge_graph import KnowledgeGraph
+
+PathLike = Union[str, Path]
+
+
+def _read_string_triples(path: Path) -> List[Tuple[str, str, str]]:
+    """Read one split file of string triples, skipping blank lines."""
+    triples: List[Tuple[str, str, str]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 3 tab-separated fields, got {len(parts)}"
+                )
+            triples.append((parts[0], parts[1], parts[2]))
+    return triples
+
+
+def _index_triples(
+    triples: Iterable[Tuple[str, str, str]],
+    entity_to_id: Dict[str, int],
+    relation_to_id: Dict[str, int],
+    grow: bool,
+) -> np.ndarray:
+    """Convert string triples to index triples, optionally growing the vocab."""
+    rows: List[Tuple[int, int, int]] = []
+    for head, relation, tail in triples:
+        for symbol, table in ((head, entity_to_id), (relation, relation_to_id), (tail, entity_to_id)):
+            if symbol not in table:
+                if not grow:
+                    raise KeyError(f"symbol {symbol!r} not present in training vocabulary")
+                table[symbol] = len(table)
+        rows.append((entity_to_id[head], relation_to_id[relation], entity_to_id[tail]))
+    return np.asarray(rows, dtype=np.int64).reshape(-1, 3)
+
+
+def load_tsv_dataset(
+    directory: PathLike,
+    name: str = "tsv-dataset",
+    train_file: str = "train.txt",
+    valid_file: str = "valid.txt",
+    test_file: str = "test.txt",
+    allow_unseen_in_eval: bool = True,
+) -> KnowledgeGraph:
+    """Load a benchmark from a directory of TSV split files.
+
+    Parameters
+    ----------
+    directory:
+        Directory holding the three split files.
+    allow_unseen_in_eval:
+        When ``True`` (default), symbols that only appear in valid/test are
+        added to the vocabulary; when ``False`` such symbols raise ``KeyError``.
+    """
+    base = Path(directory)
+    train_strings = _read_string_triples(base / train_file)
+    valid_strings = _read_string_triples(base / valid_file)
+    test_strings = _read_string_triples(base / test_file)
+    if not train_strings:
+        raise ValueError(f"training split in {base} is empty")
+
+    entity_to_id: Dict[str, int] = {}
+    relation_to_id: Dict[str, int] = {}
+    train = _index_triples(train_strings, entity_to_id, relation_to_id, grow=True)
+    valid = _index_triples(valid_strings, entity_to_id, relation_to_id, grow=allow_unseen_in_eval)
+    test = _index_triples(test_strings, entity_to_id, relation_to_id, grow=allow_unseen_in_eval)
+
+    entity_names = tuple(sorted(entity_to_id, key=entity_to_id.get))
+    relation_names = tuple(sorted(relation_to_id, key=relation_to_id.get))
+    return KnowledgeGraph(
+        num_entities=len(entity_to_id),
+        num_relations=len(relation_to_id),
+        train=train,
+        valid=valid,
+        test=test,
+        entity_names=entity_names,
+        relation_names=relation_names,
+        name=name,
+    )
+
+
+def write_tsv_dataset(graph: KnowledgeGraph, directory: PathLike) -> Path:
+    """Write ``graph`` out in the standard three-file TSV format.
+
+    Entity/relation labels are used when available, otherwise indices are
+    written as ``e<i>`` / ``r<j>``.  Returns the output directory.
+    """
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+
+    def entity_label(index: int) -> str:
+        if graph.entity_names is not None:
+            return graph.entity_names[index]
+        return f"e{index}"
+
+    def relation_label(index: int) -> str:
+        if graph.relation_names is not None:
+            return graph.relation_names[index]
+        return f"r{index}"
+
+    for split_name, file_name in (("train", "train.txt"), ("valid", "valid.txt"), ("test", "test.txt")):
+        lines = [
+            f"{entity_label(int(h))}\t{relation_label(int(r))}\t{entity_label(int(t))}"
+            for h, r, t in graph.split(split_name)
+        ]
+        (base / file_name).write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+    return base

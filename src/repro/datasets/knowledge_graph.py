@@ -1,0 +1,285 @@
+"""The :class:`KnowledgeGraph` container.
+
+A knowledge graph here is a set of integer-indexed triplets partitioned into
+train / valid / test splits, together with the entity and relation
+vocabularies.  The container also exposes the lookup structures needed for
+*filtered* link-prediction evaluation: for every (head, relation) pair the set
+of all known tails across every split, and symmetrically for (relation, tail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+Triple = Tuple[int, int, int]
+
+
+def _as_triple_array(triples: Iterable[Sequence[int]]) -> np.ndarray:
+    """Normalize any iterable of (h, r, t) into an ``(n, 3) int64`` array."""
+    array = np.asarray(list(triples), dtype=np.int64)
+    if array.size == 0:
+        return array.reshape(0, 3)
+    if array.ndim != 2 or array.shape[1] != 3:
+        raise ValueError("triples must be an iterable of (head, relation, tail)")
+    return array
+
+
+@dataclass(frozen=True)
+class KnowledgeGraph:
+    """An immutable, integer-indexed knowledge graph with splits.
+
+    Parameters
+    ----------
+    num_entities, num_relations:
+        Sizes of the entity and relation vocabularies.
+    train, valid, test:
+        ``(n, 3)`` arrays of (head, relation, tail) indices.
+    entity_names, relation_names:
+        Optional human-readable labels, index-aligned with the vocabularies.
+    name:
+        A label for reporting (e.g. ``"wn18-mini"``).
+    """
+
+    num_entities: int
+    num_relations: int
+    train: np.ndarray
+    valid: np.ndarray
+    test: np.ndarray
+    entity_names: Optional[Tuple[str, ...]] = None
+    relation_names: Optional[Tuple[str, ...]] = None
+    name: str = "kg"
+
+    def __post_init__(self) -> None:
+        for split_name in ("train", "valid", "test"):
+            array = _as_triple_array(getattr(self, split_name))
+            object.__setattr__(self, split_name, array)
+            self._validate_split(array, split_name)
+        if self.num_entities <= 0:
+            raise ValueError("num_entities must be positive")
+        if self.num_relations <= 0:
+            raise ValueError("num_relations must be positive")
+        if self.entity_names is not None and len(self.entity_names) != self.num_entities:
+            raise ValueError("entity_names length must equal num_entities")
+        if self.relation_names is not None and len(self.relation_names) != self.num_relations:
+            raise ValueError("relation_names length must equal num_relations")
+
+    def _validate_split(self, array: np.ndarray, split_name: str) -> None:
+        if array.size == 0:
+            return
+        heads, relations, tails = array[:, 0], array[:, 1], array[:, 2]
+        if heads.min() < 0 or heads.max() >= self.num_entities:
+            raise ValueError(f"{split_name}: head index out of range")
+        if tails.min() < 0 or tails.max() >= self.num_entities:
+            raise ValueError(f"{split_name}: tail index out of range")
+        if relations.min() < 0 or relations.max() >= self.num_relations:
+            raise ValueError(f"{split_name}: relation index out of range")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_train(self) -> int:
+        return int(self.train.shape[0])
+
+    @property
+    def num_valid(self) -> int:
+        return int(self.valid.shape[0])
+
+    @property
+    def num_test(self) -> int:
+        return int(self.test.shape[0])
+
+    def split(self, name: str) -> np.ndarray:
+        """Return the triples of the named split (``train``/``valid``/``test``)."""
+        if name not in ("train", "valid", "test"):
+            raise KeyError(f"unknown split: {name!r}")
+        return getattr(self, name)
+
+    def all_triples(self) -> np.ndarray:
+        """All triples across every split, concatenated."""
+        return np.concatenate([self.train, self.valid, self.test], axis=0)
+
+    def triple_set(self, splits: Sequence[str] = ("train", "valid", "test")) -> Set[Triple]:
+        """Return the selected splits as a Python set of tuples."""
+        result: Set[Triple] = set()
+        for split_name in splits:
+            for h, r, t in self.split(split_name):
+                result.add((int(h), int(r), int(t)))
+        return result
+
+    # ------------------------------------------------------------------
+    # Filtered-evaluation lookup structures
+    # ------------------------------------------------------------------
+    def known_tails(self) -> Dict[Tuple[int, int], Set[int]]:
+        """Map (head, relation) -> set of all known tails across splits.
+
+        Used by the filtered ranking protocol: when ranking the true tail of
+        a test triplet, every *other* known tail is removed from the
+        candidate list so the model is not penalised for ranking other true
+        answers highly.
+        """
+        mapping: Dict[Tuple[int, int], Set[int]] = {}
+        for h, r, t in self.all_triples():
+            mapping.setdefault((int(h), int(r)), set()).add(int(t))
+        return mapping
+
+    def known_heads(self) -> Dict[Tuple[int, int], Set[int]]:
+        """Map (relation, tail) -> set of all known heads across splits."""
+        mapping: Dict[Tuple[int, int], Set[int]] = {}
+        for h, r, t in self.all_triples():
+            mapping.setdefault((int(r), int(t)), set()).add(int(h))
+        return mapping
+
+    def relation_triples(self, relation: int, splits: Sequence[str] = ("train",)) -> np.ndarray:
+        """All triples using ``relation`` within the chosen splits."""
+        parts: List[np.ndarray] = []
+        for split_name in splits:
+            array = self.split(split_name)
+            if array.size:
+                parts.append(array[array[:, 1] == relation])
+        if not parts:
+            return np.zeros((0, 3), dtype=np.int64)
+        return np.concatenate(parts, axis=0)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def with_splits(
+        self,
+        train: np.ndarray,
+        valid: np.ndarray,
+        test: np.ndarray,
+        name: Optional[str] = None,
+    ) -> "KnowledgeGraph":
+        """Return a copy of this graph with different splits."""
+        return KnowledgeGraph(
+            num_entities=self.num_entities,
+            num_relations=self.num_relations,
+            train=train,
+            valid=valid,
+            test=test,
+            entity_names=self.entity_names,
+            relation_names=self.relation_names,
+            name=name if name is not None else self.name,
+        )
+
+    def subsample(self, fraction: float, seed: Optional[int] = 0) -> "KnowledgeGraph":
+        """Return a graph whose training split keeps ``fraction`` of triples.
+
+        Validation and test splits are left untouched; this is a convenience
+        for quick experiments and ablations.
+        """
+        if not 0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        rng = np.random.default_rng(seed)
+        keep = max(1, int(round(fraction * self.num_train)))
+        index = rng.choice(self.num_train, size=keep, replace=False)
+        return self.with_splits(self.train[np.sort(index)], self.valid, self.test)
+
+    @classmethod
+    def from_triples(
+        cls,
+        triples: Iterable[Sequence[int]],
+        num_entities: Optional[int] = None,
+        num_relations: Optional[int] = None,
+        valid_fraction: float = 0.1,
+        test_fraction: float = 0.1,
+        seed: Optional[int] = 0,
+        name: str = "kg",
+        entity_names: Optional[Sequence[str]] = None,
+        relation_names: Optional[Sequence[str]] = None,
+    ) -> "KnowledgeGraph":
+        """Build a graph from a flat triple list, splitting randomly.
+
+        The split is *entity-safe*: every entity and relation appearing in
+        valid/test also appears in train, otherwise the embedding of an
+        unseen entity would be untrained and the evaluation meaningless.
+        """
+        array = _as_triple_array(triples)
+        if array.shape[0] == 0:
+            raise ValueError("cannot build a KnowledgeGraph from zero triples")
+        if not 0 <= valid_fraction < 1 or not 0 <= test_fraction < 1:
+            raise ValueError("split fractions must be in [0, 1)")
+        if valid_fraction + test_fraction >= 1:
+            raise ValueError("valid_fraction + test_fraction must be < 1")
+        inferred_entities = int(max(array[:, 0].max(), array[:, 2].max())) + 1
+        inferred_relations = int(array[:, 1].max()) + 1
+        num_entities = num_entities or inferred_entities
+        num_relations = num_relations or inferred_relations
+
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(array.shape[0])
+        array = array[order]
+
+        n_valid = int(round(valid_fraction * array.shape[0]))
+        n_test = int(round(test_fraction * array.shape[0]))
+        train, valid, test = _entity_safe_split(array, n_valid, n_test)
+
+        return cls(
+            num_entities=num_entities,
+            num_relations=num_relations,
+            train=train,
+            valid=valid,
+            test=test,
+            entity_names=tuple(entity_names) if entity_names is not None else None,
+            relation_names=tuple(relation_names) if relation_names is not None else None,
+            name=name,
+        )
+
+    def summary(self) -> Mapping[str, int]:
+        """Return the headline counts shown in Table III."""
+        return {
+            "entities": self.num_entities,
+            "relations": self.num_relations,
+            "train": self.num_train,
+            "valid": self.num_valid,
+            "test": self.num_test,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        return (
+            f"KnowledgeGraph(name={self.name!r}, entities={self.num_entities}, "
+            f"relations={self.num_relations}, train={self.num_train}, "
+            f"valid={self.num_valid}, test={self.num_test})"
+        )
+
+
+def _entity_safe_split(
+    array: np.ndarray, n_valid: int, n_test: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split shuffled triples so that eval splits only use seen entities/relations.
+
+    Walk the shuffled triples once: a triple may go to valid/test only if its
+    head, tail and relation have already been assigned to train at least once.
+    This greedy pass keeps the split sizes close to the request while
+    guaranteeing coverage.
+    """
+    seen_entities: Set[int] = set()
+    seen_relations: Set[int] = set()
+    train_rows: List[np.ndarray] = []
+    eval_rows: List[np.ndarray] = []
+
+    # First pass guarantees every entity/relation appears in train.
+    for row in array:
+        h, r, t = int(row[0]), int(row[1]), int(row[2])
+        if h in seen_entities and t in seen_entities and r in seen_relations:
+            eval_rows.append(row)
+        else:
+            train_rows.append(row)
+            seen_entities.add(h)
+            seen_entities.add(t)
+            seen_relations.add(r)
+
+    eval_array = np.asarray(eval_rows, dtype=np.int64).reshape(-1, 3)
+    n_valid = min(n_valid, eval_array.shape[0])
+    n_test = min(n_test, max(eval_array.shape[0] - n_valid, 0))
+    valid = eval_array[:n_valid]
+    test = eval_array[n_valid : n_valid + n_test]
+    leftover = eval_array[n_valid + n_test :]
+    train = np.concatenate(
+        [np.asarray(train_rows, dtype=np.int64).reshape(-1, 3), leftover], axis=0
+    )
+    return train, valid, test

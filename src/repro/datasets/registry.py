@@ -1,0 +1,168 @@
+"""Benchmark registry: miniature profiles of the five AutoSF benchmarks.
+
+Each profile mirrors the relation-pattern mix of the original benchmark as
+reported in Table III of the paper, scaled down so that many candidate
+scoring functions can be trained on CPU during the search:
+
+===========  ========  =========  =====  =========  ========  ========
+benchmark    entities  relations  #sym   #anti-sym  #inverse  #general
+===========  ========  =========  =====  =========  ========  ========
+WN18          40,943      18        4        7          7        0
+FB15k         14,951    1,345      66       38        556      685
+WN18RR        40,943      11        4        3          1        3
+FB15k-237     14,541      237      33        5         20      179
+YAGO3-10     123,188      37        8        0          1       28
+===========  ========  =========  =====  =========  ========  ========
+
+The miniatures keep the *relative* pattern mix (e.g. WN18 is dominated by
+symmetric/anti-symmetric/inverse relations and has no general ones, FB15k-237
+is dominated by general asymmetric relations) while shrinking entity and
+triple counts by two to three orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.datasets.generators import GeneratorProfile, generate_knowledge_graph
+from repro.datasets.knowledge_graph import KnowledgeGraph
+from repro.datasets.statistics import RelationPattern
+
+#: Miniature generator profiles keyed by canonical benchmark name.
+BENCHMARK_PROFILES: Dict[str, GeneratorProfile] = {
+    "wn18": GeneratorProfile(
+        name="wn18-mini",
+        num_entities=400,
+        num_clusters=8,
+        relation_counts={
+            RelationPattern.SYMMETRIC: 4,
+            RelationPattern.ANTI_SYMMETRIC: 7,
+            RelationPattern.INVERSE: 6,
+            RelationPattern.GENERAL: 0,
+        },
+        triples_per_relation=220,
+        seed=18,
+    ),
+    "fb15k": GeneratorProfile(
+        name="fb15k-mini",
+        num_entities=500,
+        num_clusters=10,
+        relation_counts={
+            RelationPattern.SYMMETRIC: 3,
+            RelationPattern.ANTI_SYMMETRIC: 2,
+            RelationPattern.INVERSE: 12,
+            RelationPattern.GENERAL: 14,
+        },
+        triples_per_relation=180,
+        seed=15,
+    ),
+    "wn18rr": GeneratorProfile(
+        name="wn18rr-mini",
+        num_entities=400,
+        num_clusters=8,
+        relation_counts={
+            RelationPattern.SYMMETRIC: 4,
+            RelationPattern.ANTI_SYMMETRIC: 3,
+            RelationPattern.INVERSE: 0,
+            RelationPattern.GENERAL: 4,
+        },
+        triples_per_relation=220,
+        seed=118,
+    ),
+    "fb15k237": GeneratorProfile(
+        name="fb15k237-mini",
+        num_entities=500,
+        num_clusters=10,
+        relation_counts={
+            RelationPattern.SYMMETRIC: 3,
+            RelationPattern.ANTI_SYMMETRIC: 1,
+            RelationPattern.INVERSE: 0,
+            RelationPattern.GENERAL: 18,
+        },
+        triples_per_relation=160,
+        seed=237,
+    ),
+    "yago310": GeneratorProfile(
+        name="yago310-mini",
+        num_entities=600,
+        num_clusters=12,
+        relation_counts={
+            RelationPattern.SYMMETRIC: 4,
+            RelationPattern.ANTI_SYMMETRIC: 0,
+            RelationPattern.INVERSE: 0,
+            RelationPattern.GENERAL: 14,
+        },
+        triples_per_relation=200,
+        seed=310,
+    ),
+}
+
+#: Table III rows as reported in the paper, used by EXPERIMENTS.md and the
+#: Table III bench to print paper-vs-miniature side by side.
+PAPER_TABLE3: Dict[str, Dict[str, int]] = {
+    "wn18": {
+        "entities": 40943, "relations": 18, "train": 141442, "valid": 5000,
+        "test": 5000, "symmetric": 4, "anti_symmetric": 7, "inverse": 7, "general": 0,
+    },
+    "fb15k": {
+        "entities": 14951, "relations": 1345, "train": 484142, "valid": 50000,
+        "test": 59071, "symmetric": 66, "anti_symmetric": 38, "inverse": 556, "general": 685,
+    },
+    "wn18rr": {
+        "entities": 40943, "relations": 11, "train": 86835, "valid": 3034,
+        "test": 3134, "symmetric": 4, "anti_symmetric": 3, "inverse": 1, "general": 3,
+    },
+    "fb15k237": {
+        "entities": 14541, "relations": 237, "train": 272115, "valid": 17535,
+        "test": 20466, "symmetric": 33, "anti_symmetric": 5, "inverse": 20, "general": 179,
+    },
+    "yago310": {
+        "entities": 123188, "relations": 37, "train": 1079040, "valid": 5000,
+        "test": 5000, "symmetric": 8, "anti_symmetric": 0, "inverse": 1, "general": 28,
+    },
+}
+
+
+def available_benchmarks() -> List[str]:
+    """Return the canonical names of all registered benchmark profiles."""
+    return sorted(BENCHMARK_PROFILES)
+
+
+def load_benchmark(
+    name: str,
+    seed: Optional[int] = None,
+    scale: float = 1.0,
+) -> KnowledgeGraph:
+    """Generate the miniature version of a named benchmark.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_benchmarks` (case-insensitive; dashes and
+        underscores are ignored, so ``"FB15k-237"`` works).
+    seed:
+        Overrides the profile's default seed when given.
+    scale:
+        Multiplies the entity count and triples-per-relation of the profile
+        (useful for quick smoke tests with ``scale < 1``).
+    """
+    key = name.lower().replace("-", "").replace("_", "")
+    if key not in BENCHMARK_PROFILES:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(available_benchmarks())}"
+        )
+    profile = BENCHMARK_PROFILES[key]
+    if scale != 1.0:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        profile = GeneratorProfile(
+            name=profile.name,
+            num_entities=max(profile.num_clusters, int(profile.num_entities * scale)),
+            num_clusters=profile.num_clusters,
+            relation_counts=dict(profile.relation_counts),
+            triples_per_relation=max(10, int(profile.triples_per_relation * scale)),
+            valid_fraction=profile.valid_fraction,
+            test_fraction=profile.test_fraction,
+            seed=profile.seed,
+        )
+    return generate_knowledge_graph(profile, seed=seed)

@@ -1,0 +1,192 @@
+"""Relation-pattern statistics (the counting rule behind Table III).
+
+The paper classifies every relation of a benchmark into one of four pattern
+classes using simple counting thresholds (Sec. V-A1):
+
+* **symmetric** — for relation ``r`` with ``n_r`` positive triples, the number
+  of reversed triples ``(t, r, h)`` that are also positive exceeds
+  ``0.9 * n_r``;
+* **anti-symmetric** — no reversed triple is positive *and* the head and tail
+  entity sets overlap by at least ``0.1 * n_r`` (so head/tail have the same
+  type and reversal would have been possible);
+* **inverse** — there exists another relation ``r'`` such that at least
+  ``0.9 * n_r`` of the reversed triples ``(t, r', h)`` are positive;
+* **general asymmetric** — everything else.
+
+These statistics both characterize the datasets and drive the synthetic
+generators: a miniature benchmark is "faithful" if its classified pattern mix
+matches the profile of the original benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.datasets.knowledge_graph import KnowledgeGraph
+
+
+class RelationPattern(str, Enum):
+    """The four relation-pattern classes used throughout the paper."""
+
+    SYMMETRIC = "symmetric"
+    ANTI_SYMMETRIC = "anti_symmetric"
+    INVERSE = "inverse"
+    GENERAL = "general"
+
+
+@dataclass
+class DatasetStatistics:
+    """Headline counts plus the per-pattern relation tally (Table III row)."""
+
+    name: str
+    num_entities: int
+    num_relations: int
+    num_train: int
+    num_valid: int
+    num_test: int
+    pattern_counts: Dict[RelationPattern, int] = field(default_factory=dict)
+    relation_patterns: Dict[int, RelationPattern] = field(default_factory=dict)
+    inverse_pairs: List[Tuple[int, int]] = field(default_factory=list)
+
+    def count(self, pattern: RelationPattern) -> int:
+        return self.pattern_counts.get(pattern, 0)
+
+    def as_row(self) -> Dict[str, int]:
+        """Return the Table III row for this dataset."""
+        return {
+            "entities": self.num_entities,
+            "relations": self.num_relations,
+            "train": self.num_train,
+            "valid": self.num_valid,
+            "test": self.num_test,
+            "symmetric": self.count(RelationPattern.SYMMETRIC),
+            "anti_symmetric": self.count(RelationPattern.ANTI_SYMMETRIC),
+            "inverse": self.count(RelationPattern.INVERSE),
+            "general": self.count(RelationPattern.GENERAL),
+        }
+
+
+def _group_by_relation(triples: np.ndarray) -> Dict[int, Set[Tuple[int, int]]]:
+    """Map each relation to its set of (head, tail) pairs."""
+    grouped: Dict[int, Set[Tuple[int, int]]] = {}
+    for h, r, t in triples:
+        grouped.setdefault(int(r), set()).add((int(h), int(t)))
+    return grouped
+
+
+def classify_relations(
+    triples: np.ndarray,
+    num_relations: int,
+    symmetric_threshold: float = 0.9,
+    overlap_threshold: float = 0.1,
+) -> Tuple[Dict[int, RelationPattern], List[Tuple[int, int]]]:
+    """Classify every relation following the Table III counting rule.
+
+    Parameters
+    ----------
+    triples:
+        ``(n, 3)`` array of positive triples (normally the union of splits).
+    num_relations:
+        Size of the relation vocabulary; relations with no triple are
+        classified as ``GENERAL``.
+    symmetric_threshold, overlap_threshold:
+        The 0.9 / 0.1 thresholds from the paper.
+
+    Returns
+    -------
+    (patterns, inverse_pairs):
+        ``patterns`` maps relation index -> :class:`RelationPattern`;
+        ``inverse_pairs`` lists the (r, r') pairs detected as inverses
+        (each unordered pair reported once, with r < r').
+    """
+    grouped = _group_by_relation(np.asarray(triples, dtype=np.int64).reshape(-1, 3))
+    patterns: Dict[int, RelationPattern] = {}
+    inverse_pairs: List[Tuple[int, int]] = []
+    inverse_members: Set[int] = set()
+
+    # Pass 1: detect inverse pairs (needs pairwise comparison).
+    relations = sorted(grouped)
+    for i, r in enumerate(relations):
+        pairs_r = grouped[r]
+        reversed_r = {(t, h) for h, t in pairs_r}
+        n_r = len(pairs_r)
+        for r_other in relations[i + 1 :]:
+            pairs_other = grouped[r_other]
+            n_other = len(pairs_other)
+            overlap_r = len(reversed_r & pairs_other)
+            # r' is an inverse of r if most of r's reversed pairs exist under r'.
+            if n_r > 0 and overlap_r >= symmetric_threshold * n_r:
+                inverse_pairs.append((r, r_other))
+                inverse_members.add(r)
+                inverse_members.add(r_other)
+                continue
+            reversed_other = {(t, h) for h, t in pairs_other}
+            overlap_other = len(reversed_other & pairs_r)
+            if n_other > 0 and overlap_other >= symmetric_threshold * n_other:
+                inverse_pairs.append((r, r_other))
+                inverse_members.add(r)
+                inverse_members.add(r_other)
+
+    # Pass 2: symmetric / anti-symmetric / general.
+    for r in range(num_relations):
+        pairs_r = grouped.get(r, set())
+        if not pairs_r:
+            patterns[r] = RelationPattern.GENERAL
+            continue
+        n_r = len(pairs_r)
+        reversed_count = sum(1 for h, t in pairs_r if (t, h) in pairs_r)
+        heads = {h for h, _ in pairs_r}
+        tails = {t for _, t in pairs_r}
+        joint = len(heads & tails)
+
+        if reversed_count >= symmetric_threshold * n_r:
+            patterns[r] = RelationPattern.SYMMETRIC
+        elif r in inverse_members:
+            patterns[r] = RelationPattern.INVERSE
+        elif reversed_count == 0 and joint >= overlap_threshold * n_r:
+            patterns[r] = RelationPattern.ANTI_SYMMETRIC
+        else:
+            patterns[r] = RelationPattern.GENERAL
+    return patterns, inverse_pairs
+
+
+def dataset_statistics(
+    graph: KnowledgeGraph,
+    splits: Sequence[str] = ("train", "valid", "test"),
+    symmetric_threshold: float = 0.9,
+    overlap_threshold: float = 0.1,
+) -> DatasetStatistics:
+    """Compute the Table III row for ``graph``."""
+    triples = np.concatenate([graph.split(s) for s in splits], axis=0)
+    patterns, inverse_pairs = classify_relations(
+        triples,
+        graph.num_relations,
+        symmetric_threshold=symmetric_threshold,
+        overlap_threshold=overlap_threshold,
+    )
+    counts: Dict[RelationPattern, int] = {pattern: 0 for pattern in RelationPattern}
+    for pattern in patterns.values():
+        counts[pattern] += 1
+    return DatasetStatistics(
+        name=graph.name,
+        num_entities=graph.num_entities,
+        num_relations=graph.num_relations,
+        num_train=graph.num_train,
+        num_valid=graph.num_valid,
+        num_test=graph.num_test,
+        pattern_counts=counts,
+        relation_patterns=patterns,
+        inverse_pairs=inverse_pairs,
+    )
+
+
+def pattern_fractions(statistics: DatasetStatistics) -> Mapping[str, float]:
+    """Return the fraction of relations in each pattern class."""
+    total = max(statistics.num_relations, 1)
+    return {
+        pattern.value: statistics.count(pattern) / total for pattern in RelationPattern
+    }

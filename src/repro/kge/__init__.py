@@ -1,0 +1,45 @@
+"""Knowledge-graph-embedding substrate: scoring functions, training, evaluation.
+
+This package is a self-contained, NumPy-only KGE framework implementing the
+training and evaluation pipeline of Alg. 1 of the AutoSF paper:
+
+* :mod:`repro.kge.scoring` — scoring functions, including the unified
+  block-structured bilinear family that the AutoSF search space is built on,
+  the classical bilinear models (DistMult, ComplEx, Analogy, SimplE, RESCAL),
+  translational baselines (TransE, TransH, RotatE) and the MLP general
+  approximator used as an AutoML baseline.
+* :mod:`repro.kge.losses` — multi-class (full softmax) loss, logistic and
+  hinge pairwise losses.
+* :mod:`repro.kge.optimizers` — Adagrad (the paper's optimizer), Adam, SGD.
+* :mod:`repro.kge.trainer` — the stochastic training loop.
+* :mod:`repro.kge.evaluation` — filtered link-prediction metrics (MRR,
+  Hits@k) and triplet classification.
+"""
+
+from repro.kge.model import KGEModel, train_model
+from repro.kge.evaluation import (
+    EvaluationResult,
+    evaluate_link_prediction,
+    evaluate_triplet_classification,
+)
+from repro.kge.trainer import Trainer, TrainingHistory
+from repro.kge.scoring import (
+    BlockScoringFunction,
+    BlockStructure,
+    ScoringFunction,
+    get_scoring_function,
+)
+
+__all__ = [
+    "KGEModel",
+    "train_model",
+    "EvaluationResult",
+    "evaluate_link_prediction",
+    "evaluate_triplet_classification",
+    "Trainer",
+    "TrainingHistory",
+    "BlockScoringFunction",
+    "BlockStructure",
+    "ScoringFunction",
+    "get_scoring_function",
+]

@@ -1,0 +1,179 @@
+"""Training losses.
+
+The paper trains every candidate with the multi-class (full softmax) loss of
+Lacroix et al. (2018) because it "currently achieves the best performance and
+has little variance" (Sec. II-A).  Logistic and hinge (margin) losses are
+provided as alternatives; they operate on the same all-candidate score matrix
+but only look at the positive column and a set of sampled negative columns,
+so the scoring-function interface stays identical across losses.
+
+Every loss implements::
+
+    value, dscores = loss.compute(scores, targets, negatives=None)
+
+where ``scores`` is the ``(batch, num_candidates)`` score matrix, ``targets``
+gives the column of the true entity for every row, and ``negatives`` (only
+used by the pairwise losses) holds ``(batch, num_negatives)`` sampled
+negative columns.  ``dscores`` is the gradient of the *mean* per-triple loss
+with respect to ``scores``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def _check_inputs(scores: np.ndarray, targets: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    scores = np.asarray(scores, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if scores.ndim != 2:
+        raise ValueError("scores must be 2-D (batch, num_candidates)")
+    if targets.shape != (scores.shape[0],):
+        raise ValueError("targets must be 1-D with one entry per scored row")
+    if targets.min(initial=0) < 0 or (targets.size and targets.max() >= scores.shape[1]):
+        raise ValueError("target column out of range")
+    return scores, targets
+
+
+def softplus(x: np.ndarray) -> np.ndarray:
+    """Numerically stable ``log(1 + exp(x))``."""
+    return np.logaddexp(0.0, x)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+class Loss(ABC):
+    """Base class for training losses."""
+
+    #: Whether the trainer must supply sampled negative columns.
+    needs_negative_samples: bool = False
+
+    @abstractmethod
+    def compute(
+        self,
+        scores: np.ndarray,
+        targets: np.ndarray,
+        negatives: Optional[np.ndarray] = None,
+    ) -> Tuple[float, np.ndarray]:
+        """Return (mean loss, d mean-loss / d scores)."""
+
+
+class MulticlassLoss(Loss):
+    """Softmax cross-entropy over every candidate entity (the paper's loss)."""
+
+    needs_negative_samples = False
+
+    def compute(
+        self,
+        scores: np.ndarray,
+        targets: np.ndarray,
+        negatives: Optional[np.ndarray] = None,
+    ) -> Tuple[float, np.ndarray]:
+        scores, targets = _check_inputs(scores, targets)
+        batch = scores.shape[0]
+        if batch == 0:
+            return 0.0, np.zeros_like(scores)
+        shifted = scores - scores.max(axis=1, keepdims=True)
+        exp_scores = np.exp(shifted)
+        partition = exp_scores.sum(axis=1, keepdims=True)
+        log_probs = shifted - np.log(partition)
+        rows = np.arange(batch)
+        value = float(-log_probs[rows, targets].mean())
+        dscores = exp_scores / partition
+        dscores[rows, targets] -= 1.0
+        dscores /= batch
+        return value, dscores
+
+
+class LogisticLoss(Loss):
+    """Logistic (binary cross-entropy) loss with sampled negatives."""
+
+    needs_negative_samples = True
+
+    def compute(
+        self,
+        scores: np.ndarray,
+        targets: np.ndarray,
+        negatives: Optional[np.ndarray] = None,
+    ) -> Tuple[float, np.ndarray]:
+        scores, targets = _check_inputs(scores, targets)
+        if negatives is None:
+            raise ValueError("LogisticLoss requires sampled negative columns")
+        negatives = np.asarray(negatives, dtype=np.int64)
+        batch, num_negatives = negatives.shape
+        rows = np.arange(batch)
+        positive_scores = scores[rows, targets]
+        negative_scores = scores[rows[:, None], negatives]
+
+        value = float(
+            (softplus(-positive_scores) + softplus(negative_scores).mean(axis=1)).mean()
+        )
+        dscores = np.zeros_like(scores)
+        dscores[rows, targets] -= sigmoid(-positive_scores)
+        np.add.at(
+            dscores,
+            (rows[:, None], negatives),
+            sigmoid(negative_scores) / num_negatives,
+        )
+        dscores /= batch
+        return value, dscores
+
+
+class HingeLoss(Loss):
+    """Margin-based ranking loss (the classic TransE objective)."""
+
+    needs_negative_samples = True
+
+    def __init__(self, margin: float = 1.0) -> None:
+        if margin <= 0:
+            raise ValueError("margin must be positive")
+        self.margin = float(margin)
+
+    def compute(
+        self,
+        scores: np.ndarray,
+        targets: np.ndarray,
+        negatives: Optional[np.ndarray] = None,
+    ) -> Tuple[float, np.ndarray]:
+        scores, targets = _check_inputs(scores, targets)
+        if negatives is None:
+            raise ValueError("HingeLoss requires sampled negative columns")
+        negatives = np.asarray(negatives, dtype=np.int64)
+        batch, num_negatives = negatives.shape
+        rows = np.arange(batch)
+        positive_scores = scores[rows, targets]
+        negative_scores = scores[rows[:, None], negatives]
+
+        violations = self.margin - positive_scores[:, None] + negative_scores
+        active = violations > 0
+        value = float(np.where(active, violations, 0.0).mean(axis=1).mean())
+
+        dscores = np.zeros_like(scores)
+        per_pair = active.astype(np.float64) / num_negatives
+        dscores[rows, targets] -= per_pair.sum(axis=1)
+        np.add.at(dscores, (rows[:, None], negatives), per_pair)
+        dscores /= batch
+        return value, dscores
+
+
+def get_loss(name: str, margin: float = 1.0) -> Loss:
+    """Instantiate a loss by name (``multiclass`` / ``logistic`` / ``hinge``)."""
+    key = name.lower()
+    if key == "multiclass":
+        return MulticlassLoss()
+    if key == "logistic":
+        return LogisticLoss()
+    if key == "hinge":
+        return HingeLoss(margin=margin)
+    raise KeyError(f"unknown loss {name!r}; available: multiclass, logistic, hinge")

@@ -1,0 +1,184 @@
+"""High-level model wrapper: scoring function + trained parameters + metadata.
+
+:class:`KGEModel` is the object most users interact with: it bundles a
+scoring function, its trained parameter dict and the training configuration,
+and exposes prediction, ranking, evaluation and (de)serialization.  The
+:func:`train_model` convenience function covers the common
+"train this SF on this graph with this config" call in one line, which is
+also the primitive the AutoSF search invokes for every candidate.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.datasets.knowledge_graph import KnowledgeGraph
+from repro.kge.evaluation import (
+    EvaluationResult,
+    evaluate_link_prediction,
+    evaluate_triplet_classification,
+)
+from repro.kge.scoring.base import HEAD, TAIL, ParamDict, ScoringFunction
+from repro.kge.scoring.bilinear import BlockScoringFunction
+from repro.kge.scoring.blocks import BlockStructure
+from repro.kge.scoring.registry import get_scoring_function
+from repro.kge.trainer import Trainer, TrainingHistory
+from repro.utils.config import TrainingConfig
+from repro.utils.serialization import from_json_file, to_json_file
+
+PathLike = Union[str, Path]
+
+
+class KGEModel:
+    """A trained (or trainable) knowledge-graph-embedding model."""
+
+    def __init__(
+        self,
+        scoring_function: ScoringFunction,
+        config: TrainingConfig,
+        params: Optional[ParamDict] = None,
+    ) -> None:
+        self.scoring_function = scoring_function
+        self.config = config
+        self.params: Optional[ParamDict] = params
+        self.history: Optional[TrainingHistory] = None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        graph: KnowledgeGraph,
+        validate: bool = False,
+    ) -> TrainingHistory:
+        """Train the model on ``graph``; returns the training history.
+
+        When ``validate`` is true the trainer evaluates filtered validation
+        MRR every ``config.eval_every`` epochs (enabling early stopping when
+        ``config.early_stopping_patience > 0``).
+        """
+        trainer = Trainer(self.scoring_function, self.config)
+        callback = None
+        if validate and self.config.eval_every > 0:
+            def callback(params: ParamDict) -> float:
+                result = evaluate_link_prediction(
+                    self.scoring_function, params, graph, split="valid"
+                )
+                return result.mrr
+
+        self.params, self.history = trainer.fit(graph, validation_callback=callback)
+        return self.history
+
+    def _require_params(self) -> ParamDict:
+        if self.params is None:
+            raise RuntimeError("model has no parameters; call fit() or load() first")
+        return self.params
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def score(self, triples: np.ndarray) -> np.ndarray:
+        """Plausibility scores of explicit (h, r, t) triples."""
+        return self.scoring_function.score_triples(self._require_params(), np.asarray(triples))
+
+    def predict_tails(self, head: int, relation: int, top_k: int = 10) -> Sequence[Tuple[int, float]]:
+        """Top-k candidate tails for ``(head, relation, ?)`` as (entity, score)."""
+        params = self._require_params()
+        queries = np.asarray([[head, relation]], dtype=np.int64)
+        scores = self.scoring_function.score_candidates(params, queries, direction=TAIL)[0]
+        order = np.argsort(-scores)[:top_k]
+        return [(int(index), float(scores[index])) for index in order]
+
+    def predict_heads(self, relation: int, tail: int, top_k: int = 10) -> Sequence[Tuple[int, float]]:
+        """Top-k candidate heads for ``(?, relation, tail)`` as (entity, score)."""
+        params = self._require_params()
+        queries = np.asarray([[tail, relation]], dtype=np.int64)
+        scores = self.scoring_function.score_candidates(params, queries, direction=HEAD)[0]
+        order = np.argsort(-scores)[:top_k]
+        return [(int(index), float(scores[index])) for index in order]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        graph: KnowledgeGraph,
+        split: str = "test",
+        hits_at: Sequence[int] = (1, 3, 10),
+    ) -> EvaluationResult:
+        """Filtered link-prediction metrics on the chosen split."""
+        return evaluate_link_prediction(
+            self.scoring_function, self._require_params(), graph, split=split, hits_at=hits_at
+        )
+
+    def classify(self, graph: KnowledgeGraph, rng: Optional[int] = 0) -> float:
+        """Triplet-classification accuracy on the test split."""
+        return evaluate_triplet_classification(
+            self.scoring_function, self._require_params(), graph, rng=rng
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def save(self, directory: PathLike) -> Path:
+        """Save parameters + config (+ block structure, if any) to a directory."""
+        params = self._require_params()
+        base = Path(directory)
+        base.mkdir(parents=True, exist_ok=True)
+        np.savez(base / "params.npz", **params)
+        metadata: Dict[str, object] = {
+            "scoring_function": self.scoring_function.name,
+            "config": self.config.to_dict(),
+        }
+        if isinstance(self.scoring_function, BlockScoringFunction):
+            metadata["block_structure"] = [list(block) for block in self.scoring_function.structure.blocks]
+        to_json_file(metadata, base / "model.json")
+        return base
+
+    @classmethod
+    def load(cls, directory: PathLike) -> "KGEModel":
+        """Load a model previously written by :meth:`save`."""
+        base = Path(directory)
+        metadata = from_json_file(base / "model.json")
+        config = TrainingConfig.from_dict(metadata["config"])
+        if "block_structure" in metadata:
+            structure = BlockStructure(
+                [tuple(block) for block in metadata["block_structure"]],
+                name=str(metadata["scoring_function"]),
+            )
+            scoring_function: ScoringFunction = BlockScoringFunction(
+                structure, name=str(metadata["scoring_function"])
+            )
+        else:
+            scoring_function = get_scoring_function(str(metadata["scoring_function"]))
+        with np.load(base / "params.npz") as archive:
+            params = {key: archive[key] for key in archive.files}
+        return cls(scoring_function, config, params=params)
+
+
+def train_model(
+    graph: KnowledgeGraph,
+    scoring_function: Union[str, ScoringFunction, BlockStructure],
+    config: Optional[TrainingConfig] = None,
+    validate: bool = False,
+) -> KGEModel:
+    """Train a model in one call.
+
+    Parameters
+    ----------
+    scoring_function:
+        A model name (``"complex"`` …), a :class:`ScoringFunction` instance,
+        or a raw :class:`BlockStructure` (e.g. one found by the search).
+    """
+    if config is None:
+        config = TrainingConfig()
+    if isinstance(scoring_function, str):
+        scoring_function = get_scoring_function(scoring_function)
+    elif isinstance(scoring_function, BlockStructure):
+        scoring_function = BlockScoringFunction(scoring_function)
+    model = KGEModel(scoring_function, config)
+    model.fit(graph, validate=validate)
+    return model

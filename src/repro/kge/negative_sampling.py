@@ -1,0 +1,115 @@
+"""Negative sampling strategies for pairwise losses.
+
+The multi-class loss used by the paper scores against *every* entity, so it
+needs no sampler.  The logistic and hinge losses (kept for completeness and
+for the TDM baselines) need a set of negative entity columns per positive
+triple; this module provides the two standard strategies:
+
+* :class:`UniformNegativeSampler` — corrupt the target slot with entities
+  drawn uniformly at random (Bordes et al., 2013);
+* :class:`BernoulliNegativeSampler` — corrupt head vs. tail with a
+  relation-specific probability proportional to the average number of tails
+  per head (Wang et al., 2014).  In this library the corrupted *slot* is
+  chosen by the trainer (it always trains both directions), so the Bernoulli
+  sampler instead biases *which entities* are drawn towards those observed
+  in the corrupted slot for the same relation, a light-weight form of
+  type-consistent sampling.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.datasets.knowledge_graph import KnowledgeGraph
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class NegativeSampler(ABC):
+    """Base class: produce negative entity indices for a batch of positives."""
+
+    def __init__(self, num_entities: int, num_negatives: int, rng: RngLike = None) -> None:
+        if num_entities <= 1:
+            raise ValueError("need at least two entities to sample negatives")
+        if num_negatives <= 0:
+            raise ValueError("num_negatives must be positive")
+        self.num_entities = int(num_entities)
+        self.num_negatives = int(num_negatives)
+        self.rng = ensure_rng(rng)
+
+    @abstractmethod
+    def sample(self, positives: np.ndarray, relations: Optional[np.ndarray] = None) -> np.ndarray:
+        """Return ``(batch, num_negatives)`` entity indices.
+
+        Parameters
+        ----------
+        positives:
+            ``(batch,)`` array of the true entity filling the corrupted slot.
+        relations:
+            Optional ``(batch,)`` relation indices (used by samplers that
+            condition on the relation).
+        """
+
+    def _avoid_positives(self, negatives: np.ndarray, positives: np.ndarray) -> np.ndarray:
+        """Resample any negative that collides with its positive (one pass)."""
+        collisions = negatives == positives[:, None]
+        if collisions.any():
+            replacements = self.rng.integers(0, self.num_entities, size=int(collisions.sum()))
+            negatives = negatives.copy()
+            negatives[collisions] = replacements
+        return negatives
+
+
+class UniformNegativeSampler(NegativeSampler):
+    """Corrupt with entities drawn uniformly at random."""
+
+    def sample(self, positives: np.ndarray, relations: Optional[np.ndarray] = None) -> np.ndarray:
+        positives = np.asarray(positives, dtype=np.int64)
+        negatives = self.rng.integers(
+            0, self.num_entities, size=(positives.shape[0], self.num_negatives)
+        )
+        return self._avoid_positives(negatives, positives)
+
+
+class BernoulliNegativeSampler(NegativeSampler):
+    """Relation-aware sampler biased towards type-consistent corruptions."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        num_negatives: int,
+        rng: RngLike = None,
+        consistent_fraction: float = 0.5,
+    ) -> None:
+        super().__init__(graph.num_entities, num_negatives, rng)
+        if not 0 <= consistent_fraction <= 1:
+            raise ValueError("consistent_fraction must be in [0, 1]")
+        self.consistent_fraction = float(consistent_fraction)
+        self._entities_by_relation: Dict[int, np.ndarray] = {}
+        for relation in range(graph.num_relations):
+            triples = graph.relation_triples(relation, splits=("train",))
+            if triples.size:
+                observed = np.unique(np.concatenate([triples[:, 0], triples[:, 2]]))
+            else:
+                observed = np.arange(graph.num_entities)
+            self._entities_by_relation[relation] = observed
+
+    def sample(self, positives: np.ndarray, relations: Optional[np.ndarray] = None) -> np.ndarray:
+        positives = np.asarray(positives, dtype=np.int64)
+        negatives = self.rng.integers(
+            0, self.num_entities, size=(positives.shape[0], self.num_negatives)
+        )
+        if relations is not None:
+            relations = np.asarray(relations, dtype=np.int64)
+            use_consistent = self.rng.random(negatives.shape) < self.consistent_fraction
+            for row, relation in enumerate(relations):
+                pool = self._entities_by_relation.get(int(relation))
+                if pool is None or pool.size == 0:
+                    continue
+                mask = use_consistent[row]
+                count = int(mask.sum())
+                if count:
+                    negatives[row, mask] = self.rng.choice(pool, size=count)
+        return self._avoid_positives(negatives, positives)

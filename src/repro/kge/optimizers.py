@@ -1,0 +1,130 @@
+"""First-order optimizers over parameter dictionaries.
+
+The paper uses Adagrad "since it tends to perform better as indicated in
+[19], [39]"; SGD and Adam are provided as alternatives.  Each optimizer
+mutates the parameter arrays in place given a gradient dict with matching
+keys and shapes, and supports a multiplicative learning-rate decay applied
+once per epoch (the paper tunes a decay rate in [0.99, 1.0]).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict
+
+import numpy as np
+
+from repro.kge.scoring.base import ParamDict
+
+
+class Optimizer(ABC):
+    """Base class for in-place parameter-dict optimizers."""
+
+    def __init__(self, learning_rate: float, decay_rate: float = 1.0) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0 < decay_rate <= 1.0:
+            raise ValueError("decay_rate must be in (0, 1]")
+        self.learning_rate = float(learning_rate)
+        self.decay_rate = float(decay_rate)
+        self._state: Dict[str, Dict[str, np.ndarray]] = {}
+
+    def decay(self) -> None:
+        """Apply one step of learning-rate decay (call once per epoch)."""
+        self.learning_rate *= self.decay_rate
+
+    def reset(self) -> None:
+        """Forget any accumulated per-parameter state."""
+        self._state.clear()
+
+    def _state_for(self, key: str, template: np.ndarray, names: tuple) -> Dict[str, np.ndarray]:
+        if key not in self._state:
+            self._state[key] = {name: np.zeros_like(template) for name in names}
+        return self._state[key]
+
+    @abstractmethod
+    def step(self, params: ParamDict, grads: ParamDict) -> None:
+        """Update ``params`` in place from ``grads``."""
+
+    def _check(self, params: ParamDict, grads: ParamDict) -> None:
+        for key, value in grads.items():
+            if key not in params:
+                raise KeyError(f"gradient for unknown parameter {key!r}")
+            if value.shape != params[key].shape:
+                raise ValueError(
+                    f"gradient shape {value.shape} does not match parameter "
+                    f"{key!r} shape {params[key].shape}"
+                )
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent."""
+
+    def step(self, params: ParamDict, grads: ParamDict) -> None:
+        self._check(params, grads)
+        for key, grad in grads.items():
+            params[key] -= self.learning_rate * grad
+
+
+class Adagrad(Optimizer):
+    """Adagrad (Duchi et al., 2011) — the paper's optimizer."""
+
+    def __init__(self, learning_rate: float, decay_rate: float = 1.0, epsilon: float = 1e-8) -> None:
+        super().__init__(learning_rate, decay_rate)
+        self.epsilon = float(epsilon)
+
+    def step(self, params: ParamDict, grads: ParamDict) -> None:
+        self._check(params, grads)
+        for key, grad in grads.items():
+            state = self._state_for(key, params[key], ("sum_squares",))
+            state["sum_squares"] += grad * grad
+            params[key] -= self.learning_rate * grad / (np.sqrt(state["sum_squares"]) + self.epsilon)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        learning_rate: float,
+        decay_rate: float = 1.0,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(learning_rate, decay_rate)
+        if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._step_count = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._step_count = 0
+
+    def step(self, params: ParamDict, grads: ParamDict) -> None:
+        self._check(params, grads)
+        self._step_count += 1
+        correction1 = 1.0 - self.beta1**self._step_count
+        correction2 = 1.0 - self.beta2**self._step_count
+        for key, grad in grads.items():
+            state = self._state_for(key, params[key], ("m", "v"))
+            state["m"] = self.beta1 * state["m"] + (1.0 - self.beta1) * grad
+            state["v"] = self.beta2 * state["v"] + (1.0 - self.beta2) * grad * grad
+            m_hat = state["m"] / correction1
+            v_hat = state["v"] / correction2
+            params[key] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+def get_optimizer(name: str, learning_rate: float, decay_rate: float = 1.0) -> Optimizer:
+    """Instantiate an optimizer by name (``sgd`` / ``adagrad`` / ``adam``)."""
+    key = name.lower()
+    if key == "sgd":
+        return SGD(learning_rate, decay_rate)
+    if key == "adagrad":
+        return Adagrad(learning_rate, decay_rate)
+    if key == "adam":
+        return Adam(learning_rate, decay_rate)
+    raise KeyError(f"unknown optimizer {name!r}; available: sgd, adagrad, adam")

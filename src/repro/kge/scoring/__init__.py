@@ -1,0 +1,61 @@
+"""Scoring functions: the unified block family, classical BLMs, TDMs, MLP."""
+
+from repro.kge.scoring.base import HEAD, TAIL, ParamDict, ScoringFunction
+from repro.kge.scoring.blocks import (
+    NUM_CHUNKS,
+    Block,
+    BlockStructure,
+    CLASSICAL_STRUCTURES,
+    analogy_structure,
+    classical_structure,
+    complex_structure,
+    distmult_structure,
+    render_structure,
+    simple_structure,
+)
+from repro.kge.scoring.bilinear import (
+    RESCAL,
+    Analogy,
+    BlockScoringFunction,
+    ComplEx,
+    DistMult,
+    SimplE,
+)
+from repro.kge.scoring.neural import MLPScoringFunction
+from repro.kge.scoring.translational import RotatE, TransE
+from repro.kge.scoring.registry import (
+    available_scoring_functions,
+    block_scoring_function,
+    classical_block_scoring_function,
+    get_scoring_function,
+)
+
+__all__ = [
+    "HEAD",
+    "TAIL",
+    "ParamDict",
+    "ScoringFunction",
+    "NUM_CHUNKS",
+    "Block",
+    "BlockStructure",
+    "CLASSICAL_STRUCTURES",
+    "analogy_structure",
+    "classical_structure",
+    "complex_structure",
+    "distmult_structure",
+    "render_structure",
+    "simple_structure",
+    "RESCAL",
+    "Analogy",
+    "BlockScoringFunction",
+    "ComplEx",
+    "DistMult",
+    "SimplE",
+    "MLPScoringFunction",
+    "RotatE",
+    "TransE",
+    "available_scoring_functions",
+    "block_scoring_function",
+    "classical_block_scoring_function",
+    "get_scoring_function",
+]

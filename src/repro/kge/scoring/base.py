@@ -1,0 +1,174 @@
+"""The scoring-function interface shared by every model in the library.
+
+A scoring function owns its parameter layout (a dict of named NumPy arrays —
+at minimum ``"entities"`` and ``"relations"``) and exposes three operations:
+
+* ``score_triples`` — plausibility of explicit (h, r, t) triples;
+* ``score_candidates`` — scores of a batch of queries against a candidate
+  entity set (all entities when ``candidates is None``), in either the
+  tail-prediction or head-prediction direction;
+* ``grad_candidates`` — gradients of a scalar loss with respect to every
+  parameter array, given the upstream gradient of the candidate scores.
+
+The trainer composes ``score_candidates``/``grad_candidates`` with a loss;
+the evaluator only needs ``score_candidates``.  Keeping gradients analytic
+(no autograd) is what makes a pure-NumPy search over hundreds of candidate
+scoring functions tractable.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+#: Parameter and gradient containers are plain dicts of arrays.
+ParamDict = Dict[str, np.ndarray]
+
+#: The two ranking directions.
+TAIL = "tail"
+HEAD = "head"
+
+
+def validate_direction(direction: str) -> str:
+    """Validate a ranking direction string."""
+    if direction not in (TAIL, HEAD):
+        raise ValueError(f"direction must be 'tail' or 'head', got {direction!r}")
+    return direction
+
+
+class ScoringFunction(ABC):
+    """Abstract base class for all scoring functions."""
+
+    #: Human-readable model name (set by subclasses).
+    name: str = "scoring-function"
+
+    # ------------------------------------------------------------------
+    # Parameters
+    # ------------------------------------------------------------------
+    def init_params(
+        self,
+        num_entities: int,
+        num_relations: int,
+        dimension: int,
+        rng: RngLike = None,
+        scale: float = 0.1,
+    ) -> ParamDict:
+        """Initialize all trainable arrays.
+
+        The default layout is one ``(num_entities, dimension)`` entity table
+        and one ``(num_relations, dimension)`` relation table, both drawn
+        from a zero-mean uniform distribution of half-width ``scale``.
+        Subclasses with extra parameters extend the returned dict.
+        """
+        if dimension <= 0:
+            raise ValueError("dimension must be positive")
+        gen = ensure_rng(rng)
+        return {
+            "entities": gen.uniform(-scale, scale, size=(num_entities, dimension)),
+            "relations": gen.uniform(-scale, scale, size=(num_relations, dimension)),
+        }
+
+    def zero_grads(self, params: ParamDict) -> ParamDict:
+        """Return a gradient dict of zeros matching ``params``."""
+        return {key: np.zeros_like(value) for key, value in params.items()}
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def score_triples(self, params: ParamDict, triples: np.ndarray) -> np.ndarray:
+        """Score explicit triples.
+
+        Parameters
+        ----------
+        triples:
+            ``(batch, 3)`` integer array of (head, relation, tail).
+
+        Returns
+        -------
+        ``(batch,)`` float array of plausibility scores (higher = better).
+        """
+
+    @abstractmethod
+    def score_candidates(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        direction: str = TAIL,
+        candidates: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Score queries against candidate entities.
+
+        Parameters
+        ----------
+        queries:
+            ``(batch, 2)`` integer array.  For ``direction="tail"`` each row
+            is (head, relation) and candidates fill the tail slot; for
+            ``direction="head"`` each row is (tail, relation) and candidates
+            fill the head slot.
+        candidates:
+            Optional ``(num_candidates,)`` entity index array; ``None`` means
+            every entity.
+
+        Returns
+        -------
+        ``(batch, num_candidates)`` float array.
+        """
+
+    @abstractmethod
+    def grad_candidates(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        dscores: np.ndarray,
+        direction: str = TAIL,
+        candidates: Optional[np.ndarray] = None,
+    ) -> ParamDict:
+        """Backpropagate through :meth:`score_candidates`.
+
+        Parameters
+        ----------
+        dscores:
+            ``(batch, num_candidates)`` upstream gradient (d loss / d score).
+
+        Returns
+        -------
+        A dict of dense gradient arrays with the same keys/shapes as
+        ``params``.
+        """
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def candidate_entities(self, params: ParamDict, candidates: Optional[np.ndarray]) -> np.ndarray:
+        """Resolve the candidate index array (all entities when ``None``)."""
+        num_entities = params["entities"].shape[0]
+        if candidates is None:
+            return np.arange(num_entities, dtype=np.int64)
+        candidates = np.asarray(candidates, dtype=np.int64)
+        if candidates.ndim != 1:
+            raise ValueError("candidates must be a 1-D index array")
+        return candidates
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def check_queries(queries: np.ndarray) -> np.ndarray:
+    """Validate a (batch, 2) query array."""
+    queries = np.asarray(queries, dtype=np.int64)
+    if queries.ndim != 2 or queries.shape[1] != 2:
+        raise ValueError("queries must have shape (batch, 2)")
+    return queries
+
+
+def check_triples(triples: np.ndarray) -> np.ndarray:
+    """Validate a (batch, 3) triple array."""
+    triples = np.asarray(triples, dtype=np.int64)
+    if triples.ndim != 2 or triples.shape[1] != 3:
+        raise ValueError("triples must have shape (batch, 3)")
+    return triples

@@ -1,0 +1,311 @@
+"""Bilinear scoring functions.
+
+The central class is :class:`BlockScoringFunction`, which evaluates any
+block structure from the AutoSF search space with dense batched NumPy
+operations and analytic gradients.  The classical bilinear models
+(DistMult, ComplEx, Analogy, SimplE/CP) are thin wrappers around their named
+block structures, which both demonstrates that the search space covers them
+and lets tests cross-check the generic scorer against the textbook formulas.
+RESCAL, whose relation embedding is a full ``d x d`` matrix and therefore
+falls outside the search space, is implemented directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.kge.scoring.base import (
+    HEAD,
+    TAIL,
+    ParamDict,
+    ScoringFunction,
+    check_queries,
+    check_triples,
+    validate_direction,
+)
+from repro.kge.scoring.blocks import (
+    NUM_CHUNKS,
+    BlockStructure,
+    analogy_structure,
+    complex_structure,
+    distmult_structure,
+    simple_structure,
+)
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class BlockScoringFunction(ScoringFunction):
+    """Evaluate ``f(h, r, t) = h^T g(r) t`` for an arbitrary block structure.
+
+    Parameters
+    ----------
+    structure:
+        The :class:`BlockStructure` describing which ``±diag(r_k)`` blocks
+        fill the 4x4 relation matrix.
+    """
+
+    def __init__(self, structure: BlockStructure, name: Optional[str] = None) -> None:
+        if structure.num_blocks == 0:
+            raise ValueError("a block scoring function needs at least one block")
+        self.structure = structure
+        self.name = name or structure.name or f"block-sf-{structure.num_blocks}"
+
+    # ------------------------------------------------------------------
+    # Chunk helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _chunk(array: np.ndarray, index: int) -> np.ndarray:
+        """Return chunk ``index`` (of four) of the last axis of ``array``."""
+        size = array.shape[-1] // NUM_CHUNKS
+        return array[..., index * size : (index + 1) * size]
+
+    @staticmethod
+    def _check_dimension(params: ParamDict) -> None:
+        dimension = params["entities"].shape[1]
+        if dimension % NUM_CHUNKS != 0:
+            raise ValueError("embedding dimension must be divisible by 4")
+        if params["relations"].shape[1] != dimension:
+            raise ValueError("entity and relation dimensions must match")
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def score_triples(self, params: ParamDict, triples: np.ndarray) -> np.ndarray:
+        triples = check_triples(triples)
+        self._check_dimension(params)
+        entities, relations = params["entities"], params["relations"]
+        heads = entities[triples[:, 0]]
+        rels = relations[triples[:, 1]]
+        tails = entities[triples[:, 2]]
+        scores = np.zeros(triples.shape[0], dtype=np.float64)
+        for row, col, component, sign in self.structure.blocks:
+            scores += sign * np.sum(
+                self._chunk(heads, row) * self._chunk(rels, component) * self._chunk(tails, col),
+                axis=1,
+            )
+        return scores
+
+    def score_candidates(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        direction: str = TAIL,
+        candidates: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        queries = check_queries(queries)
+        validate_direction(direction)
+        self._check_dimension(params)
+        entities, relations = params["entities"], params["relations"]
+        candidate_index = self.candidate_entities(params, candidates)
+        candidate_rows = entities[candidate_index]
+        query_entities = entities[queries[:, 0]]
+        query_relations = relations[queries[:, 1]]
+
+        scores = np.zeros((queries.shape[0], candidate_index.shape[0]), dtype=np.float64)
+        for row, col, component, sign in self.structure.blocks:
+            rel_chunk = self._chunk(query_relations, component)
+            if direction == TAIL:
+                # query entity is the head (chunk `row`), candidate is the tail (chunk `col`).
+                partial = self._chunk(query_entities, row) * rel_chunk
+                scores += sign * partial @ self._chunk(candidate_rows, col).T
+            else:
+                # query entity is the tail (chunk `col`), candidate is the head (chunk `row`).
+                partial = self._chunk(query_entities, col) * rel_chunk
+                scores += sign * partial @ self._chunk(candidate_rows, row).T
+        return scores
+
+    def grad_candidates(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        dscores: np.ndarray,
+        direction: str = TAIL,
+        candidates: Optional[np.ndarray] = None,
+    ) -> ParamDict:
+        queries = check_queries(queries)
+        validate_direction(direction)
+        self._check_dimension(params)
+        entities, relations = params["entities"], params["relations"]
+        candidate_index = self.candidate_entities(params, candidates)
+        candidate_rows = entities[candidate_index]
+        query_entity_index = queries[:, 0]
+        query_relation_index = queries[:, 1]
+        query_entities = entities[query_entity_index]
+        query_relations = relations[query_relation_index]
+        dscores = np.asarray(dscores, dtype=np.float64)
+        if dscores.shape != (queries.shape[0], candidate_index.shape[0]):
+            raise ValueError("dscores shape must be (batch, num_candidates)")
+
+        grads = self.zero_grads(params)
+        chunk_size = entities.shape[1] // NUM_CHUNKS
+
+        def chunk_slice(index: int) -> slice:
+            return slice(index * chunk_size, (index + 1) * chunk_size)
+
+        for row, col, component, sign in self.structure.blocks:
+            if direction == TAIL:
+                query_chunk, candidate_chunk = row, col
+            else:
+                query_chunk, candidate_chunk = col, row
+            rel = self._chunk(query_relations, component)
+            ent = self._chunk(query_entities, query_chunk)
+            cand = self._chunk(candidate_rows, candidate_chunk)
+
+            partial = ent * rel  # (batch, chunk)
+            # d score / d candidate chunk
+            np.add.at(
+                grads["entities"][:, chunk_slice(candidate_chunk)],
+                candidate_index,
+                sign * dscores.T @ partial,
+            )
+            upstream = sign * dscores @ cand  # (batch, chunk)
+            # d score / d query-entity chunk and / d relation chunk
+            np.add.at(
+                grads["entities"][:, chunk_slice(query_chunk)],
+                query_entity_index,
+                upstream * rel,
+            )
+            np.add.at(
+                grads["relations"][:, chunk_slice(component)],
+                query_relation_index,
+                upstream * ent,
+            )
+        return grads
+
+
+# ----------------------------------------------------------------------
+# Classical bilinear models as named block structures
+# ----------------------------------------------------------------------
+class DistMult(BlockScoringFunction):
+    """DistMult (Yang et al., 2015): purely diagonal, only symmetric relations."""
+
+    def __init__(self) -> None:
+        super().__init__(distmult_structure(), name="DistMult")
+
+
+class ComplEx(BlockScoringFunction):
+    """ComplEx (Trouillon et al., 2017) expressed over four real chunks."""
+
+    def __init__(self) -> None:
+        super().__init__(complex_structure(), name="ComplEx")
+
+
+class Analogy(BlockScoringFunction):
+    """Analogy (Liu et al., 2017): half DistMult, half ComplEx."""
+
+    def __init__(self) -> None:
+        super().__init__(analogy_structure(), name="Analogy")
+
+
+class SimplE(BlockScoringFunction):
+    """SimplE / CP (Kazemi & Poole, 2018; Lacroix et al., 2018)."""
+
+    def __init__(self) -> None:
+        super().__init__(simple_structure(), name="SimplE")
+
+
+class RESCAL(ScoringFunction):
+    """RESCAL (Nickel et al., 2011): one full ``d x d`` matrix per relation.
+
+    Included as a baseline; the paper excludes it from the search space
+    because its relation parameter count scales quadratically with the
+    dimension, but it remains a useful reference implementation.
+    """
+
+    name = "RESCAL"
+
+    def init_params(
+        self,
+        num_entities: int,
+        num_relations: int,
+        dimension: int,
+        rng: RngLike = None,
+        scale: float = 0.1,
+    ) -> ParamDict:
+        gen = ensure_rng(rng)
+        return {
+            "entities": gen.uniform(-scale, scale, size=(num_entities, dimension)),
+            "relations": gen.uniform(-scale, scale, size=(num_relations, dimension, dimension)),
+        }
+
+    def score_triples(self, params: ParamDict, triples: np.ndarray) -> np.ndarray:
+        triples = check_triples(triples)
+        entities, relations = params["entities"], params["relations"]
+        heads = entities[triples[:, 0]]
+        rel_matrices = relations[triples[:, 1]]
+        tails = entities[triples[:, 2]]
+        transformed = np.einsum("bi,bij->bj", heads, rel_matrices)
+        return np.sum(transformed * tails, axis=1)
+
+    def score_candidates(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        direction: str = TAIL,
+        candidates: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        queries = check_queries(queries)
+        validate_direction(direction)
+        entities, relations = params["entities"], params["relations"]
+        candidate_index = self.candidate_entities(params, candidates)
+        candidate_rows = entities[candidate_index]
+        query_entities = entities[queries[:, 0]]
+        rel_matrices = relations[queries[:, 1]]
+        if direction == TAIL:
+            transformed = np.einsum("bi,bij->bj", query_entities, rel_matrices)
+        else:
+            transformed = np.einsum("bj,bij->bi", query_entities, rel_matrices)
+        return transformed @ candidate_rows.T
+
+    def grad_candidates(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        dscores: np.ndarray,
+        direction: str = TAIL,
+        candidates: Optional[np.ndarray] = None,
+    ) -> ParamDict:
+        queries = check_queries(queries)
+        validate_direction(direction)
+        entities, relations = params["entities"], params["relations"]
+        candidate_index = self.candidate_entities(params, candidates)
+        candidate_rows = entities[candidate_index]
+        query_entity_index = queries[:, 0]
+        query_relation_index = queries[:, 1]
+        query_entities = entities[query_entity_index]
+        rel_matrices = relations[query_relation_index]
+        dscores = np.asarray(dscores, dtype=np.float64)
+
+        grads = self.zero_grads(params)
+        if direction == TAIL:
+            transformed = np.einsum("bi,bij->bj", query_entities, rel_matrices)
+            # scores = transformed @ candidate_rows.T
+            np.add.at(grads["entities"], candidate_index, dscores.T @ transformed)
+            dtransformed = dscores @ candidate_rows
+            np.add.at(
+                grads["entities"],
+                query_entity_index,
+                np.einsum("bj,bij->bi", dtransformed, rel_matrices),
+            )
+            np.add.at(
+                grads["relations"],
+                query_relation_index,
+                np.einsum("bi,bj->bij", query_entities, dtransformed),
+            )
+        else:
+            transformed = np.einsum("bj,bij->bi", query_entities, rel_matrices)
+            np.add.at(grads["entities"], candidate_index, dscores.T @ transformed)
+            dtransformed = dscores @ candidate_rows
+            np.add.at(
+                grads["entities"],
+                query_entity_index,
+                np.einsum("bi,bij->bj", dtransformed, rel_matrices),
+            )
+            np.add.at(
+                grads["relations"],
+                query_relation_index,
+                np.einsum("bi,bj->bij", dtransformed, query_entities),
+            )
+        return grads

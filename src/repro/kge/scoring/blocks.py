@@ -1,0 +1,284 @@
+"""The block-structure representation of bilinear scoring functions.
+
+Definition 2 of the paper: a bilinear scoring function is determined by a
+4x4 block matrix ``g(r)`` whose (i, j) block is ``diag(a_ij)`` with
+``a_ij in {0, ±r_1, ±r_2, ±r_3, ±r_4}``; the score is
+``f(h, r, t) = h^T g(r) t`` with ``h``, ``r``, ``t`` split into four chunks.
+
+A :class:`BlockStructure` stores the non-zero blocks as ``(row, col,
+component, sign)`` tuples, where ``row``/``col``/``component`` are 0-based
+chunk indices and ``sign`` is ``+1`` or ``-1``.  This is exactly the "4x4
+substitute matrix" the paper uses for the filter and the SRF features, and it
+is the genotype manipulated by the search algorithm.
+
+The classical bilinear models are specific fillings of that matrix (Fig. 1);
+they are exposed here as named constructors so that the search space provably
+covers them and so that tests can cross-check the generic block scorer
+against direct implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+#: One non-zero block: (row chunk, column chunk, relation component, sign).
+Block = Tuple[int, int, int, int]
+
+#: Number of chunks the embeddings are split into (k = 4 in the paper).
+NUM_CHUNKS = 4
+
+
+def _normalize_block(block: Sequence[int]) -> Block:
+    """Validate and canonicalize one (row, col, component, sign) tuple."""
+    if len(block) != 4:
+        raise ValueError(f"a block must have 4 fields, got {len(block)}")
+    row, col, component, sign = (int(v) for v in block)
+    for index, label in ((row, "row"), (col, "col"), (component, "component")):
+        if not 0 <= index < NUM_CHUNKS:
+            raise ValueError(f"block {label} index {index} out of range [0, {NUM_CHUNKS})")
+    if sign not in (-1, 1):
+        raise ValueError(f"block sign must be +1 or -1, got {sign}")
+    return (row, col, component, sign)
+
+
+@dataclass(frozen=True)
+class BlockStructure:
+    """An immutable set of non-zero blocks defining one bilinear SF.
+
+    Blocks are stored sorted so that two structures with the same blocks in
+    different order compare (and hash) equal.  At most one block may occupy a
+    given (row, col) cell.
+    """
+
+    blocks: Tuple[Block, ...]
+    name: str = ""
+
+    def __init__(self, blocks: Iterable[Sequence[int]], name: str = "") -> None:
+        normalized = sorted(_normalize_block(b) for b in blocks)
+        cells = [(row, col) for row, col, _comp, _sign in normalized]
+        if len(cells) != len(set(cells)):
+            raise ValueError("two blocks occupy the same (row, col) cell")
+        object.__setattr__(self, "blocks", tuple(normalized))
+        object.__setattr__(self, "name", name)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_blocks(self) -> int:
+        """Number of non-zero blocks (the paper's ``b``)."""
+        return len(self.blocks)
+
+    def components_used(self) -> List[int]:
+        """Sorted list of distinct relation components appearing in the structure."""
+        return sorted({component for _row, _col, component, _sign in self.blocks})
+
+    def cells(self) -> List[Tuple[int, int]]:
+        """The occupied (row, col) cells."""
+        return [(row, col) for row, col, _comp, _sign in self.blocks]
+
+    def substitute_matrix(self) -> np.ndarray:
+        """The 4x4 integer substitute matrix used by the filter and SRF.
+
+        Entry (i, j) is ``0`` for an empty cell and ``±(component + 1)``
+        otherwise — i.e. the values live in ``{0, ±1, ±2, ±3, ±4}`` exactly
+        as in the paper's description of the filter.
+        """
+        matrix = np.zeros((NUM_CHUNKS, NUM_CHUNKS), dtype=np.int64)
+        for row, col, component, sign in self.blocks:
+            matrix[row, col] = sign * (component + 1)
+        return matrix
+
+    @classmethod
+    def from_substitute_matrix(cls, matrix: np.ndarray, name: str = "") -> "BlockStructure":
+        """Inverse of :meth:`substitute_matrix`."""
+        matrix = np.asarray(matrix, dtype=np.int64)
+        if matrix.shape != (NUM_CHUNKS, NUM_CHUNKS):
+            raise ValueError(f"substitute matrix must be {NUM_CHUNKS}x{NUM_CHUNKS}")
+        blocks: List[Block] = []
+        for row in range(NUM_CHUNKS):
+            for col in range(NUM_CHUNKS):
+                value = int(matrix[row, col])
+                if value == 0:
+                    continue
+                if not 1 <= abs(value) <= NUM_CHUNKS:
+                    raise ValueError(f"invalid substitute value {value} at ({row}, {col})")
+                blocks.append((row, col, abs(value) - 1, 1 if value > 0 else -1))
+        return cls(blocks, name=name)
+
+    # ------------------------------------------------------------------
+    # Semantics: the relation matrix g(r) and the score
+    # ------------------------------------------------------------------
+    def relation_matrix(self, relation_embedding: np.ndarray) -> np.ndarray:
+        """Materialize ``g(r)`` as a dense ``(d, d)`` matrix.
+
+        Only used in tests and case studies; the scorer never builds this
+        matrix explicitly.
+        """
+        relation_embedding = np.asarray(relation_embedding, dtype=np.float64)
+        if relation_embedding.ndim != 1 or relation_embedding.size % NUM_CHUNKS != 0:
+            raise ValueError("relation embedding must be 1-D with length divisible by 4")
+        chunk = relation_embedding.size // NUM_CHUNKS
+        dimension = relation_embedding.size
+        matrix = np.zeros((dimension, dimension), dtype=np.float64)
+        chunks = relation_embedding.reshape(NUM_CHUNKS, chunk)
+        for row, col, component, sign in self.blocks:
+            rows = slice(row * chunk, (row + 1) * chunk)
+            cols = slice(col * chunk, (col + 1) * chunk)
+            matrix[rows, cols] = sign * np.diag(chunks[component])
+        return matrix
+
+    def score(
+        self,
+        head: np.ndarray,
+        relation: np.ndarray,
+        tail: np.ndarray,
+    ) -> float:
+        """Reference (slow) implementation of ``h^T g(r) t`` for one triple."""
+        head = np.asarray(head, dtype=np.float64)
+        relation = np.asarray(relation, dtype=np.float64)
+        tail = np.asarray(tail, dtype=np.float64)
+        if not head.shape == relation.shape == tail.shape:
+            raise ValueError("head, relation and tail must share a shape")
+        chunk = head.size // NUM_CHUNKS
+        h_chunks = head.reshape(NUM_CHUNKS, chunk)
+        r_chunks = relation.reshape(NUM_CHUNKS, chunk)
+        t_chunks = tail.reshape(NUM_CHUNKS, chunk)
+        total = 0.0
+        for row, col, component, sign in self.blocks:
+            total += sign * float(np.sum(h_chunks[row] * r_chunks[component] * t_chunks[col]))
+        return total
+
+    # ------------------------------------------------------------------
+    # Construction helpers used by the search
+    # ------------------------------------------------------------------
+    def with_block(self, row: int, col: int, component: int, sign: int) -> "BlockStructure":
+        """Return a new structure with one extra block (the f^{b+1} rule)."""
+        return BlockStructure(list(self.blocks) + [(row, col, component, sign)], name="")
+
+    def transpose(self) -> "BlockStructure":
+        """The structure of ``g(r)^T`` (swap row and column of every block)."""
+        return BlockStructure(
+            [(col, row, component, sign) for row, col, component, sign in self.blocks],
+            name=f"{self.name}^T" if self.name else "",
+        )
+
+    def key(self) -> Tuple[Block, ...]:
+        """Hashable identity (the sorted block tuple)."""
+        return self.blocks
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __str__(self) -> str:
+        return render_structure(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        label = f" {self.name!r}" if self.name else ""
+        return f"BlockStructure({list(self.blocks)}{label})"
+
+
+def render_structure(structure: BlockStructure) -> str:
+    """Render the 4x4 substitute matrix as aligned text (used by Fig. 5 output).
+
+    Cells are printed as ``.`` (zero), ``+rK`` or ``-rK``.
+    """
+    matrix = structure.substitute_matrix()
+    rows: List[str] = []
+    for row in range(NUM_CHUNKS):
+        cells = []
+        for col in range(NUM_CHUNKS):
+            value = int(matrix[row, col])
+            if value == 0:
+                cells.append("  . ")
+            else:
+                sign = "+" if value > 0 else "-"
+                cells.append(f"{sign}r{abs(value)} ")
+        rows.append(" ".join(cells))
+    header = f"[{structure.name}]" if structure.name else "[block structure]"
+    return header + "\n" + "\n".join(rows)
+
+
+# ----------------------------------------------------------------------
+# Named classical structures (Fig. 1 of the paper)
+# ----------------------------------------------------------------------
+def distmult_structure() -> BlockStructure:
+    """DistMult: the diagonal filling <h_i, r_i, t_i> for i = 1..4."""
+    return BlockStructure(
+        [(i, i, i, 1) for i in range(NUM_CHUNKS)],
+        name="DistMult",
+    )
+
+
+def complex_structure() -> BlockStructure:
+    """ComplEx re-expressed over four real chunks (Eq. 3 of the paper).
+
+    With the complex embedding written as two (real, imaginary) pairs
+    ``(h1 + i h3)`` and ``(h2 + i h4)``, the real part of
+    ``<h, r, conj(t)>`` expands into eight signed tri-linear terms.
+    """
+    return BlockStructure(
+        [
+            (0, 0, 0, 1),
+            (0, 2, 2, 1),
+            (2, 2, 0, 1),
+            (2, 0, 2, -1),
+            (1, 1, 1, 1),
+            (1, 3, 3, 1),
+            (3, 3, 1, 1),
+            (3, 1, 3, -1),
+        ],
+        name="ComplEx",
+    )
+
+
+def analogy_structure() -> BlockStructure:
+    """Analogy: two real (DistMult) chunks plus one complex pair (Eq. 5)."""
+    return BlockStructure(
+        [
+            (0, 0, 0, 1),
+            (1, 1, 1, 1),
+            (2, 2, 2, 1),
+            (2, 3, 3, 1),
+            (3, 3, 2, 1),
+            (3, 2, 3, -1),
+        ],
+        name="Analogy",
+    )
+
+
+def simple_structure() -> BlockStructure:
+    """SimplE / CP: two independent embedding halves coupled crosswise (Eq. 6)."""
+    return BlockStructure(
+        [
+            (0, 2, 0, 1),
+            (1, 3, 1, 1),
+            (2, 0, 2, 1),
+            (3, 1, 3, 1),
+        ],
+        name="SimplE",
+    )
+
+
+#: Classical structures keyed by lower-case name.
+CLASSICAL_STRUCTURES: Dict[str, BlockStructure] = {
+    "distmult": distmult_structure(),
+    "complex": complex_structure(),
+    "analogy": analogy_structure(),
+    "simple": simple_structure(),
+    "cp": simple_structure(),
+}
+
+
+def classical_structure(name: str) -> BlockStructure:
+    """Look up one of the named classical block structures."""
+    key = name.lower()
+    if key not in CLASSICAL_STRUCTURES:
+        raise KeyError(
+            f"unknown classical structure {name!r}; available: "
+            f"{', '.join(sorted(CLASSICAL_STRUCTURES))}"
+        )
+    return CLASSICAL_STRUCTURES[key]

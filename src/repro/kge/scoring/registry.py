@@ -1,0 +1,65 @@
+"""Name-based registry of scoring functions.
+
+Examples, benchmarks and the HPO module all refer to models by name
+(``"complex"``, ``"transe"`` …); this registry centralizes the mapping so
+that adding a new model is a one-line change.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.kge.scoring.base import ScoringFunction
+from repro.kge.scoring.bilinear import (
+    RESCAL,
+    Analogy,
+    BlockScoringFunction,
+    ComplEx,
+    DistMult,
+    SimplE,
+)
+from repro.kge.scoring.blocks import BlockStructure, classical_structure
+from repro.kge.scoring.neural import MLPScoringFunction
+from repro.kge.scoring.translational import RotatE, TransE
+
+_FACTORIES: Dict[str, Callable[[], ScoringFunction]] = {
+    "distmult": DistMult,
+    "complex": ComplEx,
+    "analogy": Analogy,
+    "simple": SimplE,
+    "cp": SimplE,
+    "rescal": RESCAL,
+    "transe": TransE,
+    "rotate": RotatE,
+    "mlp": MLPScoringFunction,
+}
+
+
+def available_scoring_functions() -> List[str]:
+    """Names accepted by :func:`get_scoring_function`."""
+    return sorted(_FACTORIES)
+
+
+def get_scoring_function(name: str) -> ScoringFunction:
+    """Instantiate a scoring function by name.
+
+    The lookup is case-insensitive and ignores dashes/underscores, so
+    ``"DistMult"`` and ``"dist_mult"`` both work.
+    """
+    key = name.lower().replace("-", "").replace("_", "")
+    if key not in _FACTORIES:
+        raise KeyError(
+            f"unknown scoring function {name!r}; available: "
+            f"{', '.join(available_scoring_functions())}"
+        )
+    return _FACTORIES[key]()
+
+
+def block_scoring_function(structure: BlockStructure) -> BlockScoringFunction:
+    """Wrap an arbitrary block structure (e.g. a searched SF) as a model."""
+    return BlockScoringFunction(structure)
+
+
+def classical_block_scoring_function(name: str) -> BlockScoringFunction:
+    """Build the block-scorer version of a named classical bilinear model."""
+    return BlockScoringFunction(classical_structure(name))

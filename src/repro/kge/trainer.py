@@ -1,0 +1,225 @@
+"""The stochastic training loop (Alg. 1 of the paper).
+
+Each mini-batch contributes two terms, exactly as in the reciprocal /
+multi-class training setup the paper adopts: a *tail-prediction* term where
+``(h, r, ?)`` is scored against candidate entities, and a *head-prediction*
+term for ``(?, r, t)``.  Gradients from both directions plus the regularizer
+are summed and handed to the optimizer.
+
+The trainer records a :class:`TrainingHistory` with per-epoch loss, wall
+time and (optionally) validation MRR, which is what the learning-curve
+figure (Fig. 4) and the early-stopping logic consume.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.datasets.knowledge_graph import KnowledgeGraph
+from repro.kge.losses import Loss, get_loss
+from repro.kge.negative_sampling import NegativeSampler, UniformNegativeSampler
+from repro.kge.optimizers import Optimizer, get_optimizer
+from repro.kge.regularizers import L2Regularizer, Regularizer
+from repro.kge.scoring.base import HEAD, TAIL, ParamDict, ScoringFunction
+from repro.utils.config import TrainingConfig
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training trace."""
+
+    epochs: List[int] = field(default_factory=list)
+    losses: List[float] = field(default_factory=list)
+    elapsed_seconds: List[float] = field(default_factory=list)
+    validation_mrr: List[Optional[float]] = field(default_factory=list)
+
+    def record(
+        self,
+        epoch: int,
+        loss: float,
+        elapsed: float,
+        validation_mrr: Optional[float] = None,
+    ) -> None:
+        self.epochs.append(int(epoch))
+        self.losses.append(float(loss))
+        self.elapsed_seconds.append(float(elapsed))
+        self.validation_mrr.append(validation_mrr)
+
+    @property
+    def final_loss(self) -> Optional[float]:
+        return self.losses[-1] if self.losses else None
+
+    @property
+    def best_validation_mrr(self) -> Optional[float]:
+        observed = [value for value in self.validation_mrr if value is not None]
+        return max(observed) if observed else None
+
+    def as_dict(self) -> dict:
+        return {
+            "epochs": list(self.epochs),
+            "losses": list(self.losses),
+            "elapsed_seconds": list(self.elapsed_seconds),
+            "validation_mrr": list(self.validation_mrr),
+        }
+
+
+class Trainer:
+    """Train one scoring function on one knowledge graph."""
+
+    def __init__(
+        self,
+        scoring_function: ScoringFunction,
+        config: TrainingConfig,
+        loss: Optional[Loss] = None,
+        optimizer: Optional[Optimizer] = None,
+        regularizer: Optional[Regularizer] = None,
+        negative_sampler: Optional[NegativeSampler] = None,
+    ) -> None:
+        self.scoring_function = scoring_function
+        self.config = config
+        self.loss = loss if loss is not None else get_loss(config.loss, margin=config.margin)
+        self.optimizer = (
+            optimizer
+            if optimizer is not None
+            else get_optimizer(config.optimizer, config.learning_rate, config.decay_rate)
+        )
+        self.regularizer = (
+            regularizer if regularizer is not None else L2Regularizer(config.l2_penalty)
+        )
+        self.negative_sampler = negative_sampler
+        self.rng = ensure_rng(config.seed)
+
+    # ------------------------------------------------------------------
+    # Parameter initialization
+    # ------------------------------------------------------------------
+    def initialize(self, graph: KnowledgeGraph) -> ParamDict:
+        """Initialize the parameter dict for ``graph``."""
+        return self.scoring_function.init_params(
+            num_entities=graph.num_entities,
+            num_relations=graph.num_relations,
+            dimension=self.config.dimension,
+            rng=self.rng,
+            scale=self.config.init_scale,
+        )
+
+    # ------------------------------------------------------------------
+    # One mini-batch
+    # ------------------------------------------------------------------
+    def _direction_loss(
+        self,
+        params: ParamDict,
+        batch: np.ndarray,
+        direction: str,
+        grads: ParamDict,
+    ) -> float:
+        """Accumulate gradients for one ranking direction; return its loss."""
+        if direction == TAIL:
+            queries = batch[:, [0, 1]]
+            targets = batch[:, 2]
+        else:
+            queries = batch[:, [2, 1]]
+            targets = batch[:, 0]
+
+        scores = self.scoring_function.score_candidates(params, queries, direction=direction)
+        negatives = None
+        if self.loss.needs_negative_samples:
+            if self.negative_sampler is None:
+                self.negative_sampler = UniformNegativeSampler(
+                    num_entities=params["entities"].shape[0],
+                    num_negatives=self.config.negative_samples,
+                    rng=self.rng,
+                )
+            negatives = self.negative_sampler.sample(targets, relations=batch[:, 1])
+        value, dscores = self.loss.compute(scores, targets, negatives=negatives)
+        direction_grads = self.scoring_function.grad_candidates(
+            params, queries, dscores, direction=direction
+        )
+        for key, grad in direction_grads.items():
+            grads[key] += grad
+        return value
+
+    def train_step(self, params: ParamDict, batch: np.ndarray) -> float:
+        """Run one mini-batch update; return the batch loss."""
+        grads = self.scoring_function.zero_grads(params)
+        loss_tail = self._direction_loss(params, batch, TAIL, grads)
+        loss_head = self._direction_loss(params, batch, HEAD, grads)
+        self.regularizer.add_gradients(params, grads)
+        self.optimizer.step(params, grads)
+        return loss_tail + loss_head
+
+    # ------------------------------------------------------------------
+    # Full training loop
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        graph: KnowledgeGraph,
+        params: Optional[ParamDict] = None,
+        validation_callback: Optional[Callable[[ParamDict], float]] = None,
+    ) -> tuple:
+        """Train on ``graph.train``.
+
+        Parameters
+        ----------
+        params:
+            Optional pre-initialized parameters (e.g. to continue training).
+        validation_callback:
+            Called with the current parameters whenever validation is due
+            (every ``config.eval_every`` epochs); must return a scalar score
+            where higher is better (normally the filtered validation MRR).
+
+        Returns
+        -------
+        (params, history)
+        """
+        if params is None:
+            params = self.initialize(graph)
+        history = TrainingHistory()
+        train = graph.train
+        if train.shape[0] == 0:
+            raise ValueError("cannot train on an empty training split")
+
+        best_score = -np.inf
+        epochs_since_best = 0
+        start_time = time.perf_counter()
+
+        for epoch in range(1, self.config.epochs + 1):
+            order = self.rng.permutation(train.shape[0])
+            epoch_loss = 0.0
+            num_batches = 0
+            for begin in range(0, train.shape[0], self.config.batch_size):
+                batch = train[order[begin : begin + self.config.batch_size]]
+                epoch_loss += self.train_step(params, batch)
+                num_batches += 1
+            self.optimizer.decay()
+            mean_loss = epoch_loss / max(num_batches, 1)
+
+            validation_score: Optional[float] = None
+            evaluate_now = (
+                validation_callback is not None
+                and self.config.eval_every > 0
+                and (epoch % self.config.eval_every == 0 or epoch == self.config.epochs)
+            )
+            if evaluate_now:
+                validation_score = float(validation_callback(params))
+                if validation_score > best_score:
+                    best_score = validation_score
+                    epochs_since_best = 0
+                else:
+                    epochs_since_best += 1
+
+            history.record(
+                epoch,
+                mean_loss,
+                time.perf_counter() - start_time,
+                validation_score,
+            )
+
+            patience = self.config.early_stopping_patience
+            if patience > 0 and evaluate_now and epochs_since_best >= patience:
+                break
+        return params, history

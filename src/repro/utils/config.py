@@ -1,0 +1,179 @@
+"""Configuration dataclasses shared across the library.
+
+The paper trains every candidate scoring function with one fixed set of
+hyper-parameters per dataset (Sec. V-A2) and runs the progressive greedy
+search with meta hyper-parameters ``N``, ``K1`` and ``K2`` (Sec. V-A3).
+These dataclasses capture exactly those knobs plus the predictor settings,
+so that an experiment is fully described by three small objects that can be
+serialized next to its results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters for training one KGE model (Alg. 1).
+
+    Attributes
+    ----------
+    dimension:
+        Total entity/relation embedding dimension ``d``.  Must be divisible
+        by four because the unified search space splits embeddings into four
+        chunks.
+    epochs:
+        Number of passes over the training triplets.
+    batch_size:
+        Mini-batch size ``m``.
+    learning_rate / l2_penalty / decay_rate:
+        Optimizer settings (the paper uses Adagrad with an L2 penalty).
+    optimizer:
+        One of ``"adagrad"``, ``"adam"``, ``"sgd"``.
+    loss:
+        One of ``"multiclass"`` (the paper's choice), ``"logistic"``,
+        ``"hinge"``.
+    negative_samples:
+        Number of negatives per positive; only used by pairwise losses
+        (the multi-class loss scores against every entity).
+    """
+
+    dimension: int = 32
+    epochs: int = 60
+    batch_size: int = 512
+    learning_rate: float = 0.1
+    l2_penalty: float = 1e-4
+    decay_rate: float = 1.0
+    optimizer: str = "adagrad"
+    loss: str = "multiclass"
+    negative_samples: int = 16
+    margin: float = 1.0
+    init_scale: float = 0.1
+    seed: Optional[int] = 0
+    eval_every: int = 0
+    early_stopping_patience: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dimension <= 0:
+            raise ValueError("dimension must be positive")
+        if self.dimension % 4 != 0:
+            raise ValueError("dimension must be divisible by 4 (block split)")
+        if self.epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.l2_penalty < 0:
+            raise ValueError("l2_penalty must be non-negative")
+        if not 0 < self.decay_rate <= 1.0:
+            raise ValueError("decay_rate must be in (0, 1]")
+        if self.optimizer not in ("adagrad", "adam", "sgd"):
+            raise ValueError(f"unknown optimizer: {self.optimizer!r}")
+        if self.loss not in ("multiclass", "logistic", "hinge"):
+            raise ValueError(f"unknown loss: {self.loss!r}")
+        if self.negative_samples <= 0:
+            raise ValueError("negative_samples must be positive")
+
+    @property
+    def chunk_dimension(self) -> int:
+        """Dimension of one of the four embedding chunks."""
+        return self.dimension // 4
+
+    def replace(self, **changes: Any) -> "TrainingConfig":
+        """Return a copy with the given fields replaced."""
+        data = asdict(self)
+        data.update(changes)
+        return TrainingConfig(**data)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TrainingConfig":
+        return cls(**data)
+
+
+@dataclass
+class PredictorConfig:
+    """Settings for the performance predictor used inside the greedy search.
+
+    The paper uses a 22-2-1 MLP on symmetry-related features (SRF) and, as an
+    ablation, a 96-8-1 MLP on one-hot structure encodings (Fig. 8).
+    """
+
+    feature_type: str = "srf"
+    hidden_units: int = 2
+    learning_rate: float = 0.01
+    epochs: int = 400
+    l2_penalty: float = 1e-4
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.feature_type not in ("srf", "onehot"):
+            raise ValueError(f"unknown feature_type: {self.feature_type!r}")
+        if self.hidden_units <= 0:
+            raise ValueError("hidden_units must be positive")
+        if self.epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PredictorConfig":
+        return cls(**data)
+
+
+@dataclass
+class SearchConfig:
+    """Meta hyper-parameters of the progressive greedy search (Alg. 2).
+
+    Attributes
+    ----------
+    max_blocks:
+        ``B`` — largest number of non-zero blocks in ``g(r)``.
+    candidates_per_step:
+        ``N`` — number of filtered candidates gathered before prediction.
+    top_parents:
+        ``K1`` — number of top SFs from the previous stage used as parents.
+    train_per_step:
+        ``K2`` — number of predictor-selected candidates actually trained.
+    use_filter / use_predictor:
+        Ablation switches (Fig. 7).
+    """
+
+    max_blocks: int = 6
+    candidates_per_step: int = 64
+    top_parents: int = 8
+    train_per_step: int = 8
+    use_filter: bool = True
+    use_predictor: bool = True
+    predictor: PredictorConfig = field(default_factory=PredictorConfig)
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.max_blocks < 4:
+            raise ValueError("max_blocks must be at least 4")
+        if self.max_blocks % 2 != 0:
+            raise ValueError("max_blocks must be even (blocks are added in pairs)")
+        if self.candidates_per_step <= 0:
+            raise ValueError("candidates_per_step must be positive")
+        if self.top_parents <= 0:
+            raise ValueError("top_parents must be positive")
+        if self.train_per_step <= 0:
+            raise ValueError("train_per_step must be positive")
+        if isinstance(self.predictor, dict):
+            self.predictor = PredictorConfig(**self.predictor)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SearchConfig":
+        return cls(**data)

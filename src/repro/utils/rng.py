@@ -1,0 +1,81 @@
+"""Random-number-generator helpers.
+
+Every stochastic component in the library accepts either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None``.  ``ensure_rng``
+normalizes those three cases so that call sites never need to branch on the
+type of the argument, and ``spawn_rngs`` derives independent child generators
+for parallel or repeated work (e.g. one generator per searched candidate).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an ``int`` seed, a ``SeedSequence`` or an
+        already-constructed ``Generator`` (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"cannot build a Generator from {type(seed).__name__}")
+
+
+def spawn_rngs(seed: RngLike, count: int) -> Sequence[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    The children are derived through ``SeedSequence.spawn`` so that two calls
+    with the same ``seed`` produce the same children, which keeps experiments
+    reproducible while still giving each worker its own stream.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's own bit stream.
+        seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    base = np.random.SeedSequence(seed if seed is not None else None)
+    return [np.random.default_rng(child) for child in base.spawn(count)]
+
+
+def derive_seed(rng: np.random.Generator) -> int:
+    """Draw a fresh integer seed from ``rng`` (useful for logging/replay)."""
+    return int(rng.integers(0, 2**31 - 1))
+
+
+def permutation(rng: RngLike, n: int) -> np.ndarray:
+    """Return a random permutation of ``range(n)`` using ``ensure_rng``."""
+    return ensure_rng(rng).permutation(n)
+
+
+def choice_without_replacement(
+    rng: RngLike, n: int, size: int, exclude: Optional[set] = None
+) -> np.ndarray:
+    """Sample ``size`` distinct integers from ``[0, n)`` avoiding ``exclude``.
+
+    Used by negative samplers that must avoid the positive triplet's entity.
+    Falls back to rejection sampling, which is fast when ``exclude`` is small
+    relative to ``n``.
+    """
+    gen = ensure_rng(rng)
+    if exclude is None or not exclude:
+        return gen.choice(n, size=size, replace=False)
+    allowed = np.setdiff1d(np.arange(n), np.fromiter(exclude, dtype=np.int64))
+    if allowed.size < size:
+        raise ValueError("not enough allowed values to sample without replacement")
+    return gen.choice(allowed, size=size, replace=False)

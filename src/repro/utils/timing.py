@@ -1,0 +1,88 @@
+"""Wall-clock timing helpers used for the running-time table (Table VII)."""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class Stopwatch:
+    """A simple resettable stopwatch.
+
+    >>> watch = Stopwatch()
+    >>> watch.start()
+    >>> _ = watch.stop()  # elapsed seconds
+    """
+
+    _started_at: float = field(default=0.0, repr=False)
+    _running: bool = field(default=False, repr=False)
+    elapsed: float = 0.0
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+        self._running = True
+
+    def stop(self) -> float:
+        if not self._running:
+            raise RuntimeError("stopwatch is not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._running = False
+        return self.elapsed
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._running = False
+
+
+class TimingRecorder:
+    """Accumulates named timing samples.
+
+    The greedy search uses one recorder to attribute time to the filter,
+    predictor, training and evaluation phases, mirroring Table VII.
+    """
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[float]] = defaultdict(list)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._samples[name].append(time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float) -> None:
+        self._samples[name].append(float(seconds))
+
+    def total(self, name: str) -> float:
+        return float(sum(self._samples.get(name, [])))
+
+    def mean(self, name: str) -> float:
+        samples = self._samples.get(name, [])
+        if not samples:
+            return 0.0
+        return float(sum(samples) / len(samples))
+
+    def count(self, name: str) -> int:
+        return len(self._samples.get(name, []))
+
+    def names(self) -> List[str]:
+        return sorted(self._samples)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Return ``{name: {total, mean, count}}`` for every recorded phase."""
+        return {
+            name: {
+                "total": self.total(name),
+                "mean": self.mean(name),
+                "count": float(self.count(name)),
+            }
+            for name in self.names()
+        }

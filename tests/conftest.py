@@ -1,0 +1,92 @@
+"""Shared fixtures: small graphs and configurations sized for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import GeneratorProfile, KnowledgeGraph, generate_knowledge_graph
+from repro.datasets.statistics import RelationPattern
+from repro.utils.config import PredictorConfig, SearchConfig, TrainingConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_profile() -> GeneratorProfile:
+    """A miniature profile with every relation pattern represented."""
+    return GeneratorProfile(
+        name="tiny",
+        num_entities=60,
+        num_clusters=4,
+        relation_counts={
+            RelationPattern.SYMMETRIC: 1,
+            RelationPattern.ANTI_SYMMETRIC: 1,
+            RelationPattern.INVERSE: 2,
+            RelationPattern.GENERAL: 2,
+        },
+        triples_per_relation=60,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_graph(tiny_profile) -> KnowledgeGraph:
+    """A small but non-trivial knowledge graph (used by most training tests)."""
+    return generate_knowledge_graph(tiny_profile)
+
+
+@pytest.fixture(scope="session")
+def micro_graph() -> KnowledgeGraph:
+    """A hand-built 8-entity, 2-relation graph for exact-value tests."""
+    triples = [
+        (0, 0, 1),
+        (1, 0, 0),
+        (2, 0, 3),
+        (3, 0, 2),
+        (0, 1, 2),
+        (1, 1, 3),
+        (4, 1, 5),
+        (5, 0, 6),
+        (6, 1, 7),
+        (7, 0, 4),
+        (2, 1, 4),
+        (3, 1, 5),
+    ]
+    return KnowledgeGraph(
+        num_entities=8,
+        num_relations=2,
+        train=np.asarray(triples[:8], dtype=np.int64),
+        valid=np.asarray(triples[8:10], dtype=np.int64),
+        test=np.asarray(triples[10:], dtype=np.int64),
+        name="micro",
+    )
+
+
+@pytest.fixture()
+def fast_training_config() -> TrainingConfig:
+    """Very small training budget; enough for loss to go down, not to converge."""
+    return TrainingConfig(
+        dimension=8,
+        epochs=5,
+        batch_size=64,
+        learning_rate=0.5,
+        l2_penalty=1e-4,
+        seed=0,
+    )
+
+
+@pytest.fixture()
+def fast_search_config() -> SearchConfig:
+    """Search configuration sized for a couple of seconds of wall time."""
+    return SearchConfig(
+        max_blocks=6,
+        candidates_per_step=8,
+        top_parents=3,
+        train_per_step=2,
+        predictor=PredictorConfig(epochs=50),
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

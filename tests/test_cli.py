@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import write_tsv_dataset
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.benchmark == "wn18rr"
+        assert args.model == "simple"
+        assert args.dimension == 32
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--model", "gpt"])
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "--benchmark", "dbpedia"])
+
+    def test_search_options(self):
+        args = build_parser().parse_args(
+            ["search", "--max-blocks", "8", "--budget", "7", "--candidates", "12"]
+        )
+        assert args.max_blocks == 8
+        assert args.budget == 7
+        assert args.candidates == 12
+
+
+class TestCommands:
+    def test_stats_on_benchmark(self, capsys):
+        exit_code = main(["stats", "--benchmark", "wn18rr", "--scale", "0.3"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Relation-pattern statistics" in captured
+        assert "wn18rr-mini" in captured
+
+    def test_stats_on_tsv_directory(self, tiny_graph, tmp_path, capsys):
+        directory = write_tsv_dataset(tiny_graph, tmp_path / "dump")
+        exit_code = main(["stats", "--data", str(directory)])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "symmetric" in captured
+
+    def test_train_and_save(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "train",
+                "--benchmark", "wn18rr",
+                "--scale", "0.25",
+                "--model", "distmult",
+                "--dimension", "8",
+                "--epochs", "3",
+                "--batch-size", "128",
+                "--save", str(tmp_path / "model"),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "distmult on wn18rr-mini" in captured
+        assert (tmp_path / "model" / "params.npz").exists()
+
+    def test_search_with_small_budget(self, capsys):
+        exit_code = main(
+            [
+                "search",
+                "--benchmark", "wn18rr",
+                "--scale", "0.25",
+                "--dimension", "8",
+                "--epochs", "3",
+                "--batch-size", "128",
+                "--budget", "5",
+                "--candidates", "6",
+                "--train-per-step", "2",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "searched scoring function" in captured
+        assert "any-time best validation MRR" in captured

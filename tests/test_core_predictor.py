@@ -1,0 +1,103 @@
+"""Tests for the performance predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import PerformancePredictor, get_feature_extractor
+from repro.core.search_space import enumerate_f4_structures, random_structure
+from repro.core.srf import ONEHOT_DIMENSION, SRF_DIMENSION, can_be_skew_symmetric
+from repro.kge.scoring import classical_structure
+from repro.utils.config import PredictorConfig
+
+
+@pytest.fixture(scope="module")
+def structures():
+    rng = np.random.default_rng(0)
+    pool = list(enumerate_f4_structures())
+    pool += [random_structure(6, rng=rng) for _ in range(20)]
+    return [structure for structure in pool if structure is not None]
+
+
+class TestFeatureExtractors:
+    def test_srf_extractor(self):
+        extractor, dimension = get_feature_extractor("srf")
+        assert dimension == SRF_DIMENSION
+        assert extractor(classical_structure("complex")).shape == (SRF_DIMENSION,)
+
+    def test_onehot_extractor(self):
+        extractor, dimension = get_feature_extractor("onehot")
+        assert dimension == ONEHOT_DIMENSION
+
+    def test_unknown_extractor(self):
+        with pytest.raises(KeyError):
+            get_feature_extractor("embedding")
+
+
+class TestPredictorTraining:
+    def test_untrained_flag(self):
+        predictor = PerformancePredictor()
+        assert not predictor.is_trained
+        predictor.fit([classical_structure("complex")], [0.5])
+        assert predictor.is_trained
+
+    def test_fit_reduces_mse(self, structures):
+        targets = np.linspace(0.1, 0.9, len(structures))
+        weak = PerformancePredictor(PredictorConfig(epochs=1))
+        strong = PerformancePredictor(PredictorConfig(epochs=500))
+        assert strong.fit(structures, targets) <= weak.fit(structures, targets) + 1e-9
+
+    def test_fit_length_mismatch(self, structures):
+        with pytest.raises(ValueError):
+            PerformancePredictor().fit(structures, [0.1])
+
+    def test_fit_empty_is_noop(self):
+        predictor = PerformancePredictor()
+        assert predictor.fit([], []) == 0.0
+        assert not predictor.is_trained
+
+    def test_learns_srf_correlated_target(self, structures):
+        """The predictor must learn a target that depends only on SRF properties.
+
+        The synthetic target rewards skew-symmetric-capable structures — the
+        kind of signal AutoSF needs the predictor to pick up (Proposition 2).
+        """
+        targets = [0.8 if can_be_skew_symmetric(s) else 0.2 for s in structures]
+        predictor = PerformancePredictor(PredictorConfig(epochs=600, learning_rate=0.05))
+        predictor.fit(structures, targets)
+        correlation = predictor.ranking_correlation(structures, targets)
+        assert correlation > 0.7
+
+    def test_predictions_shape(self, structures):
+        predictor = PerformancePredictor()
+        predictor.fit(structures, np.linspace(0, 1, len(structures)))
+        assert predictor.predict(structures).shape == (len(structures),)
+        assert predictor.predict([]).shape == (0,)
+
+
+class TestSelection:
+    def test_select_top_returns_requested_count(self, structures):
+        predictor = PerformancePredictor(PredictorConfig(epochs=100))
+        predictor.fit(structures, np.linspace(0, 1, len(structures)))
+        top = predictor.select_top(structures, 3)
+        assert len(top) == 3
+
+    def test_select_top_zero_or_empty(self, structures):
+        predictor = PerformancePredictor()
+        assert predictor.select_top(structures, 0) == []
+        assert predictor.select_top([], 3) == []
+
+    def test_select_top_picks_highest_predicted(self, structures):
+        targets = [0.9 if can_be_skew_symmetric(s) else 0.1 for s in structures]
+        predictor = PerformancePredictor(PredictorConfig(epochs=600, learning_rate=0.05))
+        predictor.fit(structures, targets)
+        top = predictor.select_top(structures, 5)
+        assert sum(can_be_skew_symmetric(s) for s in top) >= 4
+
+    def test_ranking_correlation_degenerate_cases(self, structures):
+        predictor = PerformancePredictor()
+        assert predictor.ranking_correlation(structures[:1], [0.5]) == 0.0
+
+    def test_onehot_predictor_works(self, structures):
+        predictor = PerformancePredictor(PredictorConfig(feature_type="onehot", hidden_units=8))
+        predictor.fit(structures, np.linspace(0, 1, len(structures)))
+        assert predictor.predict(structures).shape == (len(structures),)

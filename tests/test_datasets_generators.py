@@ -1,0 +1,153 @@
+"""Tests for the synthetic knowledge-graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import GeneratorProfile, generate_knowledge_graph, generate_relation_triples
+from repro.datasets.generators import _assign_clusters
+from repro.datasets.statistics import RelationPattern, classify_relations, dataset_statistics
+
+
+@pytest.fixture(scope="module")
+def clusters():
+    rng = np.random.default_rng(0)
+    return _assign_clusters(100, 5, rng)
+
+
+class TestClusterAssignment:
+    def test_partition_covers_all_entities(self, clusters):
+        combined = np.concatenate(clusters)
+        assert sorted(combined.tolist()) == list(range(100))
+
+    def test_cluster_count(self, clusters):
+        assert len(clusters) == 5
+
+    def test_roughly_equal_sizes(self, clusters):
+        sizes = [len(c) for c in clusters]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestRelationTriples:
+    def test_symmetric_pairs_closed_under_reversal(self, clusters):
+        pairs, _ = generate_relation_triples(RelationPattern.SYMMETRIC, clusters, 80, rng=0)
+        pair_set = set(pairs)
+        for h, t in pairs:
+            assert (t, h) in pair_set
+
+    def test_anti_symmetric_has_no_reversed_pairs(self, clusters):
+        pairs, _ = generate_relation_triples(RelationPattern.ANTI_SYMMETRIC, clusters, 80, rng=0)
+        pair_set = set(pairs)
+        assert pairs, "generator produced no pairs"
+        for h, t in pairs:
+            assert (t, h) not in pair_set
+
+    def test_anti_symmetric_heads_and_tails_overlap(self, clusters):
+        pairs, _ = generate_relation_triples(RelationPattern.ANTI_SYMMETRIC, clusters, 80, rng=1)
+        heads = {h for h, _ in pairs}
+        tails = {t for _, t in pairs}
+        assert heads & tails
+
+    def test_general_heads_tails_disjoint(self, clusters):
+        pairs, _ = generate_relation_triples(RelationPattern.GENERAL, clusters, 80, rng=0)
+        heads = {h for h, _ in pairs}
+        tails = {t for _, t in pairs}
+        assert not heads & tails
+
+    def test_inverse_returns_reversed_partner(self, clusters):
+        forward, backward = generate_relation_triples(RelationPattern.INVERSE, clusters, 60, rng=0)
+        assert backward is not None
+        assert set(backward) == {(t, h) for h, t in forward}
+
+    def test_non_inverse_has_no_partner(self, clusters):
+        _, partner = generate_relation_triples(RelationPattern.GENERAL, clusters, 20, rng=0)
+        assert partner is None
+
+    def test_no_self_loops(self, clusters):
+        for pattern in RelationPattern:
+            pairs, _ = generate_relation_triples(pattern, clusters, 50, rng=2)
+            assert all(h != t for h, t in pairs)
+
+    def test_deterministic_given_seed(self, clusters):
+        a, _ = generate_relation_triples(RelationPattern.GENERAL, clusters, 40, rng=9)
+        b, _ = generate_relation_triples(RelationPattern.GENERAL, clusters, 40, rng=9)
+        assert a == b
+
+
+class TestGeneratorProfile:
+    def test_relation_count_property(self):
+        profile = GeneratorProfile(
+            name="p",
+            relation_counts={
+                RelationPattern.SYMMETRIC: 2,
+                RelationPattern.INVERSE: 3,  # rounded down to one pair
+                RelationPattern.GENERAL: 1,
+            },
+        )
+        assert profile.num_relations == 2 + 2 + 1
+
+    def test_too_few_entities(self):
+        with pytest.raises(ValueError):
+            GeneratorProfile(name="p", num_entities=3, num_clusters=8)
+
+    def test_zero_relations_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorProfile(name="p", relation_counts={})
+
+    def test_bad_triples_per_relation(self):
+        with pytest.raises(ValueError):
+            GeneratorProfile(name="p", triples_per_relation=0)
+
+
+class TestGenerateKnowledgeGraph:
+    def test_generated_pattern_mix_matches_profile(self):
+        profile = GeneratorProfile(
+            name="mix",
+            num_entities=120,
+            num_clusters=6,
+            relation_counts={
+                RelationPattern.SYMMETRIC: 2,
+                RelationPattern.ANTI_SYMMETRIC: 2,
+                RelationPattern.INVERSE: 2,
+                RelationPattern.GENERAL: 3,
+            },
+            triples_per_relation=120,
+            seed=3,
+        )
+        graph = generate_knowledge_graph(profile)
+        statistics = dataset_statistics(graph)
+        assert statistics.count(RelationPattern.SYMMETRIC) == 2
+        assert statistics.count(RelationPattern.ANTI_SYMMETRIC) == 2
+        assert statistics.count(RelationPattern.INVERSE) == 2
+        assert statistics.count(RelationPattern.GENERAL) == 3
+
+    def test_relation_names_present(self, tiny_graph):
+        assert tiny_graph.relation_names is not None
+        assert len(tiny_graph.relation_names) == tiny_graph.num_relations
+
+    def test_deterministic_given_profile_seed(self, tiny_profile):
+        a = generate_knowledge_graph(tiny_profile)
+        b = generate_knowledge_graph(tiny_profile)
+        np.testing.assert_array_equal(a.train, b.train)
+
+    def test_seed_override_changes_graph(self, tiny_profile):
+        a = generate_knowledge_graph(tiny_profile)
+        b = generate_knowledge_graph(tiny_profile, seed=999)
+        assert not np.array_equal(a.train, b.train)
+
+    def test_splits_nonempty(self, tiny_graph):
+        assert tiny_graph.num_train > 0
+        assert tiny_graph.num_valid > 0
+        assert tiny_graph.num_test > 0
+
+    def test_inverse_relations_adjacent(self):
+        profile = GeneratorProfile(
+            name="inv",
+            num_entities=80,
+            num_clusters=4,
+            relation_counts={RelationPattern.INVERSE: 2, RelationPattern.GENERAL: 1},
+            triples_per_relation=80,
+            seed=11,
+        )
+        graph = generate_knowledge_graph(profile)
+        _, inverse_pairs = classify_relations(graph.all_triples(), graph.num_relations)
+        assert (0, 1) in inverse_pairs

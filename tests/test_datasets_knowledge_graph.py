@@ -1,0 +1,174 @@
+"""Tests for the KnowledgeGraph container."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import KnowledgeGraph
+
+
+def build_graph(**overrides):
+    defaults = dict(
+        num_entities=5,
+        num_relations=2,
+        train=[(0, 0, 1), (1, 1, 2), (2, 0, 3), (3, 1, 4)],
+        valid=[(0, 1, 2)],
+        test=[(4, 0, 0)],
+        name="toy",
+    )
+    defaults.update(overrides)
+    return KnowledgeGraph(**defaults)
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        graph = build_graph()
+        assert graph.num_train == 4
+        assert graph.num_valid == 1
+        assert graph.num_test == 1
+
+    def test_summary(self):
+        summary = build_graph().summary()
+        assert summary["entities"] == 5
+        assert summary["train"] == 4
+
+    def test_head_out_of_range(self):
+        with pytest.raises(ValueError):
+            build_graph(train=[(9, 0, 1)])
+
+    def test_relation_out_of_range(self):
+        with pytest.raises(ValueError):
+            build_graph(train=[(0, 5, 1)])
+
+    def test_negative_index(self):
+        with pytest.raises(ValueError):
+            build_graph(test=[(-1, 0, 1)])
+
+    def test_zero_entities_rejected(self):
+        with pytest.raises(ValueError):
+            build_graph(num_entities=0, train=[], valid=[], test=[])
+
+    def test_bad_triple_shape(self):
+        with pytest.raises(ValueError):
+            build_graph(train=[(0, 1)])
+
+    def test_entity_names_length_checked(self):
+        with pytest.raises(ValueError):
+            build_graph(entity_names=("a", "b"))
+
+    def test_empty_split_allowed(self):
+        graph = build_graph(valid=[])
+        assert graph.num_valid == 0
+
+    def test_splits_are_int64(self):
+        graph = build_graph()
+        assert graph.train.dtype == np.int64
+
+
+class TestAccessors:
+    def test_split_lookup(self):
+        graph = build_graph()
+        np.testing.assert_array_equal(graph.split("valid"), graph.valid)
+
+    def test_unknown_split(self):
+        with pytest.raises(KeyError):
+            build_graph().split("dev")
+
+    def test_all_triples_concatenates(self):
+        graph = build_graph()
+        assert graph.all_triples().shape[0] == 6
+
+    def test_triple_set(self):
+        graph = build_graph()
+        triples = graph.triple_set()
+        assert (0, 0, 1) in triples
+        assert (4, 0, 0) in triples
+        assert len(triples) == 6
+
+    def test_triple_set_selected_splits(self):
+        graph = build_graph()
+        assert len(graph.triple_set(splits=("train",))) == 4
+
+    def test_known_tails(self):
+        graph = build_graph()
+        tails = graph.known_tails()
+        assert tails[(0, 0)] == {1}
+        assert tails[(0, 1)] == {2}
+
+    def test_known_heads(self):
+        graph = build_graph()
+        heads = graph.known_heads()
+        assert heads[(0, 1)] == {0}
+
+    def test_relation_triples(self):
+        graph = build_graph()
+        relation0 = graph.relation_triples(0, splits=("train",))
+        assert set(relation0[:, 1].tolist()) == {0}
+        assert relation0.shape[0] == 2
+
+    def test_relation_triples_empty(self):
+        graph = build_graph()
+        empty = graph.relation_triples(1, splits=("test",))
+        assert empty.shape == (0, 3)
+
+
+class TestTransforms:
+    def test_with_splits(self):
+        graph = build_graph()
+        new = graph.with_splits(graph.train[:2], graph.valid, graph.test, name="smaller")
+        assert new.num_train == 2
+        assert new.name == "smaller"
+        assert new.num_entities == graph.num_entities
+
+    def test_subsample_fraction(self):
+        graph = build_graph()
+        sub = graph.subsample(0.5, seed=0)
+        assert sub.num_train == 2
+        assert sub.num_valid == graph.num_valid
+
+    def test_subsample_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            build_graph().subsample(0.0)
+        with pytest.raises(ValueError):
+            build_graph().subsample(1.5)
+
+
+class TestFromTriples:
+    def test_split_sizes_respected_approximately(self):
+        triples = [(i % 20, i % 3, (i + 1) % 20) for i in range(200)]
+        graph = KnowledgeGraph.from_triples(
+            triples, num_entities=20, num_relations=3, valid_fraction=0.1, test_fraction=0.1, seed=0
+        )
+        assert graph.num_train + graph.num_valid + graph.num_test == 200
+        assert graph.num_valid > 0
+        assert graph.num_test > 0
+
+    def test_entity_safety(self):
+        triples = [(i % 30, i % 4, (i * 7 + 1) % 30) for i in range(300)]
+        graph = KnowledgeGraph.from_triples(triples, seed=3)
+        train_entities = set(graph.train[:, 0].tolist()) | set(graph.train[:, 2].tolist())
+        train_relations = set(graph.train[:, 1].tolist())
+        for split in (graph.valid, graph.test):
+            for h, r, t in split:
+                assert int(h) in train_entities
+                assert int(t) in train_entities
+                assert int(r) in train_relations
+
+    def test_vocab_inferred(self):
+        graph = KnowledgeGraph.from_triples([(0, 0, 1), (1, 1, 2), (2, 0, 0)], seed=0)
+        assert graph.num_entities == 3
+        assert graph.num_relations == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            KnowledgeGraph.from_triples([])
+
+    def test_bad_fractions(self):
+        with pytest.raises(ValueError):
+            KnowledgeGraph.from_triples([(0, 0, 1)], valid_fraction=0.6, test_fraction=0.6)
+
+    def test_deterministic_for_seed(self):
+        triples = [(i % 10, 0, (i + 1) % 10) for i in range(50)]
+        a = KnowledgeGraph.from_triples(triples, seed=5)
+        b = KnowledgeGraph.from_triples(triples, seed=5)
+        np.testing.assert_array_equal(a.train, b.train)
+        np.testing.assert_array_equal(a.test, b.test)

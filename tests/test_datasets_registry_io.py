@@ -1,0 +1,119 @@
+"""Tests for the benchmark registry and TSV I/O."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    BENCHMARK_PROFILES,
+    available_benchmarks,
+    dataset_statistics,
+    load_benchmark,
+    load_tsv_dataset,
+    write_tsv_dataset,
+)
+from repro.datasets.registry import PAPER_TABLE3
+from repro.datasets.statistics import RelationPattern
+
+
+class TestRegistry:
+    def test_five_benchmarks_registered(self):
+        assert len(available_benchmarks()) == 5
+        assert set(available_benchmarks()) == {"wn18", "fb15k", "wn18rr", "fb15k237", "yago310"}
+
+    def test_paper_table_covers_all_benchmarks(self):
+        assert set(PAPER_TABLE3) == set(BENCHMARK_PROFILES)
+
+    def test_name_normalization(self):
+        graph = load_benchmark("FB15k-237", scale=0.3)
+        assert graph.name == "fb15k237-mini"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            load_benchmark("freebase-full")
+
+    def test_scale_reduces_size(self):
+        small = load_benchmark("wn18rr", scale=0.25)
+        large = load_benchmark("wn18rr", scale=0.5)
+        assert small.num_entities < large.num_entities
+        assert small.num_train < large.num_train
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            load_benchmark("wn18", scale=0.0)
+
+    def test_deterministic(self):
+        a = load_benchmark("wn18rr", scale=0.3)
+        b = load_benchmark("wn18rr", scale=0.3)
+        np.testing.assert_array_equal(a.train, b.train)
+
+    def test_seed_override(self):
+        a = load_benchmark("wn18rr", scale=0.3)
+        b = load_benchmark("wn18rr", scale=0.3, seed=123)
+        assert not np.array_equal(a.train, b.train)
+
+    @pytest.mark.parametrize("name", ["wn18", "wn18rr", "fb15k237"])
+    def test_relation_pattern_profile_direction(self, name):
+        """Miniatures must preserve the qualitative pattern mix of Table III."""
+        graph = load_benchmark(name, scale=0.5)
+        statistics = dataset_statistics(graph)
+        paper = PAPER_TABLE3[name]
+        # WN18 has no general-asymmetric relations; FB15k-237 is dominated by them.
+        if paper["general"] == 0:
+            assert statistics.count(RelationPattern.GENERAL) == 0
+        else:
+            assert statistics.count(RelationPattern.GENERAL) >= statistics.count(RelationPattern.INVERSE)
+        assert statistics.count(RelationPattern.SYMMETRIC) > 0
+
+    def test_wn18_has_inverse_pairs(self):
+        graph = load_benchmark("wn18", scale=0.5)
+        statistics = dataset_statistics(graph)
+        assert statistics.count(RelationPattern.INVERSE) >= 4
+
+
+class TestTsvIO:
+    def test_round_trip(self, micro_graph, tmp_path):
+        directory = write_tsv_dataset(micro_graph, tmp_path / "dump")
+        loaded = load_tsv_dataset(directory, name="micro-reloaded")
+        assert loaded.num_entities == micro_graph.num_entities
+        assert loaded.num_relations == micro_graph.num_relations
+        assert loaded.num_train == micro_graph.num_train
+        assert loaded.num_test == micro_graph.num_test
+
+    def test_round_trip_preserves_triples_as_sets(self, tiny_graph, tmp_path):
+        directory = write_tsv_dataset(tiny_graph, tmp_path / "dump")
+        loaded = load_tsv_dataset(directory)
+        # Labels map back to (possibly different) indices; compare via names.
+        def labelled(graph, split):
+            names_e = graph.entity_names or tuple(f"e{i}" for i in range(graph.num_entities))
+            names_r = graph.relation_names or tuple(f"r{i}" for i in range(graph.num_relations))
+            return {
+                (names_e[h], names_r[r], names_e[t]) for h, r, t in graph.split(split)
+            }
+        assert labelled(tiny_graph, "train") == labelled(loaded, "train")
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_tsv_dataset(tmp_path)
+
+    def test_malformed_line_raises(self, tmp_path):
+        (tmp_path / "train.txt").write_text("a\tb\tc\nbad line\n")
+        (tmp_path / "valid.txt").write_text("")
+        (tmp_path / "test.txt").write_text("")
+        with pytest.raises(ValueError):
+            load_tsv_dataset(tmp_path)
+
+    def test_unseen_eval_symbol_policy(self, tmp_path):
+        (tmp_path / "train.txt").write_text("a\tr\tb\nb\tr\tc\n")
+        (tmp_path / "valid.txt").write_text("a\tr\tz\n")
+        (tmp_path / "test.txt").write_text("")
+        graph = load_tsv_dataset(tmp_path, allow_unseen_in_eval=True)
+        assert graph.num_entities == 4
+        with pytest.raises(KeyError):
+            load_tsv_dataset(tmp_path, allow_unseen_in_eval=False)
+
+    def test_empty_training_split_raises(self, tmp_path):
+        (tmp_path / "train.txt").write_text("\n")
+        (tmp_path / "valid.txt").write_text("")
+        (tmp_path / "test.txt").write_text("")
+        with pytest.raises(ValueError):
+            load_tsv_dataset(tmp_path)

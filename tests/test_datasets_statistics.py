@@ -1,0 +1,115 @@
+"""Tests for relation-pattern classification (the Table III counting rule)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import KnowledgeGraph
+from repro.datasets.statistics import (
+    RelationPattern,
+    classify_relations,
+    dataset_statistics,
+    pattern_fractions,
+)
+
+
+def triples_array(pairs, relation):
+    return np.asarray([(h, relation, t) for h, t in pairs], dtype=np.int64)
+
+
+class TestClassifyRelations:
+    def test_symmetric_relation(self):
+        pairs = [(0, 1), (1, 0), (2, 3), (3, 2), (4, 5), (5, 4)]
+        patterns, _ = classify_relations(triples_array(pairs, 0), num_relations=1)
+        assert patterns[0] is RelationPattern.SYMMETRIC
+
+    def test_anti_symmetric_relation(self):
+        # A strict chain on one entity "type": reverse edges never present,
+        # heads and tails overlap heavily.
+        pairs = [(0, 1), (1, 2), (2, 3), (3, 4), (0, 2), (1, 3)]
+        patterns, _ = classify_relations(triples_array(pairs, 0), num_relations=1)
+        assert patterns[0] is RelationPattern.ANTI_SYMMETRIC
+
+    def test_general_relation_disjoint_types(self):
+        pairs = [(0, 10), (1, 11), (2, 12), (3, 13)]
+        patterns, _ = classify_relations(triples_array(pairs, 0), num_relations=1)
+        assert patterns[0] is RelationPattern.GENERAL
+
+    def test_inverse_pair_detected(self):
+        forward = [(0, 10), (1, 11), (2, 12)]
+        backward = [(10, 0), (11, 1), (12, 2)]
+        triples = np.concatenate([triples_array(forward, 0), triples_array(backward, 1)])
+        patterns, pairs = classify_relations(triples, num_relations=2)
+        assert patterns[0] is RelationPattern.INVERSE
+        assert patterns[1] is RelationPattern.INVERSE
+        assert (0, 1) in pairs
+
+    def test_partial_inverse_below_threshold_not_detected(self):
+        forward = [(0, 10), (1, 11), (2, 12), (3, 13), (4, 14)]
+        # Only half of the second relation's reversed pairs appear under the
+        # first relation (and vice versa far less), so neither side reaches
+        # the 0.9 threshold of the paper's counting rule.
+        backward = [(10, 0), (7, 3)]
+        triples = np.concatenate([triples_array(forward, 0), triples_array(backward, 1)])
+        _, pairs = classify_relations(triples, num_relations=2)
+        assert (0, 1) not in pairs
+
+    def test_small_relation_fully_reversed_in_large_one_is_inverse(self):
+        # The paper's rule is per-relation: a small relation whose reversed
+        # pairs all appear under another relation counts as an inverse pair,
+        # even if the larger relation is mostly independent of it.
+        forward = [(0, 10), (1, 11), (2, 12), (3, 13), (4, 14)]
+        backward = [(10, 0)]
+        triples = np.concatenate([triples_array(forward, 0), triples_array(backward, 1)])
+        _, pairs = classify_relations(triples, num_relations=2)
+        assert (0, 1) in pairs
+
+    def test_mostly_symmetric_meets_threshold(self):
+        pairs = [(0, 1), (1, 0), (2, 3), (3, 2), (4, 5), (5, 4), (6, 7), (7, 6), (8, 9), (9, 8)]
+        # 10 pairs, all reversed -> symmetric even with threshold 0.9.
+        patterns, _ = classify_relations(triples_array(pairs, 0), num_relations=1)
+        assert patterns[0] is RelationPattern.SYMMETRIC
+
+    def test_relation_with_no_triples_is_general(self):
+        patterns, _ = classify_relations(triples_array([(0, 1)], 0), num_relations=3)
+        assert patterns[1] is RelationPattern.GENERAL
+        assert patterns[2] is RelationPattern.GENERAL
+
+    def test_thresholds_configurable(self):
+        # Half the pairs reversed: symmetric only if the threshold is lowered.
+        pairs = [(0, 1), (1, 0), (2, 3), (4, 5)]
+        strict, _ = classify_relations(triples_array(pairs, 0), 1, symmetric_threshold=0.9)
+        relaxed, _ = classify_relations(triples_array(pairs, 0), 1, symmetric_threshold=0.4)
+        assert strict[0] is not RelationPattern.SYMMETRIC
+        assert relaxed[0] is RelationPattern.SYMMETRIC
+
+
+class TestDatasetStatistics:
+    def test_counts_sum_to_num_relations(self, tiny_graph):
+        statistics = dataset_statistics(tiny_graph)
+        assert sum(statistics.pattern_counts.values()) == tiny_graph.num_relations
+
+    def test_as_row_keys(self, tiny_graph):
+        row = dataset_statistics(tiny_graph).as_row()
+        for key in ("entities", "relations", "train", "valid", "test", "symmetric",
+                    "anti_symmetric", "inverse", "general"):
+            assert key in row
+
+    def test_pattern_fractions_sum_to_one(self, tiny_graph):
+        statistics = dataset_statistics(tiny_graph)
+        fractions = pattern_fractions(statistics)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_statistics_name_matches_graph(self, tiny_graph):
+        assert dataset_statistics(tiny_graph).name == tiny_graph.name
+
+    def test_count_missing_pattern_is_zero(self):
+        graph = KnowledgeGraph(
+            num_entities=4,
+            num_relations=1,
+            train=[(0, 0, 1), (1, 0, 0), (2, 0, 3), (3, 0, 2)],
+            valid=[],
+            test=[],
+        )
+        statistics = dataset_statistics(graph)
+        assert statistics.count(RelationPattern.SYMMETRIC) == 1
+        assert statistics.count(RelationPattern.INVERSE) == 0

@@ -1,0 +1,149 @@
+"""Tests for the training losses, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.kge.losses import HingeLoss, LogisticLoss, MulticlassLoss, get_loss, sigmoid, softplus
+
+
+def finite_difference(loss, scores, targets, negatives=None, epsilon=1e-6):
+    grad = np.zeros_like(scores)
+    for index in np.ndindex(scores.shape):
+        plus, minus = scores.copy(), scores.copy()
+        plus[index] += epsilon
+        minus[index] -= epsilon
+        value_plus, _ = loss.compute(plus, targets, negatives=negatives)
+        value_minus, _ = loss.compute(minus, targets, negatives=negatives)
+        grad[index] = (value_plus - value_minus) / (2 * epsilon)
+    return grad
+
+
+@pytest.fixture()
+def scores(rng):
+    return rng.normal(size=(4, 6))
+
+
+@pytest.fixture()
+def targets():
+    return np.array([0, 2, 5, 3])
+
+
+@pytest.fixture()
+def negatives():
+    return np.array([[1, 2], [0, 4], [3, 1], [0, 5]])
+
+
+class TestHelpers:
+    def test_softplus_large_positive(self):
+        assert softplus(np.array([800.0]))[0] == pytest.approx(800.0)
+
+    def test_softplus_large_negative(self):
+        assert softplus(np.array([-800.0]))[0] == pytest.approx(0.0)
+
+    def test_sigmoid_range_and_extremes(self):
+        values = sigmoid(np.array([-900.0, 0.0, 900.0]))
+        assert values[0] == pytest.approx(0.0)
+        assert values[1] == pytest.approx(0.5)
+        assert values[2] == pytest.approx(1.0)
+
+    def test_get_loss_factory(self):
+        assert isinstance(get_loss("multiclass"), MulticlassLoss)
+        assert isinstance(get_loss("logistic"), LogisticLoss)
+        assert isinstance(get_loss("hinge"), HingeLoss)
+        with pytest.raises(KeyError):
+            get_loss("focal")
+
+
+class TestMulticlassLoss:
+    def test_perfect_prediction_near_zero(self):
+        scores = np.full((2, 5), -100.0)
+        scores[0, 1] = 100.0
+        scores[1, 3] = 100.0
+        value, _ = MulticlassLoss().compute(scores, np.array([1, 3]))
+        assert value == pytest.approx(0.0, abs=1e-6)
+
+    def test_uniform_scores_give_log_num_candidates(self):
+        scores = np.zeros((3, 8))
+        value, _ = MulticlassLoss().compute(scores, np.array([0, 1, 2]))
+        assert value == pytest.approx(np.log(8))
+
+    def test_gradient_matches_finite_difference(self, scores, targets):
+        loss = MulticlassLoss()
+        _, analytic = loss.compute(scores, targets)
+        numeric = finite_difference(loss, scores, targets)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-5, atol=1e-7)
+
+    def test_gradient_rows_sum_to_zero(self, scores, targets):
+        _, grad = MulticlassLoss().compute(scores, targets)
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_numerical_stability_with_huge_scores(self):
+        scores = np.array([[1e8, 0.0, -1e8]])
+        value, grad = MulticlassLoss().compute(scores, np.array([0]))
+        assert np.isfinite(value)
+        assert np.all(np.isfinite(grad))
+
+    def test_empty_batch(self):
+        value, grad = MulticlassLoss().compute(np.zeros((0, 4)), np.zeros(0, dtype=int))
+        assert value == 0.0
+        assert grad.shape == (0, 4)
+
+    def test_invalid_target_column(self):
+        with pytest.raises(ValueError):
+            MulticlassLoss().compute(np.zeros((2, 3)), np.array([0, 5]))
+
+    def test_target_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MulticlassLoss().compute(np.zeros((2, 3)), np.array([0]))
+
+
+class TestLogisticLoss:
+    def test_requires_negatives(self, scores, targets):
+        with pytest.raises(ValueError):
+            LogisticLoss().compute(scores, targets)
+
+    def test_gradient_matches_finite_difference(self, scores, targets, negatives):
+        loss = LogisticLoss()
+        _, analytic = loss.compute(scores, targets, negatives=negatives)
+        numeric = finite_difference(loss, scores, targets, negatives=negatives)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-5, atol=1e-7)
+
+    def test_confident_model_has_low_loss(self):
+        scores = np.array([[10.0, -10.0, -10.0]])
+        value, _ = LogisticLoss().compute(scores, np.array([0]), negatives=np.array([[1, 2]]))
+        assert value < 0.01
+
+    def test_untouched_columns_have_zero_gradient(self, scores, targets, negatives):
+        _, grad = LogisticLoss().compute(scores, targets, negatives=negatives)
+        # Column 3 of row 0 is neither the target (0) nor a negative (1, 2).
+        assert grad[0, 3] == 0.0
+
+
+class TestHingeLoss:
+    def test_margin_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HingeLoss(margin=0.0)
+
+    def test_zero_loss_when_margin_satisfied(self):
+        scores = np.array([[5.0, 0.0, 0.0]])
+        value, grad = HingeLoss(margin=1.0).compute(
+            scores, np.array([0]), negatives=np.array([[1, 2]])
+        )
+        assert value == 0.0
+        assert not grad.any()
+
+    def test_loss_value_for_known_violation(self):
+        scores = np.array([[0.0, 0.5, -10.0]])
+        value, _ = HingeLoss(margin=1.0).compute(scores, np.array([0]), negatives=np.array([[1, 1]]))
+        # violation = 1 - 0 + 0.5 = 1.5 for both sampled negatives -> mean 1.5
+        assert value == pytest.approx(1.5)
+
+    def test_gradient_matches_finite_difference(self, scores, targets, negatives):
+        loss = HingeLoss(margin=0.7)
+        _, analytic = loss.compute(scores, targets, negatives=negatives)
+        numeric = finite_difference(loss, scores, targets, negatives=negatives)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+    def test_requires_negatives(self, scores, targets):
+        with pytest.raises(ValueError):
+            HingeLoss().compute(scores, targets)

@@ -1,0 +1,108 @@
+"""Tests for the high-level KGEModel wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.kge import KGEModel, train_model
+from repro.kge.scoring import BlockScoringFunction, DistMult, classical_structure
+from repro.core.search_space import random_structure
+from repro.utils.config import TrainingConfig
+
+
+@pytest.fixture(scope="module")
+def trained_model(tiny_graph):
+    config = TrainingConfig(dimension=8, epochs=10, batch_size=64, learning_rate=0.5, seed=0)
+    return train_model(tiny_graph, "simple", config)
+
+
+class TestTrainModel:
+    def test_accepts_model_name(self, tiny_graph, fast_training_config):
+        model = train_model(tiny_graph, "distmult", fast_training_config)
+        assert model.params is not None
+        assert model.history is not None
+
+    def test_accepts_instance(self, tiny_graph, fast_training_config):
+        model = train_model(tiny_graph, DistMult(), fast_training_config)
+        assert model.scoring_function.name == "DistMult"
+
+    def test_accepts_block_structure(self, tiny_graph, fast_training_config):
+        structure = random_structure(6, rng=0, require_c2=True)
+        model = train_model(tiny_graph, structure, fast_training_config)
+        assert isinstance(model.scoring_function, BlockScoringFunction)
+
+    def test_default_config_used_when_missing(self, tiny_graph):
+        # Only check that the call path works with a tiny graph; epochs=60
+        # default would be slow, so pass a config here but omit validate.
+        config = TrainingConfig(dimension=8, epochs=2, batch_size=64)
+        model = train_model(tiny_graph, "distmult", config)
+        assert model.history.epochs[-1] == 2
+
+
+class TestPrediction:
+    def test_score_shape(self, trained_model, tiny_graph):
+        scores = trained_model.score(tiny_graph.test[:5])
+        assert scores.shape == (5,)
+
+    def test_predict_tails_returns_sorted_topk(self, trained_model):
+        predictions = trained_model.predict_tails(0, 0, top_k=5)
+        assert len(predictions) == 5
+        scores = [score for _entity, score in predictions]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_predict_heads_returns_entities_in_range(self, trained_model, tiny_graph):
+        predictions = trained_model.predict_heads(0, 1, top_k=3)
+        assert all(0 <= entity < tiny_graph.num_entities for entity, _ in predictions)
+
+    def test_true_tail_ranks_well(self, trained_model, tiny_graph):
+        h, r, t = (int(v) for v in tiny_graph.train[0])
+        top = [entity for entity, _ in trained_model.predict_tails(h, r, top_k=tiny_graph.num_entities)]
+        assert t in top[: max(10, tiny_graph.num_entities // 3)]
+
+    def test_unfitted_model_raises(self):
+        model = KGEModel(DistMult(), TrainingConfig(dimension=8, epochs=1))
+        with pytest.raises(RuntimeError):
+            model.score(np.array([[0, 0, 1]]))
+
+
+class TestEvaluationAndClassification:
+    def test_evaluate_returns_metrics(self, trained_model, tiny_graph):
+        result = trained_model.evaluate(tiny_graph, split="valid")
+        assert 0 <= result.mrr <= 1
+
+    def test_classify_returns_accuracy(self, trained_model, tiny_graph):
+        accuracy = trained_model.classify(tiny_graph)
+        assert 0 <= accuracy <= 1
+
+    def test_fit_with_validation_records_mrr(self, tiny_graph):
+        config = TrainingConfig(
+            dimension=8, epochs=4, batch_size=64, learning_rate=0.5, eval_every=2, seed=0
+        )
+        model = KGEModel(DistMult(), config)
+        history = model.fit(tiny_graph, validate=True)
+        assert any(value is not None for value in history.validation_mrr)
+
+
+class TestSerialization:
+    def test_save_and_load_named_model(self, trained_model, tiny_graph, tmp_path):
+        directory = trained_model.save(tmp_path / "model")
+        loaded = KGEModel.load(directory)
+        original = trained_model.evaluate(tiny_graph, split="valid").mrr
+        restored = loaded.evaluate(tiny_graph, split="valid").mrr
+        assert restored == pytest.approx(original)
+
+    def test_save_and_load_block_structure_model(self, tiny_graph, fast_training_config, tmp_path):
+        structure = classical_structure("analogy")
+        model = train_model(tiny_graph, structure, fast_training_config)
+        loaded = KGEModel.load(model.save(tmp_path / "blockmodel"))
+        assert isinstance(loaded.scoring_function, BlockScoringFunction)
+        assert loaded.scoring_function.structure.key() == structure.key()
+
+    def test_loaded_scores_match(self, trained_model, tiny_graph, tmp_path):
+        loaded = KGEModel.load(trained_model.save(tmp_path / "scores"))
+        triples = tiny_graph.test[:4]
+        np.testing.assert_allclose(loaded.score(triples), trained_model.score(triples))
+
+    def test_save_without_params_raises(self, tmp_path):
+        model = KGEModel(DistMult(), TrainingConfig(dimension=8, epochs=1))
+        with pytest.raises(RuntimeError):
+            model.save(tmp_path / "nothing")

@@ -1,0 +1,204 @@
+"""Tests for optimizers, regularizers and negative samplers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import GeneratorProfile, generate_knowledge_graph
+from repro.kge.negative_sampling import BernoulliNegativeSampler, UniformNegativeSampler
+from repro.kge.optimizers import SGD, Adagrad, Adam, get_optimizer
+from repro.kge.regularizers import (
+    L2Regularizer,
+    N3Regularizer,
+    NoRegularizer,
+    get_regularizer,
+)
+
+
+def quadratic_params():
+    return {"x": np.array([3.0, -2.0]), "y": np.array([[1.0, 4.0]])}
+
+
+def quadratic_grads(params):
+    # Gradient of 0.5 * sum(p^2): minimizer at zero.
+    return {key: value.copy() for key, value in params.items()}
+
+
+class TestOptimizerBasics:
+    @pytest.mark.parametrize("factory", [lambda: SGD(0.1), lambda: Adagrad(0.5), lambda: Adam(0.2)])
+    def test_converges_on_quadratic(self, factory):
+        optimizer = factory()
+        params = quadratic_params()
+        for _step in range(200):
+            optimizer.step(params, quadratic_grads(params))
+        assert np.abs(params["x"]).max() < 0.05
+        assert np.abs(params["y"]).max() < 0.05
+
+    def test_sgd_single_step_value(self):
+        optimizer = SGD(learning_rate=0.1)
+        params = {"w": np.array([1.0])}
+        optimizer.step(params, {"w": np.array([2.0])})
+        assert params["w"][0] == pytest.approx(0.8)
+
+    def test_adagrad_first_step_is_learning_rate_sized(self):
+        optimizer = Adagrad(learning_rate=0.5)
+        params = {"w": np.array([1.0])}
+        optimizer.step(params, {"w": np.array([4.0])})
+        # First Adagrad step ~ lr * grad / |grad| = lr.
+        assert params["w"][0] == pytest.approx(0.5, abs=1e-6)
+
+    def test_adagrad_steps_shrink(self):
+        optimizer = Adagrad(learning_rate=0.5)
+        params = {"w": np.array([10.0])}
+        deltas = []
+        for _ in range(3):
+            before = params["w"].copy()
+            optimizer.step(params, {"w": np.array([1.0])})
+            deltas.append(float((before - params["w"])[0]))
+        assert deltas[0] > deltas[1] > deltas[2]
+
+    def test_decay_reduces_learning_rate(self):
+        optimizer = SGD(learning_rate=1.0, decay_rate=0.5)
+        optimizer.decay()
+        assert optimizer.learning_rate == pytest.approx(0.5)
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            SGD(0.0)
+
+    def test_invalid_decay(self):
+        with pytest.raises(ValueError):
+            SGD(0.1, decay_rate=0.0)
+
+    def test_shape_mismatch_rejected(self):
+        optimizer = SGD(0.1)
+        with pytest.raises(ValueError):
+            optimizer.step({"w": np.zeros(3)}, {"w": np.zeros(4)})
+
+    def test_unknown_gradient_key_rejected(self):
+        optimizer = SGD(0.1)
+        with pytest.raises(KeyError):
+            optimizer.step({"w": np.zeros(3)}, {"v": np.zeros(3)})
+
+    def test_adam_reset_clears_state(self):
+        optimizer = Adam(0.1)
+        params = {"w": np.array([1.0])}
+        optimizer.step(params, {"w": np.array([1.0])})
+        optimizer.reset()
+        assert optimizer._step_count == 0
+        assert not optimizer._state
+
+    def test_adam_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam(0.1, beta1=1.0)
+
+    def test_factory(self):
+        assert isinstance(get_optimizer("adagrad", 0.1), Adagrad)
+        assert isinstance(get_optimizer("adam", 0.1), Adam)
+        assert isinstance(get_optimizer("sgd", 0.1), SGD)
+        with pytest.raises(KeyError):
+            get_optimizer("lbfgs", 0.1)
+
+
+class TestRegularizers:
+    def test_l2_penalty_value(self):
+        params = {"w": np.array([1.0, 2.0]), "v": np.array([3.0])}
+        assert L2Regularizer(0.1).penalty(params) == pytest.approx(0.1 * (1 + 4 + 9))
+
+    def test_l2_gradient(self):
+        params = {"w": np.array([2.0, -1.0])}
+        grads = {"w": np.zeros(2)}
+        L2Regularizer(0.5).add_gradients(params, grads)
+        np.testing.assert_allclose(grads["w"], [2.0, -1.0])
+
+    def test_l2_zero_weight_is_noop(self):
+        params = {"w": np.array([2.0])}
+        grads = {"w": np.zeros(1)}
+        L2Regularizer(0.0).add_gradients(params, grads)
+        assert grads["w"][0] == 0.0
+
+    def test_n3_only_touches_embeddings(self):
+        params = {"entities": np.array([[2.0]]), "nn1_w1": np.array([[5.0]])}
+        grads = {key: np.zeros_like(value) for key, value in params.items()}
+        N3Regularizer(1.0).add_gradients(params, grads)
+        assert grads["entities"][0, 0] == pytest.approx(3 * 4.0)
+        assert grads["nn1_w1"][0, 0] == 0.0
+
+    def test_n3_penalty_value(self):
+        params = {"entities": np.array([[-2.0]]), "relations": np.array([[1.0]])}
+        assert N3Regularizer(0.5).penalty(params) == pytest.approx(0.5 * (8 + 1))
+
+    def test_n3_gradient_matches_finite_difference(self):
+        params = {"entities": np.array([[0.7, -1.3]]), "relations": np.array([[0.4, 0.9]])}
+        regularizer = N3Regularizer(0.3)
+        grads = {key: np.zeros_like(value) for key, value in params.items()}
+        regularizer.add_gradients(params, grads)
+        epsilon = 1e-6
+        for key in params:
+            for index in np.ndindex(params[key].shape):
+                plus = {k: v.copy() for k, v in params.items()}
+                minus = {k: v.copy() for k, v in params.items()}
+                plus[key][index] += epsilon
+                minus[key][index] -= epsilon
+                numeric = (regularizer.penalty(plus) - regularizer.penalty(minus)) / (2 * epsilon)
+                assert grads[key][index] == pytest.approx(numeric, rel=1e-4)
+
+    def test_no_regularizer(self):
+        params = {"w": np.array([5.0])}
+        grads = {"w": np.zeros(1)}
+        reg = NoRegularizer()
+        assert reg.penalty(params) == 0.0
+        reg.add_gradients(params, grads)
+        assert grads["w"][0] == 0.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            L2Regularizer(-1.0)
+
+    def test_factory(self):
+        assert isinstance(get_regularizer("l2", 0.1), L2Regularizer)
+        assert isinstance(get_regularizer("n3", 0.1), N3Regularizer)
+        assert isinstance(get_regularizer("none", 0.0), NoRegularizer)
+        with pytest.raises(KeyError):
+            get_regularizer("dropout", 0.1)
+
+
+class TestNegativeSamplers:
+    def test_uniform_shape_and_range(self):
+        sampler = UniformNegativeSampler(num_entities=50, num_negatives=7, rng=0)
+        negatives = sampler.sample(np.array([1, 2, 3]))
+        assert negatives.shape == (3, 7)
+        assert negatives.min() >= 0 and negatives.max() < 50
+
+    def test_uniform_mostly_avoids_positives(self):
+        sampler = UniformNegativeSampler(num_entities=10, num_negatives=50, rng=0)
+        positives = np.array([4])
+        negatives = sampler.sample(positives)
+        # One resampling pass: collisions should be rare (well under 20%).
+        collisions = np.mean(negatives == 4)
+        assert collisions < 0.2
+
+    def test_uniform_invalid_args(self):
+        with pytest.raises(ValueError):
+            UniformNegativeSampler(num_entities=1, num_negatives=2)
+        with pytest.raises(ValueError):
+            UniformNegativeSampler(num_entities=5, num_negatives=0)
+
+    def test_bernoulli_prefers_relation_entities(self):
+        profile = GeneratorProfile(name="tiny", num_entities=60, num_clusters=4, seed=0)
+        graph = generate_knowledge_graph(profile)
+        sampler = BernoulliNegativeSampler(graph, num_negatives=20, rng=0, consistent_fraction=1.0)
+        relation = 0
+        pool = set(sampler._entities_by_relation[relation].tolist())
+        positives = graph.train[graph.train[:, 1] == relation][:4, 2]
+        negatives = sampler.sample(positives, relations=np.full(len(positives), relation))
+        in_pool = np.mean([int(v) in pool for v in negatives.ravel()])
+        assert in_pool > 0.9
+
+    def test_bernoulli_invalid_fraction(self, tiny_graph):
+        with pytest.raises(ValueError):
+            BernoulliNegativeSampler(tiny_graph, num_negatives=2, consistent_fraction=1.5)
+
+    def test_deterministic_given_seed(self):
+        a = UniformNegativeSampler(20, 5, rng=3).sample(np.arange(4))
+        b = UniformNegativeSampler(20, 5, rng=3).sample(np.arange(4))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,150 @@
+"""Tests for the block-structure representation."""
+
+import numpy as np
+import pytest
+
+from repro.kge.scoring.blocks import (
+    CLASSICAL_STRUCTURES,
+    BlockStructure,
+    analogy_structure,
+    classical_structure,
+    complex_structure,
+    distmult_structure,
+    render_structure,
+    simple_structure,
+)
+
+
+class TestConstruction:
+    def test_blocks_sorted_and_hashable(self):
+        a = BlockStructure([(1, 1, 1, 1), (0, 0, 0, 1)])
+        b = BlockStructure([(0, 0, 0, 1), (1, 1, 1, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.key() == b.key()
+
+    def test_duplicate_cell_rejected(self):
+        with pytest.raises(ValueError):
+            BlockStructure([(0, 0, 0, 1), (0, 0, 1, -1)])
+
+    def test_bad_sign(self):
+        with pytest.raises(ValueError):
+            BlockStructure([(0, 0, 0, 2)])
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            BlockStructure([(4, 0, 0, 1)])
+        with pytest.raises(ValueError):
+            BlockStructure([(0, 0, 5, 1)])
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError):
+            BlockStructure([(0, 0, 0)])
+
+    def test_len_and_num_blocks(self):
+        structure = distmult_structure()
+        assert len(structure) == 4
+        assert structure.num_blocks == 4
+
+    def test_components_used(self):
+        structure = BlockStructure([(0, 0, 2, 1), (1, 1, 2, -1)])
+        assert structure.components_used() == [2]
+
+    def test_cells(self):
+        structure = BlockStructure([(0, 1, 0, 1), (2, 3, 1, -1)])
+        assert set(structure.cells()) == {(0, 1), (2, 3)}
+
+
+class TestSubstituteMatrix:
+    def test_distmult_matrix(self):
+        matrix = distmult_structure().substitute_matrix()
+        np.testing.assert_array_equal(matrix, np.diag([1, 2, 3, 4]))
+
+    def test_negative_sign_encoding(self):
+        structure = BlockStructure([(0, 1, 2, -1)])
+        matrix = structure.substitute_matrix()
+        assert matrix[0, 1] == -3
+
+    def test_round_trip(self):
+        for structure in CLASSICAL_STRUCTURES.values():
+            rebuilt = BlockStructure.from_substitute_matrix(structure.substitute_matrix())
+            assert rebuilt.key() == structure.key()
+
+    def test_from_matrix_invalid_value(self):
+        matrix = np.zeros((4, 4), dtype=int)
+        matrix[0, 0] = 7
+        with pytest.raises(ValueError):
+            BlockStructure.from_substitute_matrix(matrix)
+
+    def test_from_matrix_wrong_shape(self):
+        with pytest.raises(ValueError):
+            BlockStructure.from_substitute_matrix(np.zeros((3, 3), dtype=int))
+
+
+class TestRelationMatrixAndScore:
+    def test_distmult_relation_matrix_is_diagonal(self):
+        r = np.arange(1.0, 9.0)
+        matrix = distmult_structure().relation_matrix(r)
+        np.testing.assert_allclose(matrix, np.diag(r))
+
+    def test_score_matches_relation_matrix_form(self, rng):
+        dimension = 8
+        for structure in (complex_structure(), simple_structure(), analogy_structure()):
+            h = rng.normal(size=dimension)
+            r = rng.normal(size=dimension)
+            t = rng.normal(size=dimension)
+            direct = structure.score(h, r, t)
+            via_matrix = float(h @ structure.relation_matrix(r) @ t)
+            assert direct == pytest.approx(via_matrix, rel=1e-10)
+
+    def test_score_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            distmult_structure().score(np.ones(8), np.ones(8), np.ones(4))
+
+    def test_relation_matrix_requires_divisible_dimension(self):
+        with pytest.raises(ValueError):
+            distmult_structure().relation_matrix(np.ones(6))
+
+
+class TestHelpers:
+    def test_with_block_adds(self):
+        structure = BlockStructure([(0, 0, 0, 1)])
+        extended = structure.with_block(1, 1, 1, -1)
+        assert extended.num_blocks == 2
+        assert structure.num_blocks == 1
+
+    def test_with_block_occupied_cell_raises(self):
+        structure = BlockStructure([(0, 0, 0, 1)])
+        with pytest.raises(ValueError):
+            structure.with_block(0, 0, 1, 1)
+
+    def test_transpose(self):
+        structure = BlockStructure([(0, 1, 2, -1)])
+        transposed = structure.transpose()
+        assert transposed.blocks == ((1, 0, 2, -1),)
+
+    def test_transpose_of_symmetric_structure_is_same(self):
+        assert distmult_structure().transpose().key() == distmult_structure().key()
+
+    def test_render_contains_all_entries(self):
+        text = render_structure(complex_structure())
+        assert "+r1" in text and "-r3" in text
+
+    def test_str_is_render(self):
+        assert str(distmult_structure()) == render_structure(distmult_structure())
+
+
+class TestClassicalRegistry:
+    def test_lookup_by_name(self):
+        assert classical_structure("DistMult").name == "DistMult"
+        assert classical_structure("cp").key() == simple_structure().key()
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            classical_structure("transformer")
+
+    @pytest.mark.parametrize("name,expected_blocks", [
+        ("distmult", 4), ("complex", 8), ("analogy", 6), ("simple", 4),
+    ])
+    def test_block_counts(self, name, expected_blocks):
+        assert classical_structure(name).num_blocks == expected_blocks

@@ -1,0 +1,122 @@
+"""Cross-checks: block structures vs. the textbook formulas of classical SFs.
+
+These tests are the ground truth for the unified search space: the block
+representation of DistMult / ComplEx / Analogy / SimplE must reproduce the
+original formulas exactly (Eqs. 3–6 of the paper).
+"""
+
+import numpy as np
+import pytest
+
+from repro.kge.scoring.blocks import (
+    analogy_structure,
+    complex_structure,
+    distmult_structure,
+    simple_structure,
+)
+
+DIMENSION = 16  # total embedding dimension (4 chunks of 4)
+CHUNK = DIMENSION // 4
+
+
+@pytest.fixture()
+def embeddings(rng):
+    h = rng.normal(size=DIMENSION)
+    r = rng.normal(size=DIMENSION)
+    t = rng.normal(size=DIMENSION)
+    return h, r, t
+
+
+def chunks(vector):
+    return [vector[i * CHUNK : (i + 1) * CHUNK] for i in range(4)]
+
+
+class TestDistMult:
+    def test_matches_triple_dot_product(self, embeddings):
+        h, r, t = embeddings
+        expected = float(np.sum(h * r * t))
+        assert distmult_structure().score(h, r, t) == pytest.approx(expected)
+
+    def test_symmetric_in_head_and_tail(self, embeddings):
+        h, r, t = embeddings
+        structure = distmult_structure()
+        assert structure.score(h, r, t) == pytest.approx(structure.score(t, r, h))
+
+
+class TestComplEx:
+    def test_matches_complex_formula(self, embeddings):
+        """Re(<h, r, conj(t)>) with chunks (1,3) and (2,4) as (real, imag) pairs."""
+        h, r, t = embeddings
+        h1, h2, h3, h4 = chunks(h)
+        r1, r2, r3, r4 = chunks(r)
+        t1, t2, t3, t4 = chunks(t)
+        # Complex vectors: (h1 + i h3) with relation (r1 + i r3), plus the
+        # second pair (h2 + i h4) / (r2 + i r4), per Eq. (3).
+        h_c = np.concatenate([h1, h2]) + 1j * np.concatenate([h3, h4])
+        r_c = np.concatenate([r1, r2]) + 1j * np.concatenate([r3, r4])
+        t_c = np.concatenate([t1, t2]) + 1j * np.concatenate([t3, t4])
+        expected = float(np.real(np.sum(h_c * r_c * np.conj(t_c))))
+        assert complex_structure().score(h, r, t) == pytest.approx(expected)
+
+    def test_not_symmetric_in_general(self, embeddings):
+        h, r, t = embeddings
+        structure = complex_structure()
+        assert structure.score(h, r, t) != pytest.approx(structure.score(t, r, h))
+
+    def test_symmetric_when_imaginary_part_zero(self, embeddings):
+        h, r, t = embeddings
+        r_real = r.copy()
+        r_real[2 * CHUNK :] = 0.0  # zero both imaginary relation chunks
+        structure = complex_structure()
+        assert structure.score(h, r_real, t) == pytest.approx(structure.score(t, r_real, h))
+
+
+class TestSimplE:
+    def test_matches_simple_formula(self, embeddings):
+        """<h_hat, r_hat, t_breve> + <h_breve, r_breve, t_hat> (Eq. 6).
+
+        In the four-chunk layout, (chunk 1, chunk 2) form the "hat" half and
+        (chunk 3, chunk 4) the "breve" half.
+        """
+        h, r, t = embeddings
+        h1, h2, h3, h4 = chunks(h)
+        r1, r2, r3, r4 = chunks(r)
+        t1, t2, t3, t4 = chunks(t)
+        h_hat, h_breve = np.concatenate([h1, h2]), np.concatenate([h3, h4])
+        r_hat, r_breve = np.concatenate([r1, r2]), np.concatenate([r3, r4])
+        t_hat, t_breve = np.concatenate([t1, t2]), np.concatenate([t3, t4])
+        expected = float(np.sum(h_hat * r_hat * t_breve) + np.sum(h_breve * r_breve * t_hat))
+        assert simple_structure().score(h, r, t) == pytest.approx(expected)
+
+    def test_inverse_relation_representable(self, embeddings):
+        """Swapping the two relation halves scores the reversed triple equally."""
+        h, r, t = embeddings
+        r_swapped = np.concatenate([r[2 * CHUNK :], r[: 2 * CHUNK]])
+        structure = simple_structure()
+        assert structure.score(h, r, t) == pytest.approx(structure.score(t, r_swapped, h))
+
+
+class TestAnalogy:
+    def test_matches_analogy_formula(self, embeddings):
+        """<h_hat, r_hat, t_hat> + Re(<h_breve, r_breve, conj(t_breve)>) (Eq. 5)."""
+        h, r, t = embeddings
+        h1, h2, h3, h4 = chunks(h)
+        r1, r2, r3, r4 = chunks(r)
+        t1, t2, t3, t4 = chunks(t)
+        real_part = float(np.sum(h1 * r1 * t1) + np.sum(h2 * r2 * t2))
+        h_c, r_c, t_c = h3 + 1j * h4, r3 + 1j * r4, t3 + 1j * t4
+        complex_part = float(np.real(np.sum(h_c * r_c * np.conj(t_c))))
+        assert analogy_structure().score(h, r, t) == pytest.approx(real_part + complex_part)
+
+
+class TestRelationMatrixShapes:
+    @pytest.mark.parametrize(
+        "structure_factory",
+        [distmult_structure, complex_structure, analogy_structure, simple_structure],
+    )
+    def test_relation_matrix_reproduces_score(self, structure_factory, embeddings):
+        h, r, t = embeddings
+        structure = structure_factory()
+        np.testing.assert_allclose(
+            structure.score(h, r, t), h @ structure.relation_matrix(r) @ t, rtol=1e-10
+        )

@@ -1,0 +1,227 @@
+"""Behavioural tests for every scoring-function implementation."""
+
+import numpy as np
+import pytest
+
+from repro.kge.scoring import (
+    RESCAL,
+    Analogy,
+    BlockScoringFunction,
+    BlockStructure,
+    ComplEx,
+    DistMult,
+    MLPScoringFunction,
+    RotatE,
+    SimplE,
+    TransE,
+    available_scoring_functions,
+    block_scoring_function,
+    classical_block_scoring_function,
+    classical_structure,
+    get_scoring_function,
+)
+from repro.kge.scoring.base import HEAD, TAIL
+
+NUM_ENTITIES, NUM_RELATIONS, DIMENSION = 12, 3, 8
+
+ALL_MODELS = [DistMult, ComplEx, Analogy, SimplE, RESCAL, TransE, RotatE, MLPScoringFunction]
+
+
+def init(model):
+    params = model.init_params(NUM_ENTITIES, NUM_RELATIONS, DIMENSION, rng=0)
+    return params
+
+
+@pytest.mark.parametrize("model_class", ALL_MODELS)
+class TestCommonBehaviour:
+    def test_init_params_shapes(self, model_class):
+        model = model_class()
+        params = init(model)
+        assert params["entities"].shape == (NUM_ENTITIES, DIMENSION)
+        assert "relations" in params
+
+    def test_score_triples_shape(self, model_class):
+        model = model_class()
+        params = init(model)
+        triples = np.array([[0, 0, 1], [2, 1, 3], [4, 2, 5]])
+        scores = model.score_triples(params, triples)
+        assert scores.shape == (3,)
+        assert np.all(np.isfinite(scores))
+
+    def test_score_candidates_all_entities(self, model_class):
+        model = model_class()
+        params = init(model)
+        queries = np.array([[0, 0], [1, 1]])
+        scores = model.score_candidates(params, queries, direction=TAIL)
+        assert scores.shape == (2, NUM_ENTITIES)
+
+    def test_score_candidates_subset(self, model_class):
+        model = model_class()
+        params = init(model)
+        queries = np.array([[0, 0], [1, 1]])
+        candidates = np.array([3, 5, 7])
+        subset = model.score_candidates(params, queries, direction=TAIL, candidates=candidates)
+        full = model.score_candidates(params, queries, direction=TAIL)
+        np.testing.assert_allclose(subset, full[:, candidates])
+
+    def test_tail_scores_consistent_with_triples(self, model_class):
+        """Column t of the tail-candidate matrix equals the direct triple score."""
+        model = model_class()
+        params = init(model)
+        triples = np.array([[0, 0, 1], [2, 1, 3]])
+        candidate_scores = model.score_candidates(params, triples[:, [0, 1]], direction=TAIL)
+        direct = model.score_triples(params, triples)
+        gathered = candidate_scores[np.arange(2), triples[:, 2]]
+        np.testing.assert_allclose(gathered, direct, rtol=1e-8)
+
+    def test_head_scores_consistent_with_triples(self, model_class):
+        model = model_class()
+        params = init(model)
+        triples = np.array([[0, 0, 1], [2, 1, 3]])
+        candidate_scores = model.score_candidates(params, triples[:, [2, 1]], direction=HEAD)
+        if isinstance(model, MLPScoringFunction):
+            # The MLP uses a *separate* network (NN2) for head prediction, so
+            # head scores intentionally differ from score_triples (which uses
+            # NN1); only the shape is checked here.
+            assert candidate_scores.shape == (2, NUM_ENTITIES)
+            return
+        direct = model.score_triples(params, triples)
+        gathered = candidate_scores[np.arange(2), triples[:, 0]]
+        np.testing.assert_allclose(gathered, direct, rtol=1e-8)
+
+    def test_invalid_direction(self, model_class):
+        model = model_class()
+        params = init(model)
+        with pytest.raises(ValueError):
+            model.score_candidates(params, np.array([[0, 0]]), direction="sideways")
+
+    def test_bad_query_shape(self, model_class):
+        model = model_class()
+        params = init(model)
+        with pytest.raises(ValueError):
+            model.score_candidates(params, np.array([0, 0, 1]))
+
+    def test_zero_grads_match_param_shapes(self, model_class):
+        model = model_class()
+        params = init(model)
+        grads = model.zero_grads(params)
+        assert set(grads) == set(params)
+        for key in params:
+            assert grads[key].shape == params[key].shape
+            assert not grads[key].any()
+
+
+class TestBlockScoringFunctionSpecifics:
+    def test_requires_nonempty_structure(self):
+        with pytest.raises(ValueError):
+            BlockScoringFunction(BlockStructure([]))
+
+    def test_dimension_must_be_divisible_by_four(self):
+        model = DistMult()
+        params = model.init_params(5, 2, 6, rng=0)
+        with pytest.raises(ValueError):
+            model.score_triples(params, np.array([[0, 0, 1]]))
+
+    def test_matches_reference_structure_score(self, rng):
+        structure = classical_structure("complex")
+        model = BlockScoringFunction(structure)
+        params = model.init_params(6, 2, DIMENSION, rng=1)
+        triples = np.array([[0, 0, 1], [2, 1, 3]])
+        scores = model.score_triples(params, triples)
+        for row, (h, r, t) in enumerate(triples):
+            expected = structure.score(
+                params["entities"][h], params["relations"][r], params["entities"][t]
+            )
+            assert scores[row] == pytest.approx(expected)
+
+    def test_distmult_block_equals_elementwise_formula(self):
+        model = DistMult()
+        params = init(model)
+        triples = np.array([[0, 0, 1], [3, 2, 4]])
+        h = params["entities"][triples[:, 0]]
+        r = params["relations"][triples[:, 1]]
+        t = params["entities"][triples[:, 2]]
+        np.testing.assert_allclose(model.score_triples(params, triples), np.sum(h * r * t, axis=1))
+
+
+class TestTransESpecifics:
+    def test_l1_and_l2_norms_differ(self):
+        params = TransE(norm=1).init_params(NUM_ENTITIES, NUM_RELATIONS, DIMENSION, rng=0)
+        triples = np.array([[0, 0, 1]])
+        assert TransE(norm=1).score_triples(params, triples) != pytest.approx(
+            TransE(norm=2).score_triples(params, triples)
+        )
+
+    def test_invalid_norm(self):
+        with pytest.raises(ValueError):
+            TransE(norm=3)
+
+    def test_perfect_translation_scores_zero(self):
+        model = TransE()
+        params = model.init_params(3, 1, 4, rng=0)
+        params["relations"][0] = params["entities"][1] - params["entities"][0]
+        score = model.score_triples(params, np.array([[0, 0, 1]]))
+        assert score[0] == pytest.approx(0.0)
+
+    def test_scores_are_non_positive(self):
+        model = TransE()
+        params = init(model)
+        scores = model.score_candidates(params, np.array([[0, 0]]), direction=TAIL)
+        assert np.all(scores <= 1e-12)
+
+
+class TestRotatESpecifics:
+    def test_requires_even_dimension(self):
+        with pytest.raises(ValueError):
+            RotatE().init_params(4, 2, 7, rng=0)
+
+    def test_relation_parameters_are_phases(self):
+        params = RotatE().init_params(NUM_ENTITIES, NUM_RELATIONS, DIMENSION, rng=0)
+        assert params["relations"].shape == (NUM_RELATIONS, DIMENSION // 2)
+
+    def test_zero_phase_is_identity_rotation(self):
+        model = RotatE()
+        params = model.init_params(4, 1, 6, rng=0)
+        params["relations"][0] = 0.0
+        params["entities"][1] = params["entities"][0]
+        score = model.score_triples(params, np.array([[0, 0, 1]]))
+        assert score[0] == pytest.approx(0.0)
+
+    def test_rotation_is_isometry_for_head_queries(self):
+        """Head-direction scores match brute-force ||x*r - t||."""
+        model = RotatE()
+        params = model.init_params(6, 2, DIMENSION, rng=3)
+        tail, relation = 2, 1
+        scores = model.score_candidates(params, np.array([[tail, relation]]), direction=HEAD)[0]
+        for candidate in range(6):
+            direct = model.score_triples(params, np.array([[candidate, relation, tail]]))[0]
+            assert scores[candidate] == pytest.approx(direct, rel=1e-9)
+
+
+class TestMLPSpecifics:
+    def test_extra_parameters_created(self):
+        params = MLPScoringFunction().init_params(NUM_ENTITIES, NUM_RELATIONS, DIMENSION, rng=0)
+        for key in ("nn1_w1", "nn1_w2", "nn2_w1", "nn2_w2"):
+            assert key in params
+
+    def test_custom_hidden_units(self):
+        params = MLPScoringFunction(hidden_units=5).init_params(4, 2, DIMENSION, rng=0)
+        assert params["nn1_w1"].shape == (2 * DIMENSION, 5)
+
+
+class TestRegistry:
+    def test_all_names_instantiate(self):
+        for name in available_scoring_functions():
+            assert get_scoring_function(name) is not None
+
+    def test_case_and_separator_insensitive(self):
+        assert get_scoring_function("Dist-Mult").name == "DistMult"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_scoring_function("tucker3000")
+
+    def test_block_wrappers(self):
+        structure = classical_structure("simple")
+        assert block_scoring_function(structure).structure.key() == structure.key()
+        assert classical_block_scoring_function("analogy").name == "Analogy"

@@ -1,0 +1,218 @@
+"""Tests for the training loop and the evaluation protocols."""
+
+import numpy as np
+import pytest
+
+from repro.kge.evaluation import (
+    _best_threshold,
+    _filtered_rank,
+    compute_ranks,
+    evaluate_link_prediction,
+    evaluate_triplet_classification,
+    generate_classification_negatives,
+)
+from repro.kge.scoring import DistMult, SimplE
+from repro.kge.trainer import Trainer, TrainingHistory
+from repro.utils.config import TrainingConfig
+
+
+class TestTrainingHistory:
+    def test_record_and_final_loss(self):
+        history = TrainingHistory()
+        history.record(1, 2.0, 0.1)
+        history.record(2, 1.0, 0.2, validation_mrr=0.4)
+        assert history.final_loss == 1.0
+        assert history.best_validation_mrr == 0.4
+        assert history.validation_mrr == [None, 0.4]
+
+    def test_empty_history(self):
+        history = TrainingHistory()
+        assert history.final_loss is None
+        assert history.best_validation_mrr is None
+
+    def test_as_dict_round_trip(self):
+        history = TrainingHistory()
+        history.record(1, 3.0, 0.5, 0.2)
+        data = history.as_dict()
+        assert data["epochs"] == [1]
+        assert data["validation_mrr"] == [0.2]
+
+
+class TestTrainer:
+    def test_loss_decreases(self, tiny_graph, fast_training_config):
+        config = fast_training_config.replace(epochs=12)
+        trainer = Trainer(SimplE(), config)
+        _params, history = trainer.fit(tiny_graph)
+        assert history.losses[-1] < history.losses[0]
+
+    def test_parameters_change(self, tiny_graph, fast_training_config):
+        trainer = Trainer(DistMult(), fast_training_config)
+        params = trainer.initialize(tiny_graph)
+        before = params["entities"].copy()
+        trainer.fit(tiny_graph, params=params)
+        assert not np.allclose(before, params["entities"])
+
+    def test_history_length_matches_epochs(self, tiny_graph, fast_training_config):
+        trainer = Trainer(DistMult(), fast_training_config)
+        _params, history = trainer.fit(tiny_graph)
+        assert len(history.losses) == fast_training_config.epochs
+
+    def test_reproducible_given_seed(self, tiny_graph, fast_training_config):
+        first, _ = Trainer(DistMult(), fast_training_config).fit(tiny_graph)
+        second, _ = Trainer(DistMult(), fast_training_config).fit(tiny_graph)
+        np.testing.assert_allclose(first["entities"], second["entities"])
+
+    def test_different_seed_differs(self, tiny_graph, fast_training_config):
+        first, _ = Trainer(DistMult(), fast_training_config).fit(tiny_graph)
+        second, _ = Trainer(DistMult(), fast_training_config.replace(seed=9)).fit(tiny_graph)
+        assert not np.allclose(first["entities"], second["entities"])
+
+    def test_validation_callback_invoked(self, tiny_graph, fast_training_config):
+        calls = []
+
+        def callback(params):
+            calls.append(1)
+            return float(len(calls))
+
+        config = fast_training_config.replace(eval_every=2, epochs=6)
+        Trainer(DistMult(), config).fit(tiny_graph, validation_callback=callback)
+        assert len(calls) == 3
+
+    def test_early_stopping(self, tiny_graph, fast_training_config):
+        config = fast_training_config.replace(
+            epochs=20, eval_every=1, early_stopping_patience=2
+        )
+
+        def callback(_params):
+            return 0.1  # never improves after the first evaluation
+
+        _params, history = Trainer(DistMult(), config).fit(tiny_graph, validation_callback=callback)
+        assert len(history.losses) < 20
+
+    def test_pairwise_loss_training_runs(self, tiny_graph, fast_training_config):
+        config = fast_training_config.replace(loss="logistic", negative_samples=4, epochs=3)
+        _params, history = Trainer(DistMult(), config).fit(tiny_graph)
+        assert len(history.losses) == 3
+        assert np.isfinite(history.losses).all()
+
+    def test_empty_training_split_raises(self, tiny_graph, fast_training_config):
+        empty = tiny_graph.with_splits(
+            np.zeros((0, 3), dtype=np.int64), tiny_graph.valid, tiny_graph.test
+        )
+        with pytest.raises(ValueError):
+            Trainer(DistMult(), fast_training_config).fit(empty)
+
+
+class TestFilteredRank:
+    def test_best_score_has_rank_one(self):
+        scores = np.array([0.1, 0.9, 0.5])
+        assert _filtered_rank(scores, target=1, known=[]) == 1.0
+
+    def test_known_entities_filtered_out(self):
+        scores = np.array([0.9, 0.8, 0.1])
+        # Entity 0 beats the target but is a known true answer -> filtered.
+        assert _filtered_rank(scores, target=1, known=[0]) == 1.0
+
+    def test_target_never_filtered(self):
+        scores = np.array([0.9, 0.8, 0.1])
+        assert _filtered_rank(scores, target=1, known=[0, 1]) == 1.0
+
+    def test_tie_gets_mean_rank(self):
+        scores = np.array([0.5, 0.5, 0.1])
+        assert _filtered_rank(scores, target=0, known=[]) == 1.5
+
+    def test_worst_rank(self):
+        scores = np.array([0.9, 0.8, 0.1])
+        assert _filtered_rank(scores, target=2, known=[]) == 3.0
+
+
+class TestLinkPredictionEvaluation:
+    def test_metrics_in_valid_ranges(self, tiny_graph, fast_training_config):
+        trainer = Trainer(SimplE(), fast_training_config)
+        params, _ = trainer.fit(tiny_graph)
+        result = evaluate_link_prediction(SimplE(), params, tiny_graph, split="valid")
+        assert 0.0 <= result.mrr <= 1.0
+        assert result.mean_rank >= 1.0
+        assert 0.0 <= result.hits_at(1) <= result.hits_at(3) <= result.hits_at(10) <= 1.0
+        assert result.num_queries == 2 * tiny_graph.num_valid
+
+    def test_random_embeddings_are_poor(self, tiny_graph):
+        model = SimplE()
+        params = model.init_params(tiny_graph.num_entities, tiny_graph.num_relations, 8, rng=0)
+        result = evaluate_link_prediction(model, params, tiny_graph, split="valid")
+        # A random model should be close to chance (MRR well below 0.5).
+        assert result.mrr < 0.5
+
+    def test_trained_beats_random(self, tiny_graph, fast_training_config):
+        model = SimplE()
+        random_params = model.init_params(
+            tiny_graph.num_entities, tiny_graph.num_relations, 8, rng=0
+        )
+        random_result = evaluate_link_prediction(model, random_params, tiny_graph, split="valid")
+        trained_params, _ = Trainer(model, fast_training_config.replace(epochs=25)).fit(tiny_graph)
+        trained_result = evaluate_link_prediction(model, trained_params, tiny_graph, split="valid")
+        assert trained_result.mrr > random_result.mrr
+
+    def test_filtered_at_least_as_good_as_raw(self, tiny_graph, fast_training_config):
+        params, _ = Trainer(SimplE(), fast_training_config).fit(tiny_graph)
+        filtered = compute_ranks(SimplE(), params, tiny_graph, split="valid", filtered=True)
+        raw = compute_ranks(SimplE(), params, tiny_graph, split="valid", filtered=False)
+        assert np.all(filtered <= raw + 1e-9)
+
+    def test_empty_split(self, tiny_graph, fast_training_config):
+        graph = tiny_graph.with_splits(tiny_graph.train, np.zeros((0, 3), dtype=np.int64), tiny_graph.test)
+        model = SimplE()
+        params = model.init_params(graph.num_entities, graph.num_relations, 8, rng=0)
+        result = evaluate_link_prediction(model, params, graph, split="valid")
+        assert result.mrr == 0.0
+        assert result.num_queries == 0
+
+    def test_hits_missing_k_raises(self, tiny_graph):
+        model = SimplE()
+        params = model.init_params(tiny_graph.num_entities, tiny_graph.num_relations, 8, rng=0)
+        result = evaluate_link_prediction(model, params, tiny_graph, split="valid", hits_at=(1,))
+        with pytest.raises(KeyError):
+            result.hits_at(10)
+
+    def test_as_dict(self, tiny_graph):
+        model = SimplE()
+        params = model.init_params(tiny_graph.num_entities, tiny_graph.num_relations, 8, rng=0)
+        data = evaluate_link_prediction(model, params, tiny_graph, split="valid").as_dict()
+        assert "mrr" in data and "hits@10" in data
+
+
+class TestTripletClassification:
+    def test_negatives_are_not_known_positives(self, tiny_graph):
+        negatives = generate_classification_negatives(tiny_graph, "valid", rng=0)
+        known = tiny_graph.triple_set()
+        overlap = sum(1 for row in negatives if (int(row[0]), int(row[1]), int(row[2])) in known)
+        assert overlap / max(len(negatives), 1) < 0.2
+
+    def test_best_threshold_separates_perfectly(self):
+        scores = np.array([1.0, 2.0, 10.0, 11.0])
+        labels = np.array([False, False, True, True])
+        threshold = _best_threshold(scores, labels)
+        assert 2.0 < threshold < 10.0
+
+    def test_best_threshold_empty(self):
+        assert _best_threshold(np.zeros(0), np.zeros(0, dtype=bool)) == 0.0
+
+    def test_accuracy_range(self, tiny_graph, fast_training_config):
+        params, _ = Trainer(SimplE(), fast_training_config).fit(tiny_graph)
+        accuracy = evaluate_triplet_classification(SimplE(), params, tiny_graph, rng=0)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_trained_model_beats_coin_flip(self, tiny_graph, fast_training_config):
+        params, _ = Trainer(SimplE(), fast_training_config.replace(epochs=25)).fit(tiny_graph)
+        accuracy = evaluate_triplet_classification(SimplE(), params, tiny_graph, rng=0)
+        assert accuracy > 0.55
+
+    def test_shared_negatives_give_identical_results(self, tiny_graph, fast_training_config):
+        params, _ = Trainer(SimplE(), fast_training_config).fit(tiny_graph)
+        negatives = (
+            generate_classification_negatives(tiny_graph, "valid", rng=1),
+            generate_classification_negatives(tiny_graph, "test", rng=2),
+        )
+        first = evaluate_triplet_classification(SimplE(), params, tiny_graph, negatives=negatives)
+        second = evaluate_triplet_classification(SimplE(), params, tiny_graph, negatives=negatives)
+        assert first == second

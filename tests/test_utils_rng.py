@@ -1,0 +1,90 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    choice_without_replacement,
+    derive_seed,
+    ensure_rng,
+    permutation,
+    spawn_rngs,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=10)
+        b = ensure_rng(42).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 10**6, size=20)
+        b = ensure_rng(2).integers(0, 10**6, size=20)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(ensure_rng(np.int64(3)), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        children = spawn_rngs(0, 5)
+        assert len(children) == 5
+
+    def test_children_independent_streams(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(a.integers(0, 10**6, 10), b.integers(0, 10**6, 10))
+
+    def test_reproducible_for_same_seed(self):
+        first = [g.integers(0, 10**6) for g in spawn_rngs(7, 3)]
+        second = [g.integers(0, 10**6) for g in spawn_rngs(7, 3)]
+        assert first == second
+
+    def test_zero_count(self):
+        assert list(spawn_rngs(0, 0)) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(0), 3)
+        assert len(children) == 3
+
+
+class TestHelpers:
+    def test_derive_seed_in_range(self):
+        seed = derive_seed(np.random.default_rng(0))
+        assert 0 <= seed < 2**31
+
+    def test_permutation_is_permutation(self):
+        perm = permutation(0, 10)
+        assert sorted(perm.tolist()) == list(range(10))
+
+    def test_choice_without_replacement_distinct(self):
+        values = choice_without_replacement(0, 20, 10)
+        assert len(set(values.tolist())) == 10
+
+    def test_choice_respects_exclusion(self):
+        values = choice_without_replacement(0, 10, 5, exclude={0, 1, 2})
+        assert not set(values.tolist()) & {0, 1, 2}
+
+    def test_choice_insufficient_raises(self):
+        with pytest.raises(ValueError):
+            choice_without_replacement(0, 5, 4, exclude={0, 1, 2})

@@ -1,0 +1,105 @@
+"""Tests for timing helpers and JSON serialization."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import from_json_file, to_json_file, to_json_string
+from repro.utils.timing import Stopwatch, TimingRecorder
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        watch = Stopwatch()
+        watch.start()
+        time.sleep(0.01)
+        elapsed = watch.stop()
+        assert elapsed >= 0.009
+
+    def test_double_start_raises(self):
+        watch = Stopwatch()
+        watch.start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_accumulates_across_runs(self):
+        watch = Stopwatch()
+        for _ in range(2):
+            watch.start()
+            time.sleep(0.005)
+            watch.stop()
+        assert watch.elapsed >= 0.009
+
+    def test_reset(self):
+        watch = Stopwatch()
+        watch.start()
+        watch.stop()
+        watch.reset()
+        assert watch.elapsed == 0.0
+
+
+class TestTimingRecorder:
+    def test_measure_context(self):
+        recorder = TimingRecorder()
+        with recorder.measure("phase"):
+            time.sleep(0.005)
+        assert recorder.total("phase") >= 0.004
+        assert recorder.count("phase") == 1
+
+    def test_add_and_mean(self):
+        recorder = TimingRecorder()
+        recorder.add("x", 1.0)
+        recorder.add("x", 3.0)
+        assert recorder.mean("x") == pytest.approx(2.0)
+        assert recorder.total("x") == pytest.approx(4.0)
+
+    def test_unknown_phase_defaults_to_zero(self):
+        recorder = TimingRecorder()
+        assert recorder.total("missing") == 0.0
+        assert recorder.mean("missing") == 0.0
+        assert recorder.count("missing") == 0
+
+    def test_summary_structure(self):
+        recorder = TimingRecorder()
+        recorder.add("a", 1.0)
+        recorder.add("b", 2.0)
+        summary = recorder.summary()
+        assert set(summary) == {"a", "b"}
+        assert summary["b"]["total"] == pytest.approx(2.0)
+
+    def test_measure_records_on_exception(self):
+        recorder = TimingRecorder()
+        with pytest.raises(RuntimeError):
+            with recorder.measure("failing"):
+                raise RuntimeError("boom")
+        assert recorder.count("failing") == 1
+
+
+class TestSerialization:
+    def test_numpy_scalars(self):
+        text = to_json_string({"a": np.int64(3), "b": np.float64(1.5), "c": np.bool_(True)})
+        assert '"a": 3' in text
+        assert '"b": 1.5' in text
+
+    def test_numpy_array(self):
+        text = to_json_string({"v": np.arange(3)})
+        assert "[" in text
+
+    def test_set_serialized_sorted(self):
+        text = to_json_string({"s": {3, 1, 2}})
+        assert "[\n    1,\n    2,\n    3\n  ]" in text or "[1, 2, 3]" in text.replace("\n  ", "").replace("\n", "")
+
+    def test_file_round_trip(self, tmp_path):
+        data = {"name": "test", "values": [1, 2, 3], "nested": {"x": 1.5}}
+        path = to_json_file(data, tmp_path / "sub" / "data.json")
+        assert path.exists()
+        assert from_json_file(path) == data
+
+    def test_unserializable_raises(self):
+        with pytest.raises(TypeError):
+            to_json_string({"f": lambda x: x})
