@@ -7,7 +7,11 @@ Three subcommands cover the common workflows without writing any Python:
 * ``repro-autosf train``  — train one named scoring function and report the
   filtered link-prediction metrics;
 * ``repro-autosf search`` — run the progressive greedy search and print the
-  case study of the best structure found.
+  case study of the best structure found.  Candidate training can be fanned
+  out over worker processes (``--backend process --workers N``) and
+  checkpointed to a persistent evaluation store (``--cache-dir DIR``); an
+  interrupted or finished run restarts deterministically from its store with
+  ``--resume DIR``, retraining nothing that already completed.
 
 Every subcommand accepts either ``--benchmark <name>`` (one of the built-in
 miniatures) or ``--data <dir>`` (a directory with ``train.txt`` /
@@ -17,10 +21,12 @@ miniatures) or ``--data <dir>`` (a directory with ``train.txt`` /
 from __future__ import annotations
 
 import argparse
+from pathlib import Path
 from typing import Optional
 
 from repro.analysis import CaseStudy, format_table
 from repro.core import AutoSFSearch
+from repro.core.execution import BACKEND_NAMES
 from repro.datasets import (
     available_benchmarks,
     dataset_statistics,
@@ -31,6 +37,17 @@ from repro.datasets.knowledge_graph import KnowledgeGraph
 from repro.kge import train_model
 from repro.kge.scoring import available_scoring_functions
 from repro.utils.config import SearchConfig, TrainingConfig
+from repro.utils.serialization import from_json_file, to_json_file
+
+#: Name of the checkpoint manifest written into a search cache directory.
+RUN_CONFIG_FILENAME = "run_config.json"
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value!r}")
+    return number
 
 
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
@@ -55,9 +72,7 @@ def _add_training_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _load_graph(args: argparse.Namespace) -> KnowledgeGraph:
-    if args.data:
-        return load_tsv_dataset(args.data, name=str(args.data))
-    return load_benchmark(args.benchmark, scale=args.scale, seed=args.seed)
+    return _graph_from_spec(_dataset_spec(args))
 
 
 def _training_config(args: argparse.Namespace) -> TrainingConfig:
@@ -69,6 +84,21 @@ def _training_config(args: argparse.Namespace) -> TrainingConfig:
         l2_penalty=args.l2,
         seed=args.seed,
     )
+
+
+def _dataset_spec(args: argparse.Namespace) -> dict:
+    return {
+        "benchmark": args.benchmark,
+        "data": args.data,
+        "scale": args.scale,
+        "seed": args.seed,
+    }
+
+
+def _graph_from_spec(spec: dict) -> KnowledgeGraph:
+    if spec.get("data"):
+        return load_tsv_dataset(spec["data"], name=str(spec["data"]))
+    return load_benchmark(spec["benchmark"], scale=spec["scale"], seed=spec["seed"])
 
 
 def command_stats(args: argparse.Namespace) -> int:
@@ -101,20 +131,80 @@ def command_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resume_state(run_dir: Path) -> dict:
+    manifest = run_dir / RUN_CONFIG_FILENAME
+    if not manifest.exists():
+        raise SystemExit(
+            f"cannot resume: {manifest} not found "
+            f"(was the original search started with --cache-dir?)"
+        )
+    return from_json_file(manifest)
+
+
 def command_search(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
-    training_config = _training_config(args)
-    search_config = SearchConfig(
-        max_blocks=args.max_blocks,
-        candidates_per_step=args.candidates,
-        top_parents=args.top_parents,
-        train_per_step=args.train_per_step,
-        seed=args.seed,
-    )
+    budget = args.budget
+    if args.resume:
+        run_dir = Path(args.resume)
+        state = _resume_state(run_dir)
+        graph = _graph_from_spec(state["dataset"])
+        training_config = TrainingConfig.from_dict(state["training"])
+        search_config = SearchConfig.from_dict(state["search"])
+        search_config.cache_dir = str(run_dir)
+        # Engine flags may be overridden on resume (results are
+        # backend-independent by design); dataset/search flags may not.
+        if args.backend is not None:
+            search_config.backend = args.backend
+        if args.workers is not None:
+            search_config.num_workers = args.workers
+        if budget is None:
+            budget = state.get("budget")
+        print(f"resuming search for {graph.name} from {run_dir} "
+              f"(dataset/training/search flags restored from the manifest; "
+              f"only --backend/--workers/--budget overrides apply)")
+    else:
+        graph = _load_graph(args)
+        training_config = _training_config(args)
+        search_config = SearchConfig(
+            max_blocks=args.max_blocks,
+            candidates_per_step=args.candidates,
+            top_parents=args.top_parents,
+            train_per_step=args.train_per_step,
+            seed=args.seed,
+            backend=args.backend if args.backend is not None else "serial",
+            num_workers=args.workers if args.workers is not None else 1,
+            cache_dir=args.cache_dir,
+        )
+        if args.cache_dir:
+            run_dir = Path(args.cache_dir)
+            run_dir.mkdir(parents=True, exist_ok=True)
+            to_json_file(
+                {
+                    "dataset": _dataset_spec(args),
+                    "training": training_config.to_dict(),
+                    "search": search_config.to_dict(),
+                    "budget": budget,
+                },
+                run_dir / RUN_CONFIG_FILENAME,
+            )
+
     print(f"searching a scoring function for {graph.name} "
-          f"(up to {args.max_blocks} blocks, {args.budget or 'unbounded'} trained models)")
+          f"(up to {search_config.max_blocks} blocks, {budget or 'unbounded'} trained models, "
+          f"{search_config.backend} backend x{search_config.num_workers})")
     search = AutoSFSearch(graph, training_config, search_config)
-    result = search.run(max_evaluations=args.budget)
+    if search.store is not None and len(search.store):
+        print(f"evaluation store: {len(search.store)} cached evaluations available "
+              f"(reused when the stored configuration matches)")
+    try:
+        result = search.run(max_evaluations=budget)
+    except KeyboardInterrupt:
+        if search.store is not None:
+            print(f"\ninterrupted; {len(search.store)} evaluations checkpointed — "
+                  f"restart with: repro-autosf search --resume {search.store.directory}")
+        else:
+            print("\ninterrupted (no --cache-dir, nothing checkpointed)")
+        return 130
+    print(f"trained {search.evaluator.num_trained} models this run "
+          f"({result.num_evaluations} recorded evaluations)")
     study = CaseStudy(graph.name, result.best_structure, result.best_mrr, dataset_statistics(graph))
     print(study.report())
     print("any-time best validation MRR:",
@@ -152,7 +242,34 @@ def build_parser() -> argparse.ArgumentParser:
     search_parser.add_argument("--candidates", type=int, default=24, help="pool size N per stage")
     search_parser.add_argument("--top-parents", type=int, default=5, help="parents K1 per stage")
     search_parser.add_argument("--train-per-step", type=int, default=6, help="trained candidates K2")
-    search_parser.add_argument("--budget", type=int, default=None, help="cap on trained models")
+    search_parser.add_argument(
+        "--budget",
+        type=_positive_int,
+        default=None,
+        help="cap on recorded evaluations, including cache replays",
+    )
+    search_parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="where candidate training runs (default: serial)",
+    )
+    search_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="worker processes for --backend process (default: 1)",
+    )
+    search_parser.add_argument(
+        "--cache-dir",
+        help="directory for the persistent evaluation store (enables --resume)",
+    )
+    search_parser.add_argument(
+        "--resume",
+        metavar="DIR",
+        help="resume a previous --cache-dir search; dataset and configs are restored "
+        "from DIR (only --backend/--workers/--budget may be overridden)",
+    )
     search_parser.set_defaults(handler=command_search)
     return parser
 

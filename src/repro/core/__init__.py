@@ -12,6 +12,10 @@ This package implements the paper's contribution proper:
 * :mod:`repro.core.filters` / :mod:`repro.core.predictor` — the filter Q and
   predictor P of Alg. 2;
 * :mod:`repro.core.greedy_search` — the progressive greedy search;
+* :mod:`repro.core.execution` — serial / process-pool execution backends
+  for the candidate-evaluation inner loop;
+* :mod:`repro.core.store` — the persistent evaluation store behind
+  cross-run caching and ``search --resume``;
 * :mod:`repro.core.baselines` — random / Bayes / general-approximator
   AutoML baselines (Sec. V-D);
 * :mod:`repro.core.hpo` — hyper-parameter tuning of the benchmark model
@@ -20,7 +24,22 @@ This package implements the paper's contribution proper:
 
 from repro.core.baselines import BayesSearch, RandomSearch, general_approximator_baseline
 from repro.core.constraints import ConstraintReport, check_structure, satisfies_c1, satisfies_c2
-from repro.core.evaluator import CandidateEvaluation, CandidateEvaluator
+from repro.core.evaluator import (
+    CandidateEvaluation,
+    CandidateEvaluator,
+    experiment_fingerprint,
+)
+from repro.core.execution import (
+    EvaluationContext,
+    EvaluationOutcome,
+    EvaluationTask,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    create_backend,
+    derive_candidate_seed,
+    evaluate_candidate,
+)
 from repro.core.filters import CandidateFilter, FilterStatistics
 from repro.core.greedy_search import (
     AutoSFSearch,
@@ -45,6 +64,7 @@ from repro.core.search_space import (
     search_space_size,
     total_search_space_size,
 )
+from repro.core.store import EvaluationStore
 from repro.core.srf import (
     SRF_DIMENSION,
     can_be_skew_symmetric,
@@ -66,7 +86,18 @@ __all__ = [
     "CandidateEvaluation",
     "CandidateEvaluator",
     "CandidateFilter",
+    "EvaluationContext",
+    "EvaluationOutcome",
+    "EvaluationStore",
+    "EvaluationTask",
+    "ExecutionBackend",
     "FilterStatistics",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "create_backend",
+    "derive_candidate_seed",
+    "evaluate_candidate",
+    "experiment_fingerprint",
     "AutoSFSearch",
     "SearchRecord",
     "SearchResult",

@@ -59,7 +59,13 @@ class RandomSearch:
         self.rng = ensure_rng(seed)
         self.timing = TimingRecorder()
         self.evaluator = evaluator or CandidateEvaluator(
-            graph, self.training_config, timing=self.timing
+            graph,
+            self.training_config,
+            timing=self.timing,
+            # Same per-candidate seeding scheme as AutoSFSearch, so methods
+            # compared under one seed train a given structure identically
+            # (and can share a persistent evaluation store).
+            base_seed=seed if isinstance(seed, (int, np.integer)) else None,
         )
 
     def _sample(self, exclude: CandidateFilter) -> Optional[BlockStructure]:
@@ -130,7 +136,13 @@ class BayesSearch:
         self.rng = ensure_rng(seed)
         self.timing = TimingRecorder()
         self.evaluator = evaluator or CandidateEvaluator(
-            graph, self.training_config, timing=self.timing
+            graph,
+            self.training_config,
+            timing=self.timing,
+            # Same per-candidate seeding scheme as AutoSFSearch, so methods
+            # compared under one seed train a given structure identically
+            # (and can share a persistent evaluation store).
+            base_seed=seed if isinstance(seed, (int, np.integer)) else None,
         )
 
     # ------------------------------------------------------------------

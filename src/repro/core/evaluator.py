@@ -7,21 +7,70 @@ training split — and then measuring filtered MRR on the validation split.
 candidate's *canonical* form (so equivalent structures are never retrained
 even if a caller bypasses the filter), and keeps per-phase timing that the
 running-time analysis (Table VII) reports.
+
+The actual training work is delegated to an execution backend
+(:mod:`repro.core.execution`): :meth:`CandidateEvaluator.evaluate_many`
+dispatches a whole batch of candidates at once, so a parallel backend can
+train them on several cores while this class stays the single owner of the
+cache, the optional persistent store and the timing ledger.
 """
 
 from __future__ import annotations
 
+import hashlib
+import zlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.execution import (
+    EvaluationContext,
+    EvaluationTask,
+    ExecutionBackend,
+    SerialBackend,
+    derive_candidate_seed,
+)
 from repro.core.invariance import canonical_key
 from repro.datasets.knowledge_graph import KnowledgeGraph
-from repro.kge.evaluation import EvaluationResult, evaluate_link_prediction
-from repro.kge.scoring.bilinear import BlockScoringFunction
+from repro.kge.evaluation import EvaluationResult
 from repro.kge.scoring.blocks import BlockStructure
-from repro.kge.trainer import Trainer, TrainingHistory
+from repro.kge.trainer import TrainingHistory
 from repro.utils.config import TrainingConfig
 from repro.utils.timing import TimingRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store imports us)
+    from repro.core.store import EvaluationStore
+
+
+def experiment_fingerprint(
+    graph: KnowledgeGraph,
+    config: TrainingConfig,
+    validation_split: str = "valid",
+    base_seed: Optional[int] = None,
+) -> str:
+    """Stable digest of everything that determines an evaluation's value.
+
+    A persistent store entry is only valid for the exact graph, training
+    configuration, validation split and seeding scheme it was produced
+    under; this fingerprint is stored alongside each entry so a reused
+    cache directory can never silently serve results from a different
+    experiment.  Split contents are covered by cheap CRCs rather than a
+    full hash — enough to catch any regenerated or re-split dataset.
+    """
+    payload = repr(
+        (
+            graph.name,
+            graph.num_entities,
+            graph.num_relations,
+            tuple(
+                (split, zlib.crc32(graph.split(split).tobytes()))
+                for split in ("train", "valid", "test")
+            ),
+            sorted(config.to_dict().items()),
+            validation_split,
+            base_seed,
+        )
+    )
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
 
 
 @dataclass
@@ -42,7 +91,20 @@ class CandidateEvaluation:
 
 
 class CandidateEvaluator:
-    """Train-and-score pipeline for candidate block structures."""
+    """Train-and-score pipeline for candidate block structures.
+
+    Parameters
+    ----------
+    store:
+        Optional persistent :class:`~repro.core.store.EvaluationStore`; hits
+        are served from disk (and mirrored into the in-memory cache) and
+        every fresh evaluation is written through.
+    base_seed:
+        When set, each candidate trains with a deterministic seed derived
+        from ``(base_seed, canonical_key)`` instead of the shared
+        ``config.seed``, making results independent of evaluation order and
+        identical across serial and parallel backends.
+    """
 
     def __init__(
         self,
@@ -50,59 +112,141 @@ class CandidateEvaluator:
         config: Optional[TrainingConfig] = None,
         validation_split: str = "valid",
         timing: Optional[TimingRecorder] = None,
+        store: Optional["EvaluationStore"] = None,
+        base_seed: Optional[int] = None,
     ) -> None:
         self.graph = graph
         self.config = config or TrainingConfig()
         self.validation_split = validation_split
         self.timing = timing if timing is not None else TimingRecorder()
+        self.store = store
+        self.base_seed = base_seed
         self._cache: Dict[Tuple[int, ...], CandidateEvaluation] = {}
+        self._fingerprint: Optional[str] = None
         self.num_trained = 0
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _context(self) -> EvaluationContext:
+        return EvaluationContext(
+            graph=self.graph, config=self.config, validation_split=self.validation_split
+        )
+
+    def _seed_for(self, key: Tuple[int, ...]) -> Optional[int]:
+        if self.base_seed is None:
+            return self.config.seed
+        return derive_candidate_seed(self.base_seed, key)
+
+    def fingerprint(self) -> str:
+        """Digest of the experiment this evaluator's results are valid for."""
+        if self._fingerprint is None:
+            self._fingerprint = experiment_fingerprint(
+                self.graph, self.config, self.validation_split, self.base_seed
+            )
+        return self._fingerprint
+
+    def _lookup(self, key: Tuple[int, ...]) -> Optional[CandidateEvaluation]:
+        """In-memory hit, else persistent-store hit (promoted to memory)."""
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if self.store is not None:
+            loaded = self.store.get(key, fingerprint=self.fingerprint())
+            if loaded is not None:
+                self._cache[key] = loaded
+                return loaded
+        return None
+
+    @staticmethod
+    def _cached_copy(
+        cached: CandidateEvaluation, structure: BlockStructure
+    ) -> CandidateEvaluation:
+        """A zero-cost view of a cached result, under the caller's structure."""
+        return CandidateEvaluation(
+            structure=structure,
+            validation_mrr=cached.validation_mrr,
+            validation_result=cached.validation_result,
+            training_history=cached.training_history,
+            train_seconds=0.0,
+            evaluate_seconds=0.0,
+            from_cache=True,
+        )
 
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
     def evaluate(self, structure: BlockStructure) -> CandidateEvaluation:
         """Train ``structure`` (or reuse the cached result) and score it."""
-        key = canonical_key(structure)
-        if key in self._cache:
+        return self.evaluate_many([structure])[0]
+
+    def evaluate_many(
+        self,
+        structures: Sequence[BlockStructure],
+        backend: Optional[ExecutionBackend] = None,
+    ) -> List[CandidateEvaluation]:
+        """Evaluate a batch of candidates through an execution backend.
+
+        Cache hits (memory or store) and within-batch duplicates are resolved
+        first; only the remaining distinct candidates are dispatched, as one
+        batch, to ``backend`` (default: in-process serial execution).
+        Results are returned in input order.
+        """
+        structures = list(structures)
+        backend = backend if backend is not None else SerialBackend()
+        keys = [canonical_key(structure) for structure in structures]
+
+        first_occurrence: Dict[Tuple[int, ...], int] = {}
+        tasks: List[EvaluationTask] = []
+        task_keys: List[Tuple[int, ...]] = []
+        for position, (structure, key) in enumerate(zip(structures, keys)):
+            if key in first_occurrence or self._lookup(key) is not None:
+                continue
+            first_occurrence[key] = position
+            tasks.append(EvaluationTask(structure=structure, seed=self._seed_for(key)))
+            task_keys.append(key)
+
+        if tasks:
+            # Absorb each outcome the moment it arrives (cache + write-through
+            # to the store), so candidates finished before an interrupt are
+            # checkpointed even when the rest of the batch never completes.
+            absorbed = set()
+
+            def absorb(index: int, outcome) -> None:
+                if index in absorbed:
+                    return
+                absorbed.add(index)
+                key = task_keys[index]
+                self.timing.add("train", outcome.train_seconds)
+                self.timing.add("evaluate", outcome.evaluate_seconds)
+                evaluation = CandidateEvaluation(
+                    structure=outcome.structure,
+                    validation_mrr=outcome.validation_mrr,
+                    validation_result=outcome.validation_result,
+                    training_history=outcome.training_history,
+                    train_seconds=outcome.train_seconds,
+                    evaluate_seconds=outcome.evaluate_seconds,
+                )
+                self._cache[key] = evaluation
+                self.num_trained += 1
+                if self.store is not None:
+                    self.store.put(key, evaluation, fingerprint=self.fingerprint())
+
+            # on_result is an optimization, not part of the backend contract:
+            # absorb anything a callback-less backend only returned.
+            outcomes = backend.run(self._context(), tasks, on_result=absorb)
+            for index, outcome in enumerate(outcomes or []):
+                if outcome is not None:
+                    absorb(index, outcome)
+
+        results: List[CandidateEvaluation] = []
+        for position, (structure, key) in enumerate(zip(structures, keys)):
             cached = self._cache[key]
-            return CandidateEvaluation(
-                structure=structure,
-                validation_mrr=cached.validation_mrr,
-                validation_result=cached.validation_result,
-                training_history=cached.training_history,
-                train_seconds=0.0,
-                evaluate_seconds=0.0,
-                from_cache=True,
-            )
-
-        scoring_function = BlockScoringFunction(structure)
-        trainer = Trainer(scoring_function, self.config)
-        with self.timing.measure("train"):
-            params, history = trainer.fit(self.graph)
-        train_seconds = self.timing._samples["train"][-1]
-
-        with self.timing.measure("evaluate"):
-            result = evaluate_link_prediction(
-                scoring_function, params, self.graph, split=self.validation_split
-            )
-        evaluate_seconds = self.timing._samples["evaluate"][-1]
-
-        evaluation = CandidateEvaluation(
-            structure=structure,
-            validation_mrr=result.mrr,
-            validation_result=result,
-            training_history=history,
-            train_seconds=train_seconds,
-            evaluate_seconds=evaluate_seconds,
-        )
-        self._cache[key] = evaluation
-        self.num_trained += 1
-        return evaluation
-
-    def evaluate_many(self, structures: List[BlockStructure]) -> List[CandidateEvaluation]:
-        """Evaluate several candidates sequentially."""
-        return [self.evaluate(structure) for structure in structures]
+            if first_occurrence.get(key) == position and not cached.from_cache:
+                results.append(cached)
+            else:
+                results.append(self._cached_copy(cached, structure))
+        return results
 
     # ------------------------------------------------------------------
     # Cache inspection

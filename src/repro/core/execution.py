@@ -1,0 +1,252 @@
+"""Execution backends for the candidate-evaluation inner loop.
+
+Evaluating one candidate scoring function (train to convergence, then score
+with the filtered protocol) is embarrassingly parallel across candidates:
+each lower-level problem of Definition 1 is independent of every other.
+This module isolates *where* those evaluations run from *what* they compute:
+
+* :func:`evaluate_candidate` is the single, pure unit of work shared by all
+  backends — given an :class:`EvaluationContext` (graph + training config)
+  and an :class:`EvaluationTask` (structure + seed) it trains and scores one
+  candidate and returns a plain, picklable :class:`EvaluationOutcome`;
+* :class:`SerialBackend` runs tasks in-process, one after the other;
+* :class:`ProcessPoolBackend` fans tasks out over a ``multiprocessing``
+  pool.
+
+Determinism is preserved across backends by seeding every task *per
+candidate* rather than from shared mutable RNG state: the seed is derived
+from the search seed and the candidate's canonical key with a stable hash
+(:func:`derive_candidate_seed`), so a task trains identically no matter
+which backend, worker or batch position executes it.  A parallel search
+therefore produces a ``SearchResult`` bitwise-equal to a serial one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.datasets.knowledge_graph import KnowledgeGraph
+from repro.kge.evaluation import EvaluationResult, evaluate_link_prediction
+from repro.kge.scoring.bilinear import BlockScoringFunction
+from repro.kge.scoring.blocks import BlockStructure
+from repro.kge.trainer import Trainer, TrainingHistory
+from repro.utils.config import EXECUTION_BACKENDS, TrainingConfig
+
+from typing import Protocol, runtime_checkable
+
+
+def derive_candidate_seed(base_seed: Optional[int], key: Iterable[int]) -> Optional[int]:
+    """Deterministic per-candidate seed from the search seed and canonical key.
+
+    Uses a stable cryptographic hash (not Python's randomized ``hash``) so
+    that the same (seed, candidate) pair maps to the same training seed in
+    every process, interpreter and run.  Returns ``None`` when ``base_seed``
+    is ``None`` so unseeded runs stay unseeded.
+    """
+    if base_seed is None:
+        return None
+    payload = repr((int(base_seed), tuple(int(value) for value in key)))
+    digest = hashlib.blake2b(payload.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % (2**31 - 1)
+
+
+@dataclass(frozen=True)
+class EvaluationContext:
+    """Everything a worker needs besides the task itself."""
+
+    graph: KnowledgeGraph
+    config: TrainingConfig
+    validation_split: str = "valid"
+
+
+@dataclass(frozen=True)
+class EvaluationTask:
+    """One candidate to train, with an optional per-candidate seed override."""
+
+    structure: BlockStructure
+    seed: Optional[int] = None
+
+
+@dataclass
+class EvaluationOutcome:
+    """Picklable result of one :func:`evaluate_candidate` call."""
+
+    structure: BlockStructure
+    seed: Optional[int]
+    validation_mrr: float
+    validation_result: EvaluationResult
+    training_history: TrainingHistory
+    train_seconds: float
+    evaluate_seconds: float
+
+
+def evaluate_candidate(context: EvaluationContext, task: EvaluationTask) -> EvaluationOutcome:
+    """Train one candidate and score it on the validation split.
+
+    This is the unit of work every backend executes; it must stay free of
+    shared mutable state so that serial and parallel execution are
+    interchangeable.
+    """
+    config = context.config if task.seed is None else context.config.replace(seed=task.seed)
+    scoring_function = BlockScoringFunction(task.structure)
+    trainer = Trainer(scoring_function, config)
+
+    start = time.perf_counter()
+    params, history = trainer.fit(context.graph)
+    train_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    result = evaluate_link_prediction(
+        scoring_function, params, context.graph, split=context.validation_split
+    )
+    evaluate_seconds = time.perf_counter() - start
+
+    return EvaluationOutcome(
+        structure=task.structure,
+        seed=task.seed,
+        validation_mrr=result.mrr,
+        validation_result=result,
+        training_history=history,
+        train_seconds=train_seconds,
+        evaluate_seconds=evaluate_seconds,
+    )
+
+
+#: Per-outcome callback: ``(task_index, outcome)``, invoked as soon as each
+#: result is available — in task order for the serial backend, in completion
+#: order for the process pool.  The evaluator uses it to checkpoint finished
+#: candidates even when another task in the batch is interrupted.
+ResultCallback = Callable[[int, EvaluationOutcome], None]
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Strategy interface: run a batch of evaluation tasks."""
+
+    name: str
+    num_workers: int
+
+    def run(
+        self,
+        context: EvaluationContext,
+        tasks: Sequence[EvaluationTask],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[EvaluationOutcome]:
+        """Execute every task and return outcomes in task order."""
+        ...  # pragma: no cover - protocol body
+
+
+class SerialBackend:
+    """Run every task in the calling process, in order."""
+
+    name = "serial"
+    num_workers = 1
+
+    def run(
+        self,
+        context: EvaluationContext,
+        tasks: Sequence[EvaluationTask],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[EvaluationOutcome]:
+        outcomes: List[EvaluationOutcome] = []
+        for index, task in enumerate(tasks):
+            outcome = evaluate_candidate(context, task)
+            if on_result is not None:
+                on_result(index, outcome)
+            outcomes.append(outcome)
+        return outcomes
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        return "SerialBackend()"
+
+
+# Worker-process global, installed once per worker by the pool initializer so
+# the (potentially large) graph is shipped once instead of once per task.
+_WORKER_CONTEXT: Optional[EvaluationContext] = None
+
+
+def _initialize_worker(context: EvaluationContext) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _run_worker_task(item: "Tuple[int, EvaluationTask]") -> "Tuple[int, EvaluationOutcome]":
+    if _WORKER_CONTEXT is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker used before initialization")
+    index, task = item
+    return index, evaluate_candidate(_WORKER_CONTEXT, task)
+
+
+class ProcessPoolBackend:
+    """Fan tasks out over a ``multiprocessing`` pool.
+
+    Results come back in task order, and every task carries its own seed, so
+    the outcome is identical to :class:`SerialBackend` regardless of worker
+    scheduling.  Single-task batches (and ``num_workers=1``) short-circuit to
+    in-process execution to avoid pointless pool start-up.
+    """
+
+    name = "process"
+
+    def __init__(self, num_workers: int = 2, start_method: Optional[str] = None) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be positive")
+        if start_method is not None and start_method not in multiprocessing.get_all_start_methods():
+            raise ValueError(f"unsupported start method: {start_method!r}")
+        self.num_workers = num_workers
+        self._start_method = start_method
+
+    def _context(self):
+        if self._start_method is not None:
+            return multiprocessing.get_context(self._start_method)
+        # Prefer fork where available: it shares the parent's memory pages
+        # (the graph arrives for free) and starts in milliseconds.
+        if "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def run(
+        self,
+        context: EvaluationContext,
+        tasks: Sequence[EvaluationTask],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[EvaluationOutcome]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.num_workers == 1 or len(tasks) == 1:
+            return SerialBackend().run(context, tasks, on_result=on_result)
+        workers = min(self.num_workers, len(tasks))
+        outcomes: List[Optional[EvaluationOutcome]] = [None] * len(tasks)
+        with self._context().Pool(
+            processes=workers, initializer=_initialize_worker, initargs=(context,)
+        ) as pool:
+            # imap_unordered so every finished candidate streams back (and can
+            # be checkpointed via on_result) the moment it completes, even
+            # while an earlier, slower task is still running; results are
+            # slotted back into task order afterwards.
+            for index, outcome in pool.imap_unordered(_run_worker_task, enumerate(tasks)):
+                if on_result is not None:
+                    on_result(index, outcome)
+                outcomes[index] = outcome
+        return outcomes  # type: ignore[return-value]
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        return f"ProcessPoolBackend(num_workers={self.num_workers})"
+
+
+#: Backend names accepted by configuration and the CLI.
+BACKEND_NAMES = EXECUTION_BACKENDS
+
+
+def create_backend(name: str, num_workers: int = 1) -> ExecutionBackend:
+    """Instantiate a backend from its configuration name."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        return ProcessPoolBackend(num_workers=max(num_workers, 1))
+    raise ValueError(f"unknown execution backend {name!r}; available: {', '.join(BACKEND_NAMES)}")

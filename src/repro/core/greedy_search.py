@@ -29,9 +29,11 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.evaluator import CandidateEvaluation, CandidateEvaluator
+from repro.core.execution import ExecutionBackend, create_backend
 from repro.core.filters import CandidateFilter
 from repro.core.predictor import PerformancePredictor
 from repro.core.search_space import enumerate_f4_structures, extend_structure
+from repro.core.store import EvaluationStore
 from repro.datasets.knowledge_graph import KnowledgeGraph
 from repro.kge.scoring.blocks import BlockStructure
 from repro.utils.config import SearchConfig, TrainingConfig
@@ -97,13 +99,25 @@ class AutoSFSearch:
         training_config: Optional[TrainingConfig] = None,
         search_config: Optional[SearchConfig] = None,
         evaluator: Optional[CandidateEvaluator] = None,
+        backend: Optional[ExecutionBackend] = None,
+        store: Optional[EvaluationStore] = None,
     ) -> None:
         self.graph = graph
         self.training_config = training_config or TrainingConfig()
         self.search_config = search_config or SearchConfig()
         self.timing = TimingRecorder()
+        self.backend = backend if backend is not None else create_backend(
+            self.search_config.backend, self.search_config.num_workers
+        )
+        if store is None and self.search_config.cache_dir:
+            store = EvaluationStore(self.search_config.cache_dir)
+        self.store = store
         self.evaluator = evaluator or CandidateEvaluator(
-            graph, self.training_config, timing=self.timing
+            graph,
+            self.training_config,
+            timing=self.timing,
+            store=self.store,
+            base_seed=self.search_config.seed,
         )
         self.rng = ensure_rng(self.search_config.seed)
         self.candidate_filter = CandidateFilter(
@@ -150,8 +164,9 @@ class AutoSFSearch:
     # Stage logic
     # ------------------------------------------------------------------
     def _evaluate_batch(self, structures: Sequence[BlockStructure], stage: int) -> None:
-        for structure in structures:
-            evaluation = self.evaluator.evaluate(structure)
+        """Dispatch the whole stage batch through the execution backend."""
+        evaluations = self.evaluator.evaluate_many(list(structures), backend=self.backend)
+        for structure, evaluation in zip(structures, evaluations):
             self.candidate_filter.record_history(structure)
             self._record(evaluation, stage)
 
@@ -224,9 +239,12 @@ class AutoSFSearch:
         Parameters
         ----------
         max_evaluations:
-            Optional hard cap on the number of *trained* models (useful for
-            the any-time comparison plots, where every method gets the same
-            training budget).
+            Optional hard cap on the number of recorded evaluations (useful
+            for the any-time comparison plots, where every method gets the
+            same budget).  Evaluations replayed from a persistent store count
+            toward the cap — that is what lets an interrupted run resume to
+            exactly the same budget instead of training ``max_evaluations``
+            models on top of the cached ones.
         """
         self._start_time = time.perf_counter()
         self._seed_stage()

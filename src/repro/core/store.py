@@ -1,0 +1,195 @@
+"""Disk-backed store of candidate evaluations.
+
+Training a candidate is by far the most expensive operation in the search
+(Table VII), so throwing trained results away between runs is wasteful.  The
+:class:`EvaluationStore` persists every :class:`CandidateEvaluation` as one
+JSON file keyed by the candidate's *canonical* key, which buys two things:
+
+* **cross-run caching** — a second search (or benchmark, or ablation) over
+  the same graph and configuration reuses every structure it has already
+  trained, even across interpreter restarts;
+* **checkpoint / resume** — because the greedy search is deterministic given
+  its seed, re-running an interrupted search against the same store
+  fast-forwards through the completed evaluations and picks up exactly where
+  it stopped (``repro-autosf search --resume <dir>``).
+
+Every ``put`` writes through to disk immediately (via a temp-file rename, so
+a crash mid-write never leaves a corrupt entry), which is what makes an
+interrupted run resumable at the granularity of one trained candidate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.evaluator import CandidateEvaluation
+from repro.kge.evaluation import EvaluationResult
+from repro.kge.scoring.blocks import BlockStructure
+from repro.kge.trainer import TrainingHistory
+from repro.utils.serialization import PathLike, from_json_file, to_json_string
+
+#: Canonical keys are flat integer tuples (the ravelled canonical matrix).
+StoreKey = Tuple[int, ...]
+
+
+def _normalize_key(key: Iterable[int]) -> StoreKey:
+    return tuple(int(value) for value in key)
+
+
+def _key_digest(key: StoreKey) -> str:
+    return hashlib.blake2b(repr(key).encode("utf-8"), digest_size=16).hexdigest()
+
+
+def _evaluation_to_payload(
+    key: StoreKey, evaluation: CandidateEvaluation, fingerprint: Optional[str]
+) -> dict:
+    result = evaluation.validation_result
+    return {
+        "format_version": 1,
+        "key": list(key),
+        "fingerprint": fingerprint,
+        "structure": {
+            "blocks": [list(block) for block in evaluation.structure.blocks],
+            "name": evaluation.structure.name,
+        },
+        "validation_mrr": float(evaluation.validation_mrr),
+        "validation_result": {
+            "mrr": float(result.mrr),
+            "mean_rank": float(result.mean_rank),
+            "hits": {str(k): float(v) for k, v in result.hits.items()},
+            "num_queries": int(result.num_queries),
+        },
+        "training_history": evaluation.training_history.as_dict(),
+        "train_seconds": float(evaluation.train_seconds),
+        "evaluate_seconds": float(evaluation.evaluate_seconds),
+    }
+
+
+def _evaluation_from_payload(payload: dict) -> CandidateEvaluation:
+    structure = BlockStructure(
+        [tuple(block) for block in payload["structure"]["blocks"]],
+        name=payload["structure"].get("name", ""),
+    )
+    result_data = payload["validation_result"]
+    result = EvaluationResult(
+        mrr=float(result_data["mrr"]),
+        mean_rank=float(result_data["mean_rank"]),
+        hits={int(k): float(v) for k, v in result_data.get("hits", {}).items()},
+        num_queries=int(result_data.get("num_queries", 0)),
+    )
+    history_data = payload.get("training_history", {})
+    history = TrainingHistory(
+        epochs=[int(epoch) for epoch in history_data.get("epochs", [])],
+        losses=[float(loss) for loss in history_data.get("losses", [])],
+        elapsed_seconds=[float(value) for value in history_data.get("elapsed_seconds", [])],
+        validation_mrr=[
+            None if value is None else float(value)
+            for value in history_data.get("validation_mrr", [])
+        ],
+    )
+    return CandidateEvaluation(
+        structure=structure,
+        validation_mrr=float(payload["validation_mrr"]),
+        validation_result=result,
+        training_history=history,
+        train_seconds=float(payload.get("train_seconds", 0.0)),
+        evaluate_seconds=float(payload.get("evaluate_seconds", 0.0)),
+        from_cache=True,
+    )
+
+
+class EvaluationStore:
+    """One-file-per-candidate persistent evaluation cache."""
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+        self._entries = self.directory / "evaluations"
+        self._entries.mkdir(parents=True, exist_ok=True)
+
+    #: Entry filenames are 32-hex-char digests; anything else is foreign.
+    _ENTRY_NAME = re.compile(r"^[0-9a-f]{32}\.json$")
+
+    def _path_for(self, key: StoreKey) -> Path:
+        return self._entries / f"{_key_digest(key)}.json"
+
+    def _entry_paths(self) -> List[Path]:
+        return sorted(
+            path for path in self._entries.glob("*.json") if self._ENTRY_NAME.match(path.name)
+        )
+
+    def _scan_keys(self) -> List[StoreKey]:
+        """Read every entry's key from disk (only needed for enumeration;
+        membership and lookups go straight to the digest-derived path)."""
+        keys: List[StoreKey] = []
+        for path in self._entry_paths():
+            try:
+                keys.append(_normalize_key(from_json_file(path)["key"]))
+            except (ValueError, KeyError, OSError, TypeError):
+                # A truncated entry must not poison the store.
+                continue
+        return sorted(keys)
+
+    # ------------------------------------------------------------------
+    # Mapping-style API
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of entry files on disk — a cheap directory listing, no
+        payload parsing (and hence no fingerprint check: entries from a
+        different experiment still count)."""
+        return len(self._entry_paths())
+
+    def __contains__(self, key: Iterable[int]) -> bool:
+        return self._path_for(_normalize_key(key)).exists()
+
+    def keys(self) -> List[StoreKey]:
+        return self._scan_keys()
+
+    def __iter__(self) -> Iterator[StoreKey]:
+        return iter(self.keys())
+
+    def get(
+        self, key: Iterable[int], fingerprint: Optional[str] = None
+    ) -> Optional[CandidateEvaluation]:
+        """Load the evaluation stored under ``key`` (``None`` when absent).
+
+        When ``fingerprint`` is given, an entry recorded under a different
+        experiment fingerprint (other dataset, training config, split or
+        seeding scheme) is treated as a miss rather than silently served.
+        """
+        normalized = _normalize_key(key)
+        path = self._path_for(normalized)
+        if not path.exists():
+            return None
+        try:
+            payload = from_json_file(path)
+            if _normalize_key(payload["key"]) != normalized:
+                return None  # digest collision or foreign file
+            if fingerprint is not None and payload.get("fingerprint") != fingerprint:
+                return None
+            return _evaluation_from_payload(payload)
+        except (ValueError, KeyError, OSError, TypeError):
+            return None
+
+    def put(
+        self,
+        key: Iterable[int],
+        evaluation: CandidateEvaluation,
+        fingerprint: Optional[str] = None,
+    ) -> Path:
+        """Persist ``evaluation`` under ``key``, overwriting any older entry."""
+        normalized = _normalize_key(key)
+        path = self._path_for(normalized)
+        temporary = path.with_suffix(".json.tmp")
+        temporary.write_text(
+            to_json_string(_evaluation_to_payload(normalized, evaluation, fingerprint)),
+            encoding="utf-8",
+        )
+        os.replace(temporary, path)
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        return f"EvaluationStore({str(self.directory)!r}, entries={len(self)})"

@@ -15,7 +15,7 @@ This subpackage provides:
   benchmark format, so real dumps can be substituted in when available.
 """
 
-from repro.datasets.knowledge_graph import KnowledgeGraph, Triple
+from repro.datasets.knowledge_graph import FilterIndex, KnowledgeGraph, Triple
 from repro.datasets.generators import (
     GeneratorProfile,
     generate_knowledge_graph,
@@ -35,6 +35,7 @@ from repro.datasets.statistics import (
 from repro.datasets.io import load_tsv_dataset, write_tsv_dataset
 
 __all__ = [
+    "FilterIndex",
     "KnowledgeGraph",
     "Triple",
     "GeneratorProfile",

@@ -17,6 +17,99 @@ import numpy as np
 Triple = Tuple[int, int, int]
 
 
+@dataclass(frozen=True)
+class _DirectionIndex:
+    """CSR-style map from an integer query code to its known entity ids.
+
+    ``codes`` is sorted and unique; the answers of ``codes[i]`` are
+    ``entities[indptr[i]:indptr[i + 1]]``.  Built once per graph and reused
+    by every filtered evaluation, replacing the per-query set lookups of
+    :meth:`KnowledgeGraph.known_tails` / :meth:`KnowledgeGraph.known_heads`.
+    """
+
+    codes: np.ndarray
+    indptr: np.ndarray
+    entities: np.ndarray
+
+    @classmethod
+    def build(cls, query_codes: np.ndarray, entities: np.ndarray) -> "_DirectionIndex":
+        order = np.argsort(query_codes, kind="stable")
+        sorted_codes = query_codes[order]
+        sorted_entities = entities[order]
+        unique_codes, starts = np.unique(sorted_codes, return_index=True)
+        indptr = np.concatenate([starts, [sorted_codes.size]]).astype(np.int64)
+        return cls(codes=unique_codes, indptr=indptr, entities=sorted_entities)
+
+    def gather(self, query_codes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Flat ``(row, entity)`` pairs listing every known answer per query.
+
+        For a batch of ``n`` query codes, returns two equally long arrays:
+        ``rows[k]`` is the batch row the pair belongs to and ``entities[k]``
+        one of its known answers.  Queries with no known answers simply
+        contribute no pairs.  Fully vectorized: O(n log u + total answers).
+        """
+        query_codes = np.asarray(query_codes, dtype=np.int64)
+        empty = np.zeros(0, dtype=np.int64)
+        if self.codes.size == 0 or query_codes.size == 0:
+            return empty, empty
+        positions = np.searchsorted(self.codes, query_codes)
+        clipped = np.minimum(positions, self.codes.size - 1)
+        found = (positions < self.codes.size) & (self.codes[clipped] == query_codes)
+        starts = np.where(found, self.indptr[clipped], 0)
+        counts = np.where(found, self.indptr[clipped + 1] - self.indptr[clipped], 0)
+        total = int(counts.sum())
+        if total == 0:
+            return empty, empty
+        rows = np.repeat(np.arange(query_codes.size, dtype=np.int64), counts)
+        # Turn per-row (start, count) ranges into one flat gather index.
+        offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        flat = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts) + np.repeat(
+            starts, counts
+        )
+        return rows, self.entities[flat]
+
+
+@dataclass(frozen=True)
+class FilterIndex:
+    """Precomputed filter masks for both ranking directions.
+
+    Tail queries are keyed by ``head * num_relations + relation`` and head
+    queries by ``tail * num_relations + relation``; both cover all splits,
+    exactly like the dict-of-sets accessors they accelerate.
+    """
+
+    num_relations: int
+    tails: _DirectionIndex
+    heads: _DirectionIndex
+
+    @classmethod
+    def build(cls, triples: np.ndarray, num_relations: int) -> "FilterIndex":
+        heads, relations, tails = triples[:, 0], triples[:, 1], triples[:, 2]
+        return cls(
+            num_relations=num_relations,
+            tails=_DirectionIndex.build(heads * num_relations + relations, tails),
+            heads=_DirectionIndex.build(tails * num_relations + relations, heads),
+        )
+
+    def known_tail_pairs(
+        self, heads: np.ndarray, relations: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Flat (row, tail) pairs of known tails for a (head, relation) batch."""
+        return self.tails.gather(
+            np.asarray(heads, dtype=np.int64) * self.num_relations
+            + np.asarray(relations, dtype=np.int64)
+        )
+
+    def known_head_pairs(
+        self, tails: np.ndarray, relations: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Flat (row, head) pairs of known heads for a (tail, relation) batch."""
+        return self.heads.gather(
+            np.asarray(tails, dtype=np.int64) * self.num_relations
+            + np.asarray(relations, dtype=np.int64)
+        )
+
+
 def _as_triple_array(triples: Iterable[Sequence[int]]) -> np.ndarray:
     """Normalize any iterable of (h, r, t) into an ``(n, 3) int64`` array."""
     array = np.asarray(list(triples), dtype=np.int64)
@@ -132,6 +225,18 @@ class KnowledgeGraph:
         for h, r, t in self.all_triples():
             mapping.setdefault((int(r), int(t)), set()).add(int(h))
         return mapping
+
+    def filter_index(self) -> FilterIndex:
+        """The CSR-style filtered-evaluation index, built once and memoized.
+
+        The graph is immutable, so the index is computed lazily on first use
+        and cached on the instance (bypassing the frozen-dataclass guard).
+        """
+        cached = self.__dict__.get("_filter_index")
+        if cached is None:
+            cached = FilterIndex.build(self.all_triples(), self.num_relations)
+            object.__setattr__(self, "_filter_index", cached)
+        return cached
 
     def relation_triples(self, relation: int, splits: Sequence[str] = ("train",)) -> np.ndarray:
         """All triples using ``relation`` within the chosen splits."""

@@ -19,8 +19,11 @@ training and evaluation pipeline of Alg. 1 of the AutoSF paper:
 from repro.kge.model import KGEModel, train_model
 from repro.kge.evaluation import (
     EvaluationResult,
+    compute_ranks,
+    compute_ranks_reference,
     evaluate_link_prediction,
     evaluate_triplet_classification,
+    filtered_ranks_batch,
 )
 from repro.kge.trainer import Trainer, TrainingHistory
 from repro.kge.scoring import (
@@ -34,8 +37,11 @@ __all__ = [
     "KGEModel",
     "train_model",
     "EvaluationResult",
+    "compute_ranks",
+    "compute_ranks_reference",
     "evaluate_link_prediction",
     "evaluate_triplet_classification",
+    "filtered_ranks_batch",
     "Trainer",
     "TrainingHistory",
     "BlockScoringFunction",

@@ -11,7 +11,11 @@ serialized next to its results.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
+
+#: Execution backends the search engine knows how to build (the single
+#: source of truth — the execution layer and the CLI both import this).
+EXECUTION_BACKENDS: Tuple[str, ...] = ("serial", "process")
 
 
 @dataclass
@@ -145,6 +149,13 @@ class SearchConfig:
         ``K2`` — number of predictor-selected candidates actually trained.
     use_filter / use_predictor:
         Ablation switches (Fig. 7).
+    backend / num_workers:
+        Execution engine for candidate training: ``"serial"`` runs the batch
+        in-process, ``"process"`` fans it out over ``num_workers`` worker
+        processes.  Both produce identical results for the same seed.
+    cache_dir:
+        Optional directory for the persistent evaluation store; enables
+        cross-run caching and ``search --resume``.
     """
 
     max_blocks: int = 6
@@ -155,6 +166,9 @@ class SearchConfig:
     use_predictor: bool = True
     predictor: PredictorConfig = field(default_factory=PredictorConfig)
     seed: Optional[int] = 0
+    backend: str = "serial"
+    num_workers: int = 1
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_blocks < 4:
@@ -167,6 +181,10 @@ class SearchConfig:
             raise ValueError("top_parents must be positive")
         if self.train_per_step <= 0:
             raise ValueError("train_per_step must be positive")
+        if self.backend not in EXECUTION_BACKENDS:
+            raise ValueError(f"unknown execution backend: {self.backend!r}")
+        if self.num_workers <= 0:
+            raise ValueError("num_workers must be positive")
         if isinstance(self.predictor, dict):
             self.predictor = PredictorConfig(**self.predictor)
 

@@ -61,6 +61,17 @@ class TimingRecorder:
     def add(self, name: str, seconds: float) -> None:
         self._samples[name].append(float(seconds))
 
+    def last(self, name: str) -> float:
+        """The most recent sample recorded under ``name``.
+
+        Raises ``KeyError`` when no sample has been recorded yet, so callers
+        never silently read a phantom 0.0 measurement.
+        """
+        samples = self._samples.get(name)
+        if not samples:
+            raise KeyError(f"no timing samples recorded for {name!r}")
+        return float(samples[-1])
+
     def total(self, name: str) -> float:
         return float(sum(self._samples.get(name, [])))
 

@@ -33,6 +33,19 @@ class TestParser:
         assert args.budget == 7
         assert args.candidates == 12
 
+    def test_search_engine_options(self):
+        args = build_parser().parse_args(
+            ["search", "--backend", "process", "--workers", "4", "--cache-dir", "runs/a"]
+        )
+        assert args.backend == "process"
+        assert args.workers == 4
+        assert args.cache_dir == "runs/a"
+        assert args.resume is None
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--backend", "threads"])
+
 
 class TestCommands:
     def test_stats_on_benchmark(self, capsys):
@@ -85,3 +98,37 @@ class TestCommands:
         assert exit_code == 0
         assert "searched scoring function" in captured
         assert "any-time best validation MRR" in captured
+
+    def test_search_cache_dir_then_resume(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        common = [
+            "search",
+            "--benchmark", "wn18rr",
+            "--scale", "0.2",
+            "--dimension", "8",
+            "--epochs", "3",
+            "--batch-size", "128",
+            "--budget", "4",
+            "--candidates", "6",
+            "--train-per-step", "2",
+        ]
+        exit_code = main(common + ["--cache-dir", str(run_dir)])
+        first = capsys.readouterr().out
+        assert exit_code == 0
+        assert (run_dir / "run_config.json").exists()
+        assert list((run_dir / "evaluations").glob("*.json"))
+
+        exit_code = main(["search", "--resume", str(run_dir)])
+        second = capsys.readouterr().out
+        assert exit_code == 0
+        assert f"resuming search for wn18rr-mini from {run_dir}" in second
+        assert "trained 0 models this run" in second
+
+        def mrr_line(output):
+            return [line for line in output.splitlines() if "any-time best" in line][-1]
+
+        assert mrr_line(first) == mrr_line(second)
+
+    def test_resume_without_manifest_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["search", "--resume", str(tmp_path / "nowhere")])

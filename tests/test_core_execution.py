@@ -1,0 +1,294 @@
+"""Tests for the execution engine and the persistent evaluation store."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import CandidateEvaluator, experiment_fingerprint
+from repro.core.execution import (
+    EvaluationContext,
+    EvaluationTask,
+    ProcessPoolBackend,
+    SerialBackend,
+    create_backend,
+    derive_candidate_seed,
+    evaluate_candidate,
+)
+from repro.core.greedy_search import AutoSFSearch
+from repro.core.invariance import canonical_key
+from repro.core.store import EvaluationStore
+from repro.core.search_space import enumerate_f4_structures
+from repro.kge.scoring import classical_structure
+from repro.utils.config import PredictorConfig, SearchConfig, TrainingConfig
+
+
+@pytest.fixture(scope="module")
+def engine_training_config():
+    return TrainingConfig(dimension=8, epochs=3, batch_size=64, learning_rate=0.5, seed=0)
+
+
+@pytest.fixture(scope="module")
+def engine_search_config():
+    return SearchConfig(
+        max_blocks=6,
+        candidates_per_step=6,
+        top_parents=3,
+        train_per_step=2,
+        predictor=PredictorConfig(epochs=50),
+        seed=0,
+    )
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        key = canonical_key(classical_structure("simple"))
+        assert derive_candidate_seed(0, key) == derive_candidate_seed(0, key)
+
+    def test_varies_with_candidate_and_base(self):
+        simple = canonical_key(classical_structure("simple"))
+        distmult = canonical_key(classical_structure("distmult"))
+        assert derive_candidate_seed(0, simple) != derive_candidate_seed(0, distmult)
+        assert derive_candidate_seed(0, simple) != derive_candidate_seed(1, simple)
+
+    def test_none_base_stays_unseeded(self):
+        assert derive_candidate_seed(None, (1, 2, 3)) is None
+
+    def test_seed_is_valid_rng_seed(self):
+        seed = derive_candidate_seed(123, canonical_key(classical_structure("complex")))
+        assert 0 <= seed < 2**31 - 1
+        np.random.default_rng(seed)
+
+
+class TestBackends:
+    def test_create_backend_factory(self):
+        assert isinstance(create_backend("serial"), SerialBackend)
+        process = create_backend("process", num_workers=3)
+        assert isinstance(process, ProcessPoolBackend)
+        assert process.num_workers == 3
+
+    def test_create_backend_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            create_backend("threads")
+
+    def test_process_backend_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(num_workers=0)
+
+    def test_process_backend_rejects_bad_start_method(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(num_workers=2, start_method="no-such-method")
+
+    def test_empty_batch(self, tiny_graph, engine_training_config):
+        context = EvaluationContext(tiny_graph, engine_training_config)
+        assert ProcessPoolBackend(num_workers=2).run(context, []) == []
+
+    def test_serial_and_process_outcomes_identical(self, tiny_graph, engine_training_config):
+        structures = list(enumerate_f4_structures())[:3]
+        tasks = [
+            EvaluationTask(structure=s, seed=derive_candidate_seed(0, canonical_key(s)))
+            for s in structures
+        ]
+        context = EvaluationContext(tiny_graph, engine_training_config)
+        serial = SerialBackend().run(context, tasks)
+        parallel = ProcessPoolBackend(num_workers=2).run(context, tasks)
+        assert len(serial) == len(parallel) == len(tasks)
+        for a, b in zip(serial, parallel):
+            assert a.structure.key() == b.structure.key()
+            assert a.validation_mrr == b.validation_mrr  # bitwise
+            assert a.training_history.losses == b.training_history.losses
+
+    def test_on_result_streams_in_task_order(self, tiny_graph, engine_training_config):
+        structures = list(enumerate_f4_structures())[:3]
+        tasks = [EvaluationTask(structure=s, seed=0) for s in structures]
+        context = EvaluationContext(tiny_graph, engine_training_config)
+        seen = []
+        outcomes = SerialBackend().run(
+            context, tasks, on_result=lambda index, outcome: seen.append(index)
+        )
+        assert seen == [0, 1, 2]
+        assert len(outcomes) == 3
+
+    def test_evaluate_candidate_seed_override(self, tiny_graph, engine_training_config):
+        structure = classical_structure("simple")
+        context = EvaluationContext(tiny_graph, engine_training_config)
+        first = evaluate_candidate(context, EvaluationTask(structure, seed=11))
+        second = evaluate_candidate(context, EvaluationTask(structure, seed=12))
+        same = evaluate_candidate(context, EvaluationTask(structure, seed=11))
+        assert first.validation_mrr == same.validation_mrr
+        assert first.validation_mrr != second.validation_mrr
+
+
+class TestSearchParity:
+    def test_serial_vs_process_search_bitwise_equal(
+        self, tiny_graph, engine_training_config, engine_search_config
+    ):
+        serial = AutoSFSearch(
+            tiny_graph, engine_training_config, engine_search_config, backend=SerialBackend()
+        ).run(max_evaluations=8)
+        parallel = AutoSFSearch(
+            tiny_graph,
+            engine_training_config,
+            engine_search_config,
+            backend=ProcessPoolBackend(num_workers=2),
+        ).run(max_evaluations=8)
+        assert serial.num_evaluations == parallel.num_evaluations
+        for a, b in zip(serial.records, parallel.records):
+            assert a.structure.key() == b.structure.key()
+            assert a.validation_mrr == b.validation_mrr  # bitwise
+            assert (a.stage, a.order) == (b.stage, b.order)
+        assert serial.best_structure.key() == parallel.best_structure.key()
+        assert serial.best_mrr == parallel.best_mrr
+
+    def test_config_driven_backend(self, tiny_graph, engine_training_config, engine_search_config):
+        config = SearchConfig.from_dict(
+            {**engine_search_config.to_dict(), "backend": "process", "num_workers": 2}
+        )
+        search = AutoSFSearch(tiny_graph, engine_training_config, config)
+        assert isinstance(search.backend, ProcessPoolBackend)
+        result = search.run(max_evaluations=5)
+        assert result.num_evaluations == 5
+
+
+class TestEvaluateMany:
+    def test_within_batch_duplicates_train_once(self, tiny_graph, engine_training_config):
+        evaluator = CandidateEvaluator(tiny_graph, engine_training_config)
+        structure = classical_structure("simple")
+        results = evaluator.evaluate_many([structure, structure])
+        assert evaluator.num_trained == 1
+        assert not results[0].from_cache
+        assert results[1].from_cache
+        assert results[0].validation_mrr == results[1].validation_mrr
+
+    def test_batch_results_in_input_order(self, tiny_graph, engine_training_config):
+        structures = list(enumerate_f4_structures())[:3]
+        evaluator = CandidateEvaluator(tiny_graph, engine_training_config)
+        batched = evaluator.evaluate_many(structures, backend=ProcessPoolBackend(num_workers=2))
+        for structure, evaluation in zip(structures, batched):
+            assert evaluation.structure.key() == structure.key()
+
+    def test_timing_recorded_per_candidate(self, tiny_graph, engine_training_config):
+        evaluator = CandidateEvaluator(tiny_graph, engine_training_config)
+        evaluator.evaluate_many(list(enumerate_f4_structures())[:2])
+        assert evaluator.timing.count("train") == 2
+        assert evaluator.timing.total("train") > 0
+        assert evaluator.timing.last("evaluate") > 0
+
+
+class TestEvaluationStore:
+    def test_round_trip(self, tiny_graph, engine_training_config, tmp_path):
+        store = EvaluationStore(tmp_path)
+        evaluator = CandidateEvaluator(tiny_graph, engine_training_config, store=store)
+        structure = classical_structure("analogy")
+        original = evaluator.evaluate(structure)
+        key = canonical_key(structure)
+        assert key in store
+        assert len(store) == 1
+
+        loaded = store.get(key)
+        assert loaded is not None
+        assert loaded.from_cache
+        assert loaded.validation_mrr == original.validation_mrr
+        assert loaded.validation_result.as_dict() == original.validation_result.as_dict()
+        assert loaded.validation_result.hits.keys() == original.validation_result.hits.keys()
+        assert loaded.training_history.losses == original.training_history.losses
+        assert loaded.structure.key() == structure.key()
+
+    def test_cross_run_cache_hit(self, tiny_graph, engine_training_config, tmp_path):
+        store = EvaluationStore(tmp_path)
+        first = CandidateEvaluator(tiny_graph, engine_training_config, store=store)
+        trained = first.evaluate(classical_structure("simple"))
+
+        fresh_store = EvaluationStore(tmp_path)  # simulates a new process
+        second = CandidateEvaluator(tiny_graph, engine_training_config, store=fresh_store)
+        cached = second.evaluate(classical_structure("simple"))
+        assert cached.from_cache
+        assert cached.validation_mrr == trained.validation_mrr
+        assert second.num_trained == 0
+
+    def test_missing_key_returns_none(self, tmp_path):
+        store = EvaluationStore(tmp_path)
+        assert store.get((1, 2, 3)) is None
+        assert (1, 2, 3) not in store
+        assert len(store) == 0
+
+    def test_corrupt_entry_is_ignored(self, tiny_graph, engine_training_config, tmp_path):
+        store = EvaluationStore(tmp_path)
+        evaluator = CandidateEvaluator(tiny_graph, engine_training_config, store=store)
+        evaluator.evaluate(classical_structure("distmult"))
+        (tmp_path / "evaluations" / "garbage.json").write_text("{not json", encoding="utf-8")
+        truncated = tmp_path / "evaluations" / ("0" * 32 + ".json")
+        truncated.write_text("{not json", encoding="utf-8")
+        reopened = EvaluationStore(tmp_path)
+        assert reopened.keys() == [canonical_key(classical_structure("distmult"))]
+        assert len(reopened) == 2  # entry files on disk, foreign names excluded
+
+    def test_different_training_config_misses_store(
+        self, tiny_graph, engine_training_config, tmp_path
+    ):
+        store = EvaluationStore(tmp_path)
+        first = CandidateEvaluator(tiny_graph, engine_training_config, store=store)
+        first.evaluate(classical_structure("simple"))
+
+        other_config = engine_training_config.replace(epochs=engine_training_config.epochs + 1)
+        second = CandidateEvaluator(tiny_graph, other_config, store=EvaluationStore(tmp_path))
+        evaluation = second.evaluate(classical_structure("simple"))
+        assert not evaluation.from_cache
+        assert second.num_trained == 1  # stale entry was not served
+
+    def test_fingerprint_sensitive_to_experiment(self, tiny_graph, micro_graph,
+                                                 engine_training_config):
+        base = experiment_fingerprint(tiny_graph, engine_training_config)
+        assert base == experiment_fingerprint(tiny_graph, engine_training_config)
+        assert base != experiment_fingerprint(micro_graph, engine_training_config)
+        assert base != experiment_fingerprint(
+            tiny_graph, engine_training_config.replace(learning_rate=0.1)
+        )
+        assert base != experiment_fingerprint(tiny_graph, engine_training_config, base_seed=1)
+
+    def test_interrupt_mid_batch_keeps_finished_candidates(
+        self, tiny_graph, engine_training_config, tmp_path
+    ):
+        class ExplodingBackend(SerialBackend):
+            """Completes the first task, then dies mid-batch."""
+
+            def run(self, context, tasks, on_result=None):
+                for index, task in enumerate(tasks):
+                    if index == 1:
+                        raise KeyboardInterrupt
+                    outcome = evaluate_candidate(context, task)
+                    if on_result is not None:
+                        on_result(index, outcome)
+                return []
+
+        store = EvaluationStore(tmp_path)
+        evaluator = CandidateEvaluator(tiny_graph, engine_training_config, store=store)
+        structures = list(enumerate_f4_structures())[:3]
+        with pytest.raises(KeyboardInterrupt):
+            evaluator.evaluate_many(structures, backend=ExplodingBackend())
+        # The candidate that finished before the interrupt is checkpointed.
+        assert len(store) == 1
+        assert evaluator.num_trained == 1
+        resumed = CandidateEvaluator(
+            tiny_graph, engine_training_config, store=EvaluationStore(tmp_path)
+        )
+        assert resumed.evaluate(structures[0]).from_cache
+
+    def test_search_resumes_without_retraining(
+        self, tiny_graph, engine_training_config, engine_search_config, tmp_path
+    ):
+        store = EvaluationStore(tmp_path)
+        first = AutoSFSearch(
+            tiny_graph, engine_training_config, engine_search_config, store=store
+        )
+        result = first.run(max_evaluations=6)
+        trained = first.evaluator.num_trained
+        assert trained > 0
+
+        second = AutoSFSearch(
+            tiny_graph, engine_training_config, engine_search_config, store=EvaluationStore(tmp_path)
+        )
+        resumed = second.run(max_evaluations=6)
+        assert second.evaluator.num_trained == 0
+        assert [r.validation_mrr for r in resumed.records] == [
+            r.validation_mrr for r in result.records
+        ]
+        assert resumed.best_structure.key() == result.best_structure.key()

@@ -1,0 +1,156 @@
+"""Parity tests: vectorized filtered ranking vs the scalar reference path."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.knowledge_graph import FilterIndex
+from repro.kge.evaluation import (
+    _filtered_rank,
+    compute_ranks,
+    compute_ranks_reference,
+    evaluate_link_prediction,
+    filtered_ranks_batch,
+    relation_threshold_lookup,
+)
+from repro.kge.scoring.bilinear import BlockScoringFunction
+from repro.kge.scoring.blocks import classical_structure
+from repro.kge.trainer import Trainer
+from repro.utils.config import TrainingConfig
+
+
+def _scalar_ranks(scores, targets, known_lists):
+    """Row-by-row oracle built from the original scalar implementation."""
+    return np.asarray(
+        [
+            _filtered_rank(scores[row], int(targets[row]), known_lists[row])
+            for row in range(scores.shape[0])
+        ],
+        dtype=np.float64,
+    )
+
+
+def _flatten_known(known_lists):
+    rows, cols = [], []
+    for row, known in enumerate(known_lists):
+        for entity in known:
+            rows.append(row)
+            cols.append(entity)
+    return np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64)
+
+
+class TestFilteredRanksBatch:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_scalar_on_random_matrices_with_ties(self, seed):
+        gen = np.random.default_rng(seed)
+        batch, num_entities = 17, 40
+        # Low-cardinality integer scores force plenty of exact ties.
+        scores = gen.integers(0, 6, size=(batch, num_entities)).astype(np.float64)
+        targets = gen.integers(0, num_entities, size=batch)
+        known_lists = []
+        for row in range(batch):
+            known = set(gen.choice(num_entities, size=int(gen.integers(0, 12)), replace=False))
+            known.add(int(targets[row]))  # the true answer is always known
+            known_lists.append(sorted(known))
+        expected = _scalar_ranks(scores, targets, known_lists)
+        actual = filtered_ranks_batch(scores, targets, *_flatten_known(known_lists))
+        np.testing.assert_array_equal(actual, expected)
+
+    def test_all_tied_scores(self):
+        scores = np.ones((3, 10))
+        targets = np.asarray([0, 4, 9])
+        expected = _scalar_ranks(scores, targets, [[], [], []])
+        actual = filtered_ranks_batch(scores, targets)
+        np.testing.assert_array_equal(actual, expected)
+        # Every entity ties: mean rank of a 10-way tie is (1 + 10) / 2.
+        assert actual.tolist() == [5.5, 5.5, 5.5]
+
+    def test_target_never_filtered_out(self):
+        scores = np.asarray([[3.0, 2.0, 1.0, 0.0]])
+        targets = np.asarray([1])
+        rows, cols = np.asarray([0, 0]), np.asarray([0, 1])  # known includes the target
+        actual = filtered_ranks_batch(scores, targets, rows, cols)
+        assert actual.tolist() == [1.0]  # best score was masked, target promoted
+
+    def test_unfiltered_matches_scalar(self):
+        gen = np.random.default_rng(7)
+        scores = gen.normal(size=(5, 12))
+        targets = gen.integers(0, 12, size=5)
+        expected = _scalar_ranks(scores, targets, [[] for _ in range(5)])
+        np.testing.assert_array_equal(filtered_ranks_batch(scores, targets), expected)
+
+
+class TestFilterIndex:
+    def test_matches_dict_of_sets(self, tiny_graph):
+        index = tiny_graph.filter_index()
+        known_tails = tiny_graph.known_tails()
+        triples = tiny_graph.test
+        rows, cols = index.known_tail_pairs(triples[:, 0], triples[:, 1])
+        for row, (h, r, _t) in enumerate(triples):
+            expected = known_tails.get((int(h), int(r)), set())
+            actual = set(cols[rows == row].tolist())
+            assert actual == expected
+
+        known_heads = tiny_graph.known_heads()
+        rows, cols = index.known_head_pairs(triples[:, 2], triples[:, 1])
+        for row, (_h, r, t) in enumerate(triples):
+            expected = known_heads.get((int(r), int(t)), set())
+            actual = set(cols[rows == row].tolist())
+            assert actual == expected
+
+    def test_memoized_per_graph(self, tiny_graph):
+        assert tiny_graph.filter_index() is tiny_graph.filter_index()
+
+    def test_unknown_queries_contribute_no_pairs(self, micro_graph):
+        index = micro_graph.filter_index()
+        # Relation 1 never links entity 7 as head.
+        rows, cols = index.known_tail_pairs(np.asarray([7]), np.asarray([1]))
+        assert rows.size == 0 and cols.size == 0
+
+
+@pytest.fixture(scope="module")
+def trained_model(tiny_graph):
+    scoring_function = BlockScoringFunction(classical_structure("simple"))
+    config = TrainingConfig(dimension=8, epochs=3, batch_size=64, learning_rate=0.5, seed=0)
+    params, _history = Trainer(scoring_function, config).fit(tiny_graph)
+    return scoring_function, params
+
+
+class TestComputeRanksParity:
+    @pytest.mark.parametrize("split", ["valid", "test"])
+    @pytest.mark.parametrize("filtered", [True, False])
+    def test_vectorized_matches_reference(self, tiny_graph, trained_model, split, filtered):
+        scoring_function, params = trained_model
+        vectorized = compute_ranks(
+            scoring_function, params, tiny_graph, split=split, filtered=filtered
+        )
+        reference = compute_ranks_reference(
+            scoring_function, params, tiny_graph, split=split, filtered=filtered
+        )
+        np.testing.assert_array_equal(vectorized, reference)
+
+    def test_batch_size_does_not_change_ranks(self, tiny_graph, trained_model):
+        scoring_function, params = trained_model
+        small = compute_ranks(scoring_function, params, tiny_graph, batch_size=3)
+        large = compute_ranks(scoring_function, params, tiny_graph, batch_size=1024)
+        np.testing.assert_array_equal(small, large)
+
+    def test_evaluate_link_prediction_uses_vectorized_path(self, tiny_graph, trained_model):
+        scoring_function, params = trained_model
+        result = evaluate_link_prediction(scoring_function, params, tiny_graph, split="test")
+        reference = compute_ranks_reference(scoring_function, params, tiny_graph, split="test")
+        assert result.mrr == pytest.approx(float(np.mean(1.0 / reference)))
+        assert result.num_queries == reference.size
+
+
+class TestRelationThresholdLookup:
+    def test_matches_dict_lookup(self):
+        gen = np.random.default_rng(5)
+        thresholds = {2: 0.5, 7: -1.0, 11: 3.25}
+        relations = gen.integers(0, 15, size=50)
+        expected = np.asarray([thresholds.get(int(r), 9.0) for r in relations])
+        actual = relation_threshold_lookup(relations, thresholds, 9.0)
+        np.testing.assert_array_equal(actual, expected)
+
+    def test_empty_thresholds_fall_back_to_default(self):
+        actual = relation_threshold_lookup(np.asarray([0, 3, 9]), {}, 1.5)
+        np.testing.assert_array_equal(actual, np.full(3, 1.5))

@@ -58,6 +58,17 @@ class TestTimingRecorder:
         assert recorder.mean("x") == pytest.approx(2.0)
         assert recorder.total("x") == pytest.approx(4.0)
 
+    def test_last_returns_most_recent_sample(self):
+        recorder = TimingRecorder()
+        recorder.add("x", 1.0)
+        recorder.add("x", 3.0)
+        assert recorder.last("x") == pytest.approx(3.0)
+
+    def test_last_raises_on_unknown_phase(self):
+        recorder = TimingRecorder()
+        with pytest.raises(KeyError):
+            recorder.last("missing")
+
     def test_unknown_phase_defaults_to_zero(self):
         recorder = TimingRecorder()
         assert recorder.total("missing") == 0.0
