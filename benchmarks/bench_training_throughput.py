@@ -1,0 +1,180 @@
+"""Training-throughput benchmark: batched engine vs the reference loop.
+
+Measures the per-candidate training hot path (Alg. 1) that dominates every
+greedy-search run, on the largest built-in miniature benchmark:
+
+* **throughput**: wall-clock of ``Trainer.fit`` under the reference engine
+  vs the batched engine (unchunked and entity-chunked), for a 2-block
+  classical structure and a 6-block search-space structure, including the
+  speedup factors;
+* **parity**: the engines must agree on final parameters to ``atol=1e-10``
+  (measured, not assumed — the run fails otherwise);
+* **peak memory**: ``tracemalloc`` peak of one training run with and without
+  ``score_chunk_size``, demonstrating that chunked scoring bounds the
+  transient score matrices.
+
+Runs standalone (CI calls it with ``--quick`` and uploads the JSON timings
+as an artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_training_throughput.py --quick
+
+Results are printed as a table and written to
+``benchmarks/results/training_throughput.json`` so regressions are visible
+per revision.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+import tracemalloc
+
+import numpy as np
+
+from _helpers import bench_training_config, publish, RESULTS_DIR
+
+from repro.analysis import format_table
+from repro.datasets import load_benchmark
+from repro.kge.scoring.bilinear import BlockScoringFunction
+from repro.kge.scoring.blocks import BlockStructure, classical_structure
+from repro.kge.trainer import Trainer
+from repro.utils.serialization import to_json_file
+
+#: The largest built-in miniature benchmark.
+LARGEST_BENCHMARK = "yago310"
+
+#: A representative 6-block structure (the search trains mostly 4-6 block SFs).
+SIX_BLOCK_STRUCTURE = BlockStructure(
+    [(0, 0, 0, 1), (1, 1, 1, 1), (2, 3, 2, 1), (3, 2, 2, -1), (0, 1, 3, 1), (1, 0, 3, -1)],
+    name="six-blocks",
+)
+
+#: Entity-chunk size used for the chunked measurements.
+CHUNK_SIZE = 128
+
+
+def _fit(graph, structure, config, engine: str, chunk: int = 0):
+    run_config = config.replace(train_engine=engine, score_chunk_size=chunk)
+    scoring_function = BlockScoringFunction(structure)
+    trainer = Trainer(scoring_function, run_config)
+    return trainer.fit(graph)
+
+
+def _time_fit(graph, structure, config, engine: str, chunk: int = 0, repeats: int = 3) -> float:
+    """Best-of-N wall-clock seconds (best-of to suppress scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        _fit(graph, structure, config, engine, chunk)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_throughput(graph, config, repeats: int) -> list:
+    rows = []
+    for label, structure in (
+        ("simple (2 blocks)", classical_structure("simple")),
+        ("six-blocks (6 blocks)", SIX_BLOCK_STRUCTURE),
+    ):
+        reference = _time_fit(graph, structure, config, "reference", repeats=repeats)
+        batched = _time_fit(graph, structure, config, "batched", repeats=repeats)
+        chunked = _time_fit(
+            graph, structure, config, "batched", chunk=CHUNK_SIZE, repeats=repeats
+        )
+        rows.append(
+            {
+                "structure": label,
+                "reference_s": reference,
+                "batched_s": batched,
+                f"chunked_{CHUNK_SIZE}_s": chunked,
+                "speedup": reference / batched,
+                "chunked_speedup": reference / chunked,
+            }
+        )
+    return rows
+
+
+def check_parity(graph, config) -> float:
+    """Max |param difference| between engines (must stay within 1e-10)."""
+    reference_params, _ = _fit(graph, SIX_BLOCK_STRUCTURE, config, "reference")
+    batched_params, _ = _fit(graph, SIX_BLOCK_STRUCTURE, config, "batched")
+    chunked_params, _ = _fit(graph, SIX_BLOCK_STRUCTURE, config, "batched", chunk=CHUNK_SIZE)
+    worst = 0.0
+    for key in reference_params:
+        worst = max(worst, float(np.abs(batched_params[key] - reference_params[key]).max()))
+        worst = max(worst, float(np.abs(chunked_params[key] - reference_params[key]).max()))
+    return worst
+
+
+def measure_peak_memory(graph, config) -> dict:
+    """tracemalloc peaks of one epoch, unchunked vs chunked scoring."""
+    memory_config = config.replace(epochs=1)
+    peaks = {}
+    for label, chunk in (("unchunked", 0), (f"chunk_{CHUNK_SIZE}", CHUNK_SIZE)):
+        tracemalloc.start()
+        _fit(graph, SIX_BLOCK_STRUCTURE, memory_config, "batched", chunk)
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        peaks[label] = peak
+    return peaks
+
+
+def build_report(quick: bool) -> tuple:
+    graph = load_benchmark(LARGEST_BENCHMARK, scale=1.0)
+    config = bench_training_config(epochs=3 if quick else 8)
+    repeats = 1 if quick else 3
+
+    throughput = measure_throughput(graph, config, repeats)
+    parity = check_parity(graph, config.replace(epochs=2 if quick else 4))
+    memory = measure_peak_memory(graph, config)
+
+    table = format_table(
+        throughput,
+        title=f"Training throughput on {graph.name} "
+        f"(E={graph.num_entities}, {graph.train.shape[0]} train triples)",
+    )
+    note = (
+        f"max |param delta| across engines: {parity:.2e} (bound: 1e-10)\n"
+        f"peak traced memory: unchunked {memory['unchunked'] / 1e6:.1f} MB, "
+        f"chunk={CHUNK_SIZE} {memory[f'chunk_{CHUNK_SIZE}'] / 1e6:.1f} MB"
+    )
+    data = {
+        "benchmark": graph.name,
+        "entities": graph.num_entities,
+        "quick": quick,
+        "throughput": throughput,
+        "max_param_delta": parity,
+        "peak_memory_bytes": memory,
+    }
+    return table + "\n" + note, data
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: fewer epochs, single repeat (still checks parity)",
+    )
+    args = parser.parse_args(argv)
+
+    text, data = build_report(quick=args.quick)
+    publish("training_throughput", text)
+    to_json_file(data, RESULTS_DIR / "training_throughput.json")
+
+    if data["max_param_delta"] > 1e-10:
+        print(f"FAIL: engine parity violated ({data['max_param_delta']:.2e} > 1e-10)")
+        return 1
+    # Acceptance: the batched engine is at least 2x the reference loop on the
+    # largest miniature graph (quick mode tolerates CI-runner noise at 1.5x).
+    floor = 1.5 if args.quick else 2.0
+    worst_speedup = min(row["speedup"] for row in data["throughput"])
+    if worst_speedup < floor:
+        print(f"FAIL: batched speedup {worst_speedup:.2f}x below the {floor}x floor")
+        return 1
+    print(f"OK: batched engine {worst_speedup:.2f}x+ over reference, parity within 1e-10")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,7 +5,9 @@ Three subcommands cover the common workflows without writing any Python:
 * ``repro-autosf stats``  — print the Table III-style relation-pattern
   statistics of a built-in miniature benchmark or a TSV dataset directory;
 * ``repro-autosf train``  — train one named scoring function and report the
-  filtered link-prediction metrics;
+  filtered link-prediction metrics.  ``--eval-every N`` / ``--patience P``
+  enable validation-driven early stopping (patience counts evaluations, not
+  epochs) with best-checkpoint restore;
 * ``repro-autosf search`` — run the progressive greedy search and print the
   case study of the best structure found.  Candidate training can be fanned
   out over worker processes (``--backend process --workers N``) and
@@ -16,6 +18,11 @@ Three subcommands cover the common workflows without writing any Python:
 Every subcommand accepts either ``--benchmark <name>`` (one of the built-in
 miniatures) or ``--data <dir>`` (a directory with ``train.txt`` /
 ``valid.txt`` / ``test.txt`` in the standard tab-separated format).
+``train`` and ``search`` additionally take ``--train-engine
+{batched,reference}`` (the fused fast path vs the parity-oracle loop) and
+``--score-chunk-size N`` (bound training memory by scoring candidates in
+entity chunks); both travel inside the training config, so worker processes
+use the same engine as in-process runs.
 """
 
 from __future__ import annotations
@@ -36,7 +43,7 @@ from repro.datasets import (
 from repro.datasets.knowledge_graph import KnowledgeGraph
 from repro.kge import train_model
 from repro.kge.scoring import available_scoring_functions
-from repro.utils.config import SearchConfig, TrainingConfig
+from repro.utils.config import TRAIN_ENGINES, SearchConfig, TrainingConfig
 from repro.utils.serialization import from_json_file, to_json_file
 
 #: Name of the checkpoint manifest written into a search cache directory.
@@ -69,6 +76,35 @@ def _add_training_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--batch-size", type=int, default=256, help="mini-batch size")
     parser.add_argument("--learning-rate", type=float, default=0.5, help="Adagrad learning rate")
     parser.add_argument("--l2", type=float, default=1e-4, help="L2 penalty")
+    parser.add_argument(
+        "--train-engine",
+        choices=TRAIN_ENGINES,
+        default="batched",
+        help="per-batch training engine: 'batched' is the fused fast path, "
+        "'reference' the original loop kept as the parity oracle (default: batched)",
+    )
+    parser.add_argument(
+        "--score-chunk-size",
+        type=_positive_int,
+        default=None,
+        help="entity-chunk size for the batched engine's candidate scoring; "
+        "bounds peak training memory at batch-size x chunk scores "
+        "(default: score all entities at once)",
+    )
+    parser.add_argument(
+        "--eval-every",
+        type=_positive_int,
+        default=None,
+        help="evaluate validation MRR every N epochs during training; enables "
+        "early stopping and best-checkpoint restore (default: off)",
+    )
+    parser.add_argument(
+        "--patience",
+        type=_positive_int,
+        default=None,
+        help="early-stopping patience, counted in evaluations (not epochs) "
+        "without a new best validation MRR; requires --eval-every",
+    )
 
 
 def _load_graph(args: argparse.Namespace) -> KnowledgeGraph:
@@ -76,6 +112,11 @@ def _load_graph(args: argparse.Namespace) -> KnowledgeGraph:
 
 
 def _training_config(args: argparse.Namespace) -> TrainingConfig:
+    if args.patience is not None and args.eval_every is None:
+        raise SystemExit(
+            "--patience has no effect without --eval-every "
+            "(early stopping needs a validation cadence)"
+        )
     return TrainingConfig(
         dimension=args.dimension,
         epochs=args.epochs,
@@ -83,6 +124,10 @@ def _training_config(args: argparse.Namespace) -> TrainingConfig:
         learning_rate=args.learning_rate,
         l2_penalty=args.l2,
         seed=args.seed,
+        train_engine=args.train_engine,
+        score_chunk_size=args.score_chunk_size if args.score_chunk_size is not None else 0,
+        eval_every=args.eval_every if args.eval_every is not None else 0,
+        early_stopping_patience=args.patience if args.patience is not None else 0,
     )
 
 
@@ -117,7 +162,7 @@ def command_train(args: argparse.Namespace) -> int:
     config = _training_config(args)
     print(f"training {args.model} on {graph.name} "
           f"(d={config.dimension}, {config.epochs} epochs)")
-    model = train_model(graph, args.model, config)
+    model = train_model(graph, args.model, config, validate=config.eval_every > 0)
     rows = []
     for split in ("valid", "test"):
         result = model.evaluate(graph, split=split)

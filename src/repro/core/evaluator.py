@@ -124,6 +124,9 @@ class CandidateEvaluator:
         self._cache: Dict[Tuple[int, ...], CandidateEvaluation] = {}
         self._fingerprint: Optional[str] = None
         self.num_trained = 0
+        # Fallback used when a backend loses outcomes (e.g. a killed worker):
+        # the missing tasks are re-run here, in-process, exactly once.
+        self._retry_backend: ExecutionBackend = SerialBackend()
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -238,6 +241,35 @@ class CandidateEvaluator:
             for index, outcome in enumerate(outcomes or []):
                 if outcome is not None:
                     absorb(index, outcome)
+
+            # A lossy backend (killed worker, dropped message) may have
+            # returned no outcome for some dispatched tasks.  Retry those
+            # serially once; if outcomes are still missing, fail loudly with
+            # the affected structures instead of a bare KeyError downstream.
+            missing = [index for index, key in enumerate(task_keys) if key not in self._cache]
+            if missing:
+                retry_tasks = [tasks[index] for index in missing]
+                retry_outcomes = self._retry_backend.run(
+                    self._context(),
+                    retry_tasks,
+                    on_result=lambda position, outcome: absorb(missing[position], outcome),
+                )
+                for position, outcome in enumerate(retry_outcomes or []):
+                    if outcome is not None:
+                        absorb(missing[position], outcome)
+                still_missing = [
+                    index for index in missing if task_keys[index] not in self._cache
+                ]
+                if still_missing:
+                    names = ", ".join(
+                        repr(tasks[index].structure.name or tasks[index].structure.blocks)
+                        for index in still_missing
+                    )
+                    raise RuntimeError(
+                        f"execution backend {backend!r} returned no outcome for "
+                        f"{len(still_missing)} of {len(tasks)} dispatched candidate(s) "
+                        f"({names}), and a serial retry did not recover them"
+                    )
 
         results: List[CandidateEvaluation] = []
         for position, (structure, key) in enumerate(zip(structures, keys)):

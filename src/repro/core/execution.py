@@ -89,14 +89,28 @@ def evaluate_candidate(context: EvaluationContext, task: EvaluationTask) -> Eval
 
     This is the unit of work every backend executes; it must stay free of
     shared mutable state so that serial and parallel execution are
-    interchangeable.
+    interchangeable.  The training engine (``config.train_engine`` /
+    ``config.score_chunk_size``) travels inside the config, so worker
+    processes build the same engine as in-process execution.  When
+    ``config.eval_every > 0`` training tracks filtered validation MRR,
+    enabling early stopping and the trainer's best-checkpoint restore — the
+    reported ``validation_mrr`` is then measured on the best checkpoint, not
+    on whatever the last epoch produced.
     """
     config = context.config if task.seed is None else context.config.replace(seed=task.seed)
     scoring_function = BlockScoringFunction(task.structure)
     trainer = Trainer(scoring_function, config)
 
+    validation_callback = None
+    if config.eval_every > 0:
+
+        def validation_callback(params):
+            return evaluate_link_prediction(
+                scoring_function, params, context.graph, split=context.validation_split
+            ).mrr
+
     start = time.perf_counter()
-    params, history = trainer.fit(context.graph)
+    params, history = trainer.fit(context.graph, validation_callback=validation_callback)
     train_seconds = time.perf_counter() - start
 
     start = time.perf_counter()

@@ -11,11 +11,21 @@ training and evaluation pipeline of Alg. 1 of the AutoSF paper:
 * :mod:`repro.kge.losses` — multi-class (full softmax) loss, logistic and
   hinge pairwise losses.
 * :mod:`repro.kge.optimizers` — Adagrad (the paper's optimizer), Adam, SGD.
-* :mod:`repro.kge.trainer` — the stochastic training loop.
+* :mod:`repro.kge.trainer` — the stochastic training loop (epochs,
+  validation, early stopping with best-checkpoint restore).
+* :mod:`repro.kge.engine` — pluggable per-batch training engines: the
+  fused, entity-chunked ``"batched"`` fast path and the ``"reference"``
+  loop kept as the parity oracle.
 * :mod:`repro.kge.evaluation` — filtered link-prediction metrics (MRR,
   Hits@k) and triplet classification.
 """
 
+from repro.kge.engine import (
+    BatchedTrainEngine,
+    ReferenceTrainEngine,
+    TrainEngine,
+    get_train_engine,
+)
 from repro.kge.model import KGEModel, train_model
 from repro.kge.evaluation import (
     EvaluationResult,
@@ -34,6 +44,10 @@ from repro.kge.scoring import (
 )
 
 __all__ = [
+    "BatchedTrainEngine",
+    "ReferenceTrainEngine",
+    "TrainEngine",
+    "get_train_engine",
     "KGEModel",
     "train_model",
     "EvaluationResult",

@@ -96,6 +96,90 @@ class MulticlassLoss(Loss):
         return value, dscores
 
 
+def multiclass_inplace(scores: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Fused softmax cross-entropy that turns ``scores`` into ``dscores`` in place.
+
+    Computes the same (value, gradient) as :meth:`MulticlassLoss.compute` —
+    identical operation order, so the results agree bit for bit — but reuses
+    the ``scores`` buffer for every intermediate instead of allocating four
+    ``(batch, num_candidates)`` temporaries.  This is the single-pass hot
+    path of the batched training engine; the caller must own ``scores``.
+    """
+    scores, targets = _check_inputs(scores, targets)
+    batch = scores.shape[0]
+    if batch == 0:
+        return 0.0, np.zeros_like(scores)
+    rows = np.arange(batch)
+    np.subtract(scores, scores.max(axis=1, keepdims=True), out=scores)
+    shifted_targets = scores[rows, targets].copy()
+    np.exp(scores, out=scores)
+    partition = scores.sum(axis=1, keepdims=True)
+    value = float(np.mean(np.log(partition[:, 0]) - shifted_targets))
+    np.divide(scores, partition, out=scores)
+    scores[rows, targets] -= 1.0
+    scores /= batch
+    return value, scores
+
+
+class StreamingMulticlass:
+    """Two-pass softmax cross-entropy over entity chunks in bounded memory.
+
+    The multi-class loss needs the partition function over *every* candidate
+    entity, so chunked scoring cannot evaluate it in one pass.  This helper
+    implements the standard streaming log-sum-exp: the first pass feeds each
+    score chunk to :meth:`observe` (tracking a running maximum and rescaled
+    exponential sum plus the target scores), then :meth:`value` yields the
+    mean loss and the second pass turns each re-scored chunk into its slice
+    of the gradient via :meth:`dscores_chunk`.  Peak memory never exceeds one
+    ``(batch, chunk)`` score block.
+    """
+
+    def __init__(self, targets: np.ndarray) -> None:
+        self.targets = np.asarray(targets, dtype=np.int64)
+        batch = self.targets.shape[0]
+        self._rows = np.arange(batch)
+        self._running_max = np.full(batch, -np.inf)
+        self._sum_exp = np.zeros(batch)
+        self._target_scores = np.zeros(batch)
+        self._log_partition: Optional[np.ndarray] = None
+
+    def observe(self, scores_chunk: np.ndarray, start: int, stop: int) -> None:
+        """First pass: fold the scores of candidate columns [start, stop)."""
+        chunk_max = scores_chunk.max(axis=1)
+        new_max = np.maximum(self._running_max, chunk_max)
+        self._sum_exp = self._sum_exp * np.exp(self._running_max - new_max) + np.exp(
+            scores_chunk - new_max[:, None]
+        ).sum(axis=1)
+        self._running_max = new_max
+        in_chunk = (self.targets >= start) & (self.targets < stop)
+        if in_chunk.any():
+            self._target_scores[in_chunk] = scores_chunk[
+                self._rows[in_chunk], self.targets[in_chunk] - start
+            ]
+
+    def _finalize(self) -> np.ndarray:
+        if self._log_partition is None:
+            self._log_partition = self._running_max + np.log(self._sum_exp)
+        return self._log_partition
+
+    def value(self) -> float:
+        """Mean loss after every chunk has been observed."""
+        if self.targets.shape[0] == 0:
+            return 0.0
+        return float(np.mean(self._finalize() - self._target_scores))
+
+    def dscores_chunk(self, scores_chunk: np.ndarray, start: int, stop: int) -> np.ndarray:
+        """Second pass: gradient slice for columns [start, stop), in place."""
+        batch = self.targets.shape[0]
+        np.subtract(scores_chunk, self._finalize()[:, None], out=scores_chunk)
+        np.exp(scores_chunk, out=scores_chunk)
+        in_chunk = (self.targets >= start) & (self.targets < stop)
+        if in_chunk.any():
+            scores_chunk[self._rows[in_chunk], self.targets[in_chunk] - start] -= 1.0
+        scores_chunk /= batch
+        return scores_chunk
+
+
 class LogisticLoss(Loss):
     """Logistic (binary cross-entropy) loss with sampled negatives."""
 

@@ -52,13 +52,39 @@ class NegativeSampler(ABC):
             condition on the relation).
         """
 
+    #: Resampling passes before `_avoid_positives` falls back to the exact draw.
+    _max_resample_passes = 16
+
     def _avoid_positives(self, negatives: np.ndarray, positives: np.ndarray) -> np.ndarray:
-        """Resample any negative that collides with its positive (one pass)."""
-        collisions = negatives == positives[:, None]
-        if collisions.any():
-            replacements = self.rng.integers(0, self.num_entities, size=int(collisions.sum()))
-            negatives = negatives.copy()
-            negatives[collisions] = replacements
+        """Replace every negative that collides with its positive.
+
+        Colliding entries are re-drawn until collision-free (a replacement
+        drawn uniformly can hit the positive again, so a single pass is not
+        enough — at ``num_entities=2`` roughly half the replacements would
+        still be positives).  After a bounded number of passes any stragglers
+        are fixed deterministically with a masked draw from the
+        ``num_entities - 1`` non-positive entities, so the result is
+        guaranteed collision-free.
+        """
+        expanded = positives[:, None]
+        collisions = negatives == expanded
+        if not collisions.any():
+            return negatives
+        negatives = negatives.copy()
+        for _pass in range(self._max_resample_passes):
+            count = int(collisions.sum())
+            if count == 0:
+                return negatives
+            negatives[collisions] = self.rng.integers(0, self.num_entities, size=count)
+            collisions = negatives == expanded
+        remaining = negatives == expanded
+        if remaining.any():
+            # Exact fallback: draw from [0, num_entities - 1) and shift past
+            # the positive, i.e. uniform over every entity except it.
+            rows = np.nonzero(remaining)[0]
+            draws = self.rng.integers(0, self.num_entities - 1, size=rows.shape[0])
+            draws += draws >= positives[rows]
+            negatives[remaining] = draws
         return negatives
 
 

@@ -37,6 +37,31 @@ class Optimizer(ABC):
         """Forget any accumulated per-parameter state."""
         self._state.clear()
 
+    def snapshot(self) -> dict:
+        """Deep-copy of the optimizer state (for best-checkpoint restore).
+
+        The trainer snapshots this together with the parameters at every new
+        best validation score, so that restoring the best checkpoint also
+        restores the matching accumulator state (Adagrad sums, Adam moments,
+        the decayed learning rate) instead of the accumulators of the worse
+        trailing epochs.
+        """
+        return {
+            "learning_rate": self.learning_rate,
+            "state": {
+                key: {name: array.copy() for name, array in slots.items()}
+                for key, slots in self._state.items()
+            },
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Restore state previously captured by :meth:`snapshot`."""
+        self.learning_rate = float(snapshot["learning_rate"])
+        self._state = {
+            key: {name: array.copy() for name, array in slots.items()}
+            for key, slots in snapshot["state"].items()
+        }
+
     def _state_for(self, key: str, template: np.ndarray, names: tuple) -> Dict[str, np.ndarray]:
         if key not in self._state:
             self._state[key] = {name: np.zeros_like(template) for name in names}
@@ -103,6 +128,15 @@ class Adam(Optimizer):
     def reset(self) -> None:
         super().reset()
         self._step_count = 0
+
+    def snapshot(self) -> dict:
+        data = super().snapshot()
+        data["step_count"] = self._step_count
+        return data
+
+    def restore(self, snapshot: dict) -> None:
+        super().restore(snapshot)
+        self._step_count = int(snapshot["step_count"])
 
     def step(self, params: ParamDict, grads: ParamDict) -> None:
         self._check(params, grads)

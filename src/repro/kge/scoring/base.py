@@ -142,6 +142,108 @@ class ScoringFunction(ABC):
         """
 
     # ------------------------------------------------------------------
+    # Chunk-aware scoring (the batched training engine's interface)
+    # ------------------------------------------------------------------
+    # The batched trainer scores every query against the entity vocabulary
+    # in contiguous chunks ``[start, stop)`` so that peak memory stays
+    # bounded.  Most of the per-query work (embedding lookups, relation
+    # projections, network forward passes) is identical for every chunk, so
+    # the pass is bracketed: ``begin_candidate_pass`` precomputes that state
+    # once, the ``*_chunk`` methods reuse it per chunk, and
+    # ``finish_candidate_pass`` scatters gradient contributions that were
+    # accumulated across chunks (one scatter per pass instead of one per
+    # chunk).  The defaults below delegate to ``score_candidates`` /
+    # ``grad_candidates`` so every scoring function works unmodified;
+    # subclasses override the ``_``-prefixed hooks with fused
+    # implementations.  The public methods own the pass protocol: callers
+    # may omit ``state`` for a standalone chunk call, in which case the
+    # state is created (and, for gradients, finalized) on the spot.
+
+    def begin_candidate_pass(
+        self, params: ParamDict, queries: np.ndarray, direction: str = TAIL
+    ) -> Optional[dict]:
+        """Precompute per-query state shared by every chunk of one pass."""
+        return None
+
+    def score_candidates_chunk(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        direction: str,
+        start: int,
+        stop: int,
+        state: Optional[dict] = None,
+    ) -> np.ndarray:
+        """Score queries against candidate entities ``start:stop``."""
+        if state is None:
+            state = self.begin_candidate_pass(params, queries, direction)
+        return self._score_candidates_chunk(params, queries, direction, start, stop, state)
+
+    def grad_candidates_chunk(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        dscores: np.ndarray,
+        direction: str,
+        start: int,
+        stop: int,
+        grads: ParamDict,
+        state: Optional[dict] = None,
+    ) -> None:
+        """Accumulate the gradient of the ``start:stop`` chunk into ``grads``."""
+        own_pass = state is None
+        if own_pass:
+            state = self.begin_candidate_pass(params, queries, direction)
+        self._grad_candidates_chunk(params, queries, dscores, direction, start, stop, grads, state)
+        if own_pass:
+            self.finish_candidate_pass(params, queries, direction, state, grads)
+
+    def finish_candidate_pass(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        direction: str,
+        state: Optional[dict],
+        grads: ParamDict,
+    ) -> None:
+        """Scatter cross-chunk gradient accumulators into ``grads``."""
+        return None
+
+    def _score_candidates_chunk(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        direction: str,
+        start: int,
+        stop: int,
+        state: Optional[dict],
+    ) -> np.ndarray:
+        return self.score_candidates(
+            params, queries, direction=direction, candidates=np.arange(start, stop, dtype=np.int64)
+        )
+
+    def _grad_candidates_chunk(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        dscores: np.ndarray,
+        direction: str,
+        start: int,
+        stop: int,
+        grads: ParamDict,
+        state: Optional[dict],
+    ) -> None:
+        chunk_grads = self.grad_candidates(
+            params,
+            queries,
+            dscores,
+            direction=direction,
+            candidates=np.arange(start, stop, dtype=np.int64),
+        )
+        for key, grad in chunk_grads.items():
+            grads[key] += grad
+
+    # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------
     def candidate_entities(self, params: ParamDict, candidates: Optional[np.ndarray]) -> np.ndarray:

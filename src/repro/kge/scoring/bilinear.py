@@ -174,6 +174,112 @@ class BlockScoringFunction(ScoringFunction):
             )
         return grads
 
+    # ------------------------------------------------------------------
+    # Chunk-aware scoring (fused over blocks, used by the batched engine)
+    # ------------------------------------------------------------------
+    # Every block's contribution to the score of candidate ``c`` is
+    # ``sign * (e_q ∘ r) · c`` over one embedding chunk, so all blocks can be
+    # collapsed into a single query projection ``P`` of full dimension with
+    # ``P[:, col] += sign * e_q[row] ∘ r[comp]`` (chunks swapped for head
+    # prediction).  Scores are then one GEMM ``P @ E[start:stop].T`` per
+    # chunk instead of one GEMM per block, the candidate gradient is the
+    # transposed GEMM added directly into the entity-table slice, and the
+    # query/relation gradients unpack the accumulated ``dP = dscores @ E``
+    # once per pass with exactly two scatters.
+
+    def _query_chunks(self, direction: str):
+        """Yield (query chunk, candidate chunk, component, sign) per block."""
+        for row, col, component, sign in self.structure.blocks:
+            if direction == TAIL:
+                yield row, col, component, sign
+            else:
+                yield col, row, component, sign
+
+    def begin_candidate_pass(
+        self, params: ParamDict, queries: np.ndarray, direction: str = TAIL
+    ) -> dict:
+        queries = check_queries(queries)
+        validate_direction(direction)
+        self._check_dimension(params)
+        entities, relations = params["entities"], params["relations"]
+        query_entities = entities[queries[:, 0]]
+        query_relations = relations[queries[:, 1]]
+        dimension = entities.shape[1]
+        chunk_size = dimension // NUM_CHUNKS
+        projection = np.zeros((queries.shape[0], dimension), dtype=np.float64)
+        for query_chunk, candidate_chunk, component, sign in self._query_chunks(direction):
+            target = projection[:, candidate_chunk * chunk_size : (candidate_chunk + 1) * chunk_size]
+            partial = self._chunk(query_entities, query_chunk) * self._chunk(
+                query_relations, component
+            )
+            if sign > 0:
+                target += partial
+            else:
+                target -= partial
+        return {
+            "projection": projection,
+            "dprojection": None,
+            "query_entities": query_entities,
+            "query_relations": query_relations,
+        }
+
+    def _score_candidates_chunk(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        direction: str,
+        start: int,
+        stop: int,
+        state: Optional[dict],
+    ) -> np.ndarray:
+        return state["projection"] @ params["entities"][start:stop].T
+
+    def _grad_candidates_chunk(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        dscores: np.ndarray,
+        direction: str,
+        start: int,
+        stop: int,
+        grads: ParamDict,
+        state: Optional[dict],
+    ) -> None:
+        grads["entities"][start:stop] += dscores.T @ state["projection"]
+        dprojection = dscores @ params["entities"][start:stop]
+        if state["dprojection"] is None:
+            state["dprojection"] = dprojection
+        else:
+            state["dprojection"] += dprojection
+
+    def finish_candidate_pass(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        direction: str,
+        state: Optional[dict],
+        grads: ParamDict,
+    ) -> None:
+        if state is None or state["dprojection"] is None:
+            return
+        dprojection = state["dprojection"]
+        dimension = params["entities"].shape[1]
+        chunk_size = dimension // NUM_CHUNKS
+        dquery = np.zeros_like(dprojection)
+        drelation = np.zeros_like(dprojection)
+        for query_chunk, candidate_chunk, component, sign in self._query_chunks(direction):
+            upstream = sign * dprojection[
+                :, candidate_chunk * chunk_size : (candidate_chunk + 1) * chunk_size
+            ]
+            dquery[:, query_chunk * chunk_size : (query_chunk + 1) * chunk_size] += (
+                upstream * self._chunk(state["query_relations"], component)
+            )
+            drelation[:, component * chunk_size : (component + 1) * chunk_size] += (
+                upstream * self._chunk(state["query_entities"], query_chunk)
+            )
+        np.add.at(grads["entities"], queries[:, 0], dquery)
+        np.add.at(grads["relations"], queries[:, 1], drelation)
+
 
 # ----------------------------------------------------------------------
 # Classical bilinear models as named block structures
@@ -309,3 +415,76 @@ class RESCAL(ScoringFunction):
                 np.einsum("bi,bj->bij", dtransformed, query_entities),
             )
         return grads
+
+    # ------------------------------------------------------------------
+    # Chunk-aware scoring: the relation transform is chunk-independent
+    # ------------------------------------------------------------------
+    def begin_candidate_pass(
+        self, params: ParamDict, queries: np.ndarray, direction: str = TAIL
+    ) -> dict:
+        queries = check_queries(queries)
+        validate_direction(direction)
+        entities, relations = params["entities"], params["relations"]
+        query_entities = entities[queries[:, 0]]
+        rel_matrices = relations[queries[:, 1]]
+        if direction == TAIL:
+            transformed = np.einsum("bi,bij->bj", query_entities, rel_matrices)
+        else:
+            transformed = np.einsum("bj,bij->bi", query_entities, rel_matrices)
+        return {
+            "transformed": transformed,
+            "dtransformed": None,
+            "query_entities": query_entities,
+            "rel_matrices": rel_matrices,
+        }
+
+    def _score_candidates_chunk(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        direction: str,
+        start: int,
+        stop: int,
+        state: Optional[dict],
+    ) -> np.ndarray:
+        return state["transformed"] @ params["entities"][start:stop].T
+
+    def _grad_candidates_chunk(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        dscores: np.ndarray,
+        direction: str,
+        start: int,
+        stop: int,
+        grads: ParamDict,
+        state: Optional[dict],
+    ) -> None:
+        grads["entities"][start:stop] += dscores.T @ state["transformed"]
+        dtransformed = dscores @ params["entities"][start:stop]
+        if state["dtransformed"] is None:
+            state["dtransformed"] = dtransformed
+        else:
+            state["dtransformed"] += dtransformed
+
+    def finish_candidate_pass(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        direction: str,
+        state: Optional[dict],
+        grads: ParamDict,
+    ) -> None:
+        if state is None or state["dtransformed"] is None:
+            return
+        dtransformed = state["dtransformed"]
+        rel_matrices = state["rel_matrices"]
+        query_entities = state["query_entities"]
+        if direction == TAIL:
+            dquery = np.einsum("bj,bij->bi", dtransformed, rel_matrices)
+            drelation = np.einsum("bi,bj->bij", query_entities, dtransformed)
+        else:
+            dquery = np.einsum("bi,bij->bj", dtransformed, rel_matrices)
+            drelation = np.einsum("bi,bj->bij", dtransformed, query_entities)
+        np.add.at(grads["entities"], queries[:, 0], dquery)
+        np.add.at(grads["relations"], queries[:, 1], drelation)

@@ -153,3 +153,74 @@ class MLPScoringFunction(ScoringFunction):
         np.add.at(grads["entities"], queries[:, 0], dinputs[:, :dimension])
         np.add.at(grads["relations"], queries[:, 1], dinputs[:, dimension:])
         return grads
+
+    # ------------------------------------------------------------------
+    # Chunk-aware scoring: one network forward per pass (not per chunk),
+    # one backward through the network per pass in ``finish``.
+    # ------------------------------------------------------------------
+    def begin_candidate_pass(
+        self, params: ParamDict, queries: np.ndarray, direction: str = TAIL
+    ) -> dict:
+        queries = check_queries(queries)
+        validate_direction(direction)
+        entities, relations = params["entities"], params["relations"]
+        inputs = np.concatenate([entities[queries[:, 0]], relations[queries[:, 1]]], axis=1)
+        combined, hidden = self._forward(params, self._network_for(direction), inputs)
+        return {
+            "inputs": inputs,
+            "hidden": hidden,
+            "combined": combined,
+            "dcombined": None,
+        }
+
+    def _score_candidates_chunk(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        direction: str,
+        start: int,
+        stop: int,
+        state: Optional[dict],
+    ) -> np.ndarray:
+        return state["combined"] @ params["entities"][start:stop].T
+
+    def _grad_candidates_chunk(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        dscores: np.ndarray,
+        direction: str,
+        start: int,
+        stop: int,
+        grads: ParamDict,
+        state: Optional[dict],
+    ) -> None:
+        dscores = np.asarray(dscores, dtype=np.float64)
+        grads["entities"][start:stop] += dscores.T @ state["combined"]
+        dcombined = dscores @ params["entities"][start:stop]
+        if state["dcombined"] is None:
+            state["dcombined"] = dcombined
+        else:
+            state["dcombined"] += dcombined
+
+    def finish_candidate_pass(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        direction: str,
+        state: Optional[dict],
+        grads: ParamDict,
+    ) -> None:
+        if state is None or state["dcombined"] is None:
+            return
+        dinputs = self._backward(
+            params,
+            grads,
+            self._network_for(direction),
+            state["inputs"],
+            state["hidden"],
+            state["dcombined"],
+        )
+        dimension = params["entities"].shape[1]
+        np.add.at(grads["entities"], queries[:, 0], dinputs[:, :dimension])
+        np.add.at(grads["relations"], queries[:, 1], dinputs[:, dimension:])

@@ -119,6 +119,68 @@ class TransE(ScoringFunction):
         np.add.at(grads["relations"], queries[:, 1], relation_sign * dquery)
         return grads
 
+    # ------------------------------------------------------------------
+    # Chunk-aware scoring: the translated query vector is chunk-independent
+    # and the ``(batch, chunk, dimension)`` difference tensor — the memory
+    # hot spot of translational models — never exceeds one chunk.
+    # ------------------------------------------------------------------
+    def begin_candidate_pass(
+        self, params: ParamDict, queries: np.ndarray, direction: str = TAIL
+    ) -> dict:
+        queries = check_queries(queries)
+        validate_direction(direction)
+        return {
+            "query_vectors": self._query_vectors(params, queries, direction),
+            "dquery": None,
+        }
+
+    def _score_candidates_chunk(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        direction: str,
+        start: int,
+        stop: int,
+        state: Optional[dict],
+    ) -> np.ndarray:
+        diff = state["query_vectors"][:, None, :] - params["entities"][None, start:stop, :]
+        return -self._distance(diff)
+
+    def _grad_candidates_chunk(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        dscores: np.ndarray,
+        direction: str,
+        start: int,
+        stop: int,
+        grads: ParamDict,
+        state: Optional[dict],
+    ) -> None:
+        diff = state["query_vectors"][:, None, :] - params["entities"][None, start:stop, :]
+        ddiff = -self._distance_grad(diff) * np.asarray(dscores, dtype=np.float64)[:, :, None]
+        dquery = np.sum(ddiff, axis=1)
+        grads["entities"][start:stop] -= np.sum(ddiff, axis=0)
+        if state["dquery"] is None:
+            state["dquery"] = dquery
+        else:
+            state["dquery"] += dquery
+
+    def finish_candidate_pass(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        direction: str,
+        state: Optional[dict],
+        grads: ParamDict,
+    ) -> None:
+        if state is None or state["dquery"] is None:
+            return
+        dquery = state["dquery"]
+        np.add.at(grads["entities"], queries[:, 0], dquery)
+        relation_sign = 1.0 if direction == TAIL else -1.0
+        np.add.at(grads["relations"], queries[:, 1], relation_sign * dquery)
+
 
 class RotatE(ScoringFunction):
     """RotatE (Sun et al., 2019): relations rotate complex entity embeddings.
@@ -258,3 +320,83 @@ class RotatE(ScoringFunction):
         np.add.at(grads["entities"], query_entity_index, dquery_entity)
         np.add.at(grads["relations"], query_relation_index, dtheta)
         return grads
+
+    # ------------------------------------------------------------------
+    # Chunk-aware scoring: rotate the query once, backpropagate the
+    # rotation once per pass, and keep the difference tensor chunk-sized.
+    # ------------------------------------------------------------------
+    def begin_candidate_pass(
+        self, params: ParamDict, queries: np.ndarray, direction: str = TAIL
+    ) -> dict:
+        queries = check_queries(queries)
+        validate_direction(direction)
+        return {
+            "query_vectors": self._query_vectors(params, queries, direction),
+            "dquery": None,
+        }
+
+    def _score_candidates_chunk(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        direction: str,
+        start: int,
+        stop: int,
+        state: Optional[dict],
+    ) -> np.ndarray:
+        diff = state["query_vectors"][:, None, :] - params["entities"][None, start:stop, :]
+        return -np.sum(self._modulus(diff), axis=-1)
+
+    def _grad_candidates_chunk(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        dscores: np.ndarray,
+        direction: str,
+        start: int,
+        stop: int,
+        grads: ParamDict,
+        state: Optional[dict],
+    ) -> None:
+        diff = state["query_vectors"][:, None, :] - params["entities"][None, start:stop, :]
+        diff_real, diff_imag = self._split(diff)
+        modulus = np.sqrt(diff_real * diff_real + diff_imag * diff_imag) + self._modulus_epsilon
+        scaled = -np.asarray(dscores, dtype=np.float64)[:, :, None] / modulus
+        ddiff = np.concatenate([scaled * diff_real, scaled * diff_imag], axis=-1)
+        dquery = np.sum(ddiff, axis=1)
+        grads["entities"][start:stop] -= np.sum(ddiff, axis=0)
+        if state["dquery"] is None:
+            state["dquery"] = dquery
+        else:
+            state["dquery"] += dquery
+
+    def finish_candidate_pass(
+        self,
+        params: ParamDict,
+        queries: np.ndarray,
+        direction: str,
+        state: Optional[dict],
+        grads: ParamDict,
+    ) -> None:
+        if state is None or state["dquery"] is None:
+            return
+        entities, phases = params["entities"], params["relations"]
+        query_entity_index = queries[:, 0]
+        query_relation_index = queries[:, 1]
+        real, imag = self._split(entities[query_entity_index])
+        theta = phases[query_relation_index]
+        cos, sin = np.cos(theta), np.sin(theta)
+        dreal_rot, dimag_rot = self._split(state["dquery"])
+
+        if direction == TAIL:
+            dreal = dreal_rot * cos + dimag_rot * sin
+            dimag = -dreal_rot * sin + dimag_rot * cos
+            dtheta = dreal_rot * (-real * sin - imag * cos) + dimag_rot * (real * cos - imag * sin)
+        else:
+            dreal = dreal_rot * cos - dimag_rot * sin
+            dimag = dreal_rot * sin + dimag_rot * cos
+            dtheta = dreal_rot * (-real * sin + imag * cos) + dimag_rot * (-real * cos - imag * sin)
+
+        dquery_entity = np.concatenate([dreal, dimag], axis=-1)
+        np.add.at(grads["entities"], query_entity_index, dquery_entity)
+        np.add.at(grads["relations"], query_relation_index, dtheta)

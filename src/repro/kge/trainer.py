@@ -9,6 +9,17 @@ are summed and handed to the optimizer.
 The trainer records a :class:`TrainingHistory` with per-epoch loss, wall
 time and (optionally) validation MRR, which is what the learning-curve
 figure (Fig. 4) and the early-stopping logic consume.
+
+The per-batch loss/gradient computation is delegated to a
+:class:`repro.kge.engine.TrainEngine` (``TrainingConfig.train_engine``):
+``"batched"`` is the fused, entity-chunked fast path and ``"reference"`` the
+original loop kept as the parity oracle.  Whenever validation runs during
+``fit`` the trainer snapshots the best-validation parameters (and optimizer
+state) and restores them before returning, so the returned parameters are
+the checkpoint that actually achieved ``history.best_validation_mrr`` — not
+whatever the last epoch happened to produce.  Early-stopping patience counts
+*evaluations* without improvement (one evaluation every ``eval_every``
+epochs), not epochs.
 """
 
 from __future__ import annotations
@@ -20,6 +31,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.datasets.knowledge_graph import KnowledgeGraph
+from repro.kge.engine import TrainEngine, get_train_engine
 from repro.kge.losses import Loss, get_loss
 from repro.kge.negative_sampling import NegativeSampler, UniformNegativeSampler
 from repro.kge.optimizers import Optimizer, get_optimizer
@@ -79,6 +91,7 @@ class Trainer:
         optimizer: Optional[Optimizer] = None,
         regularizer: Optional[Regularizer] = None,
         negative_sampler: Optional[NegativeSampler] = None,
+        engine: Optional[TrainEngine] = None,
     ) -> None:
         self.scoring_function = scoring_function
         self.config = config
@@ -92,6 +105,7 @@ class Trainer:
             regularizer if regularizer is not None else L2Regularizer(config.l2_penalty)
         )
         self.negative_sampler = negative_sampler
+        self.engine = engine if engine is not None else get_train_engine(config)
         self.rng = ensure_rng(config.seed)
 
     # ------------------------------------------------------------------
@@ -144,13 +158,17 @@ class Trainer:
         return value
 
     def train_step(self, params: ParamDict, batch: np.ndarray) -> float:
-        """Run one mini-batch update; return the batch loss."""
+        """Run one mini-batch update; return the batch loss.
+
+        The loss/gradient computation is delegated to the configured
+        :class:`~repro.kge.engine.TrainEngine`; regularization and the
+        optimizer step are engine-independent.
+        """
         grads = self.scoring_function.zero_grads(params)
-        loss_tail = self._direction_loss(params, batch, TAIL, grads)
-        loss_head = self._direction_loss(params, batch, HEAD, grads)
+        value = self.engine.accumulate_batch(self, params, batch, grads)
         self.regularizer.add_gradients(params, grads)
         self.optimizer.step(params, grads)
-        return loss_tail + loss_head
+        return value
 
     # ------------------------------------------------------------------
     # Full training loop
@@ -175,6 +193,20 @@ class Trainer:
         Returns
         -------
         (params, history)
+
+        Notes
+        -----
+        When validation runs at least once, the returned parameters are the
+        snapshot taken at the *best* validation score — not the last epoch's
+        state, which early stopping (or plain over-training) may have left
+        strictly worse.  The optimizer state is restored alongside, so a
+        continued run resumes with accumulator state matching the returned
+        parameters (the epoch-shuffle RNG stream is not rewound, so the
+        continuation is consistent but not bitwise-identical to a run that
+        stopped at the best epoch).  Early-stopping patience
+        counts evaluations without improvement, not epochs: with
+        ``eval_every=e`` and ``early_stopping_patience=p`` training stops
+        ``e * p`` epochs after the best evaluation at the earliest.
         """
         if params is None:
             params = self.initialize(graph)
@@ -184,7 +216,9 @@ class Trainer:
             raise ValueError("cannot train on an empty training split")
 
         best_score = -np.inf
-        epochs_since_best = 0
+        evaluations_since_best = 0
+        best_params: Optional[ParamDict] = None
+        best_optimizer_state: Optional[dict] = None
         start_time = time.perf_counter()
 
         for epoch in range(1, self.config.epochs + 1):
@@ -208,9 +242,11 @@ class Trainer:
                 validation_score = float(validation_callback(params))
                 if validation_score > best_score:
                     best_score = validation_score
-                    epochs_since_best = 0
+                    evaluations_since_best = 0
+                    best_params = {key: value.copy() for key, value in params.items()}
+                    best_optimizer_state = self.optimizer.snapshot()
                 else:
-                    epochs_since_best += 1
+                    evaluations_since_best += 1
 
             history.record(
                 epoch,
@@ -220,6 +256,14 @@ class Trainer:
             )
 
             patience = self.config.early_stopping_patience
-            if patience > 0 and evaluate_now and epochs_since_best >= patience:
+            if patience > 0 and evaluate_now and evaluations_since_best >= patience:
                 break
+
+        if best_params is not None:
+            # Restore the best-validation checkpoint in place (callers may
+            # hold references to the parameter arrays they passed in).
+            for key, value in best_params.items():
+                params[key][...] = value
+            if best_optimizer_state is not None:
+                self.optimizer.restore(best_optimizer_state)
         return params, history

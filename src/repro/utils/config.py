@@ -17,6 +17,12 @@ from typing import Any, Dict, Optional, Tuple
 #: source of truth — the execution layer and the CLI both import this).
 EXECUTION_BACKENDS: Tuple[str, ...] = ("serial", "process")
 
+#: Training engines the trainer knows how to build (the single source of
+#: truth — the engine layer and the CLI both import this).  ``"reference"``
+#: is the original per-direction Python loop, kept as the parity oracle;
+#: ``"batched"`` is the fused engine with entity-chunked candidate scoring.
+TRAIN_ENGINES: Tuple[str, ...] = ("reference", "batched")
+
 
 @dataclass
 class TrainingConfig:
@@ -42,6 +48,24 @@ class TrainingConfig:
     negative_samples:
         Number of negatives per positive; only used by pairwise losses
         (the multi-class loss scores against every entity).
+    eval_every / early_stopping_patience:
+        Validation cadence (in epochs) and the early-stopping patience.
+        Patience counts *evaluations* without improvement, not epochs: with
+        ``eval_every=5`` and ``early_stopping_patience=2`` training stops
+        after 10 extra epochs without a new best validation score.  Whenever
+        validation runs, :meth:`repro.kge.trainer.Trainer.fit` returns the
+        parameters of the best-validation checkpoint, not the last epoch's.
+    train_engine:
+        Which training engine computes the per-batch loss and gradients:
+        ``"batched"`` (the default) fuses candidate scoring over block
+        structures and entity chunks, ``"reference"`` is the original
+        per-direction loop kept as the parity oracle.  Both produce the same
+        losses and parameters up to floating-point round-off (~1e-12).
+    score_chunk_size:
+        Entity-chunk size for the batched engine's candidate scoring.
+        ``0`` (the default) scores all entities at once; a positive value
+        bounds peak memory to ``O(batch_size * score_chunk_size)`` scores
+        via a two-pass streaming softmax.  Ignored by the reference engine.
     """
 
     dimension: int = 32
@@ -58,6 +82,8 @@ class TrainingConfig:
     seed: Optional[int] = 0
     eval_every: int = 0
     early_stopping_patience: int = 0
+    train_engine: str = "batched"
+    score_chunk_size: int = 0
 
     def __post_init__(self) -> None:
         if self.dimension <= 0:
@@ -80,6 +106,13 @@ class TrainingConfig:
             raise ValueError(f"unknown loss: {self.loss!r}")
         if self.negative_samples <= 0:
             raise ValueError("negative_samples must be positive")
+        if self.train_engine not in TRAIN_ENGINES:
+            raise ValueError(
+                f"unknown train_engine: {self.train_engine!r} "
+                f"(available: {', '.join(TRAIN_ENGINES)})"
+            )
+        if self.score_chunk_size < 0:
+            raise ValueError("score_chunk_size must be non-negative (0 disables chunking)")
 
     @property
     def chunk_dimension(self) -> int:

@@ -173,6 +173,75 @@ class TestEvaluateMany:
         assert evaluator.timing.last("evaluate") > 0
 
 
+class LossyBackend(SerialBackend):
+    """A backend that silently drops the outcomes of selected tasks.
+
+    Models a killed worker: the run() call returns, but some dispatched
+    tasks produced neither an on_result callback nor a returned outcome.
+    """
+
+    name = "lossy"
+
+    def __init__(self, drop_indices):
+        self.drop_indices = set(drop_indices)
+        self.executed = []
+
+    def run(self, context, tasks, on_result=None):
+        outcomes = []
+        for index, task in enumerate(tasks):
+            if index in self.drop_indices:
+                outcomes.append(None)
+                continue
+            self.executed.append(index)
+            outcome = evaluate_candidate(context, task)
+            if on_result is not None:
+                on_result(index, outcome)
+            outcomes.append(outcome)
+        return outcomes
+
+
+class TestLossyBackendRecovery:
+    """Regression: missing outcomes used to surface as an opaque KeyError."""
+
+    def test_missing_outcomes_are_retried_serially(self, tiny_graph, engine_training_config):
+        structures = list(enumerate_f4_structures())[:3]
+        evaluator = CandidateEvaluator(tiny_graph, engine_training_config, base_seed=0)
+        lossy = LossyBackend(drop_indices=[1])
+        results = evaluator.evaluate_many(structures, backend=lossy)
+        assert len(results) == 3
+        assert evaluator.num_trained == 3
+        for structure, evaluation in zip(structures, results):
+            assert evaluation.structure.key() == structure.key()
+
+    def test_retried_results_match_healthy_backend(self, tiny_graph, engine_training_config):
+        structures = list(enumerate_f4_structures())[:3]
+        healthy = CandidateEvaluator(tiny_graph, engine_training_config, base_seed=0)
+        expected = healthy.evaluate_many(structures)
+
+        evaluator = CandidateEvaluator(tiny_graph, engine_training_config, base_seed=0)
+        recovered = evaluator.evaluate_many(structures, backend=LossyBackend([0, 2]))
+        for a, b in zip(expected, recovered):
+            assert a.validation_mrr == b.validation_mrr  # per-candidate seeding
+
+    def test_unrecoverable_loss_raises_descriptive_error(
+        self, tiny_graph, engine_training_config
+    ):
+        structures = list(enumerate_f4_structures())[:2]
+        evaluator = CandidateEvaluator(tiny_graph, engine_training_config)
+        evaluator._retry_backend = LossyBackend(drop_indices=[0])  # retry also fails
+        with pytest.raises(RuntimeError, match="returned no outcome"):
+            evaluator.evaluate_many(structures, backend=LossyBackend(drop_indices=[0, 1]))
+
+    def test_partial_unrecoverable_loss_names_the_survivor_count(
+        self, tiny_graph, engine_training_config
+    ):
+        structures = list(enumerate_f4_structures())[:3]
+        evaluator = CandidateEvaluator(tiny_graph, engine_training_config)
+        evaluator._retry_backend = LossyBackend(drop_indices=[0])
+        with pytest.raises(RuntimeError, match="1 of 3"):
+            evaluator.evaluate_many(structures, backend=LossyBackend(drop_indices=[0]))
+
+
 class TestEvaluationStore:
     def test_round_trip(self, tiny_graph, engine_training_config, tmp_path):
         store = EvaluationStore(tmp_path)

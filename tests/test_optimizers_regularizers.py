@@ -162,6 +162,52 @@ class TestRegularizers:
             get_regularizer("dropout", 0.1)
 
 
+class TestOptimizerSnapshot:
+    """snapshot()/restore() back the trainer's best-checkpoint restore."""
+
+    @pytest.mark.parametrize("factory", [lambda: SGD(0.1), lambda: Adagrad(0.5), lambda: Adam(0.2)])
+    def test_restore_replays_identical_trajectory(self, factory):
+        optimizer = factory()
+        params = quadratic_params()
+        for _ in range(3):
+            optimizer.step(params, quadratic_grads(params))
+            optimizer.decay()
+        snapshot = optimizer.snapshot()
+        checkpoint = {key: value.copy() for key, value in params.items()}
+
+        # Diverge for a few steps, then rewind and replay.
+        for _ in range(4):
+            optimizer.step(params, quadratic_grads(params))
+            optimizer.decay()
+        diverged = {key: value.copy() for key, value in params.items()}
+
+        optimizer.restore(snapshot)
+        params = {key: value.copy() for key, value in checkpoint.items()}
+        optimizer.step(params, quadratic_grads(params))
+        replayed_once = {key: value.copy() for key, value in params.items()}
+
+        optimizer.restore(snapshot)
+        params = {key: value.copy() for key, value in checkpoint.items()}
+        optimizer.step(params, quadratic_grads(params))
+        for key in params:
+            np.testing.assert_array_equal(params[key], replayed_once[key])
+            assert not np.array_equal(diverged[key], replayed_once[key])
+
+    def test_snapshot_is_a_deep_copy(self):
+        optimizer = Adagrad(0.5)
+        params = quadratic_params()
+        optimizer.step(params, quadratic_grads(params))
+        snapshot = optimizer.snapshot()
+        optimizer.step(params, quadratic_grads(params))
+        restored = Adagrad(0.5)
+        restored.restore(snapshot)
+        assert set(restored._state) == set(optimizer._state)
+        for key in restored._state:
+            assert not np.array_equal(
+                restored._state[key]["sum_squares"], optimizer._state[key]["sum_squares"]
+            )
+
+
 class TestNegativeSamplers:
     def test_uniform_shape_and_range(self):
         sampler = UniformNegativeSampler(num_entities=50, num_negatives=7, rng=0)
@@ -169,13 +215,44 @@ class TestNegativeSamplers:
         assert negatives.shape == (3, 7)
         assert negatives.min() >= 0 and negatives.max() < 50
 
-    def test_uniform_mostly_avoids_positives(self):
+    def test_uniform_never_emits_positives(self):
         sampler = UniformNegativeSampler(num_entities=10, num_negatives=50, rng=0)
         positives = np.array([4])
         negatives = sampler.sample(positives)
-        # One resampling pass: collisions should be rare (well under 20%).
-        collisions = np.mean(negatives == 4)
-        assert collisions < 0.2
+        assert not np.any(negatives == 4)
+
+    def test_collision_free_at_tiny_entity_counts(self):
+        """Regression: one resampling pass could re-draw the positive again.
+
+        With two entities every uniform draw hits the positive with
+        probability 1/2, so the old single-pass fix leaked positives roughly
+        once per four negatives; the redraw loop (plus the masked fallback)
+        must never leak one.
+        """
+        for num_entities in (2, 3):
+            sampler = UniformNegativeSampler(
+                num_entities=num_entities, num_negatives=40, rng=7
+            )
+            positives = np.arange(num_entities).repeat(5)
+            for _round in range(10):
+                negatives = sampler.sample(positives)
+                assert not np.any(negatives == positives[:, None])
+                assert negatives.min() >= 0 and negatives.max() < num_entities
+
+    def test_bernoulli_collision_free_at_tiny_entity_counts(self, tiny_graph):
+        sampler = BernoulliNegativeSampler(tiny_graph, num_negatives=30, rng=5)
+        positives = np.zeros(8, dtype=np.int64)
+        relations = np.zeros(8, dtype=np.int64)
+        negatives = sampler.sample(positives, relations=relations)
+        assert not np.any(negatives == positives[:, None])
+
+    def test_masked_fallback_is_exact(self):
+        """Force the fallback path: it must draw uniformly over non-positives."""
+        sampler = UniformNegativeSampler(num_entities=2, num_negatives=8, rng=0)
+        sampler._max_resample_passes = 0  # every collision goes to the fallback
+        positives = np.array([0, 1, 0, 1])
+        negatives = sampler.sample(positives)
+        assert not np.any(negatives == positives[:, None])
 
     def test_uniform_invalid_args(self):
         with pytest.raises(ValueError):

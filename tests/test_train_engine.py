@@ -1,0 +1,221 @@
+"""Tests for the training-engine layer (batched vs reference parity)."""
+
+import numpy as np
+import pytest
+
+from repro.kge.engine import (
+    BatchedTrainEngine,
+    ReferenceTrainEngine,
+    entity_chunks,
+    get_train_engine,
+)
+from repro.kge.losses import MulticlassLoss, StreamingMulticlass, multiclass_inplace
+from repro.kge.scoring import BlockScoringFunction, classical_structure
+from repro.kge.scoring.bilinear import RESCAL
+from repro.kge.scoring.blocks import BlockStructure
+from repro.kge.scoring.neural import MLPScoringFunction
+from repro.kge.scoring.translational import RotatE, TransE
+from repro.kge.trainer import Trainer
+from repro.utils.config import TrainingConfig
+
+
+SIX_BLOCKS = BlockStructure(
+    [(0, 0, 0, 1), (1, 1, 1, 1), (2, 3, 2, 1), (3, 2, 2, -1), (0, 1, 3, 1), (1, 0, 3, -1)],
+    name="six-blocks",
+)
+
+SCORING_FACTORIES = {
+    "simple": lambda: BlockScoringFunction(classical_structure("simple")),
+    "complex": lambda: BlockScoringFunction(classical_structure("complex")),
+    "six-blocks": lambda: BlockScoringFunction(SIX_BLOCKS),
+    "rescal": RESCAL,
+    "transe": lambda: TransE(norm=1),
+    "rotate": RotatE,
+    "mlp": MLPScoringFunction,
+}
+
+
+def _fit(graph, factory, **config_overrides):
+    config = TrainingConfig(
+        dimension=8, epochs=6, batch_size=64, learning_rate=0.5, seed=0, **config_overrides
+    )
+    return Trainer(factory(), config).fit(graph)
+
+
+class TestEngineFactory:
+    def test_names(self):
+        assert get_train_engine(TrainingConfig(train_engine="reference")).name == "reference"
+        engine = get_train_engine(TrainingConfig(train_engine="batched", score_chunk_size=32))
+        assert engine.name == "batched"
+        assert engine.score_chunk_size == 32
+
+    def test_config_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(train_engine="gpu")
+
+    def test_config_rejects_negative_chunk(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(score_chunk_size=-1)
+
+    def test_config_round_trip_keeps_engine_fields(self):
+        config = TrainingConfig(train_engine="reference", score_chunk_size=7)
+        assert TrainingConfig.from_dict(config.to_dict()) == config
+
+
+class TestEntityChunks:
+    def test_no_chunking(self):
+        assert list(entity_chunks(10, 0)) == [(0, 10)]
+        assert list(entity_chunks(10, 10)) == [(0, 10)]
+        assert list(entity_chunks(10, 99)) == [(0, 10)]
+
+    def test_uneven_tail_chunk(self):
+        assert list(entity_chunks(10, 4)) == [(0, 4), (4, 8), (8, 10)]
+
+
+class TestStreamingMulticlass:
+    def test_matches_dense_loss(self, rng):
+        scores = rng.normal(size=(6, 23))
+        targets = rng.integers(0, 23, size=6)
+        dense_value, dense_grad = MulticlassLoss().compute(scores, targets)
+
+        streaming = StreamingMulticlass(targets)
+        for start in range(0, 23, 5):
+            stop = min(start + 5, 23)
+            streaming.observe(scores[:, start:stop].copy(), start, stop)
+        assert streaming.value() == pytest.approx(dense_value, abs=1e-12)
+        for start in range(0, 23, 5):
+            stop = min(start + 5, 23)
+            grad = streaming.dscores_chunk(scores[:, start:stop].copy(), start, stop)
+            np.testing.assert_allclose(grad, dense_grad[:, start:stop], atol=1e-12)
+
+    def test_inplace_matches_dense_loss(self, rng):
+        scores = rng.normal(size=(5, 17))
+        targets = rng.integers(0, 17, size=5)
+        dense_value, dense_grad = MulticlassLoss().compute(scores, targets)
+        fused_value, fused_grad = multiclass_inplace(scores.copy(), targets)
+        assert fused_value == dense_value  # identical operation order
+        np.testing.assert_array_equal(fused_grad, dense_grad)
+
+
+class TestEngineParity:
+    """Acceptance: the batched engine reproduces the reference loop."""
+
+    @pytest.mark.parametrize("family", sorted(SCORING_FACTORIES))
+    def test_losses_and_params_match_reference(self, tiny_graph, family):
+        factory = SCORING_FACTORIES[family]
+        reference_params, reference_history = _fit(
+            tiny_graph, factory, train_engine="reference"
+        )
+        batched_params, batched_history = _fit(tiny_graph, factory, train_engine="batched")
+        np.testing.assert_allclose(
+            batched_history.losses, reference_history.losses, rtol=0, atol=1e-10
+        )
+        for key in reference_params:
+            np.testing.assert_allclose(
+                batched_params[key], reference_params[key], rtol=0, atol=1e-10
+            )
+
+    @pytest.mark.parametrize(
+        "family", ["simple", "six-blocks", "transe", "rotate", "rescal", "mlp"]
+    )
+    @pytest.mark.parametrize("chunk", [7, 64])
+    def test_chunked_matches_reference(self, tiny_graph, family, chunk):
+        factory = SCORING_FACTORIES[family]
+        reference_params, reference_history = _fit(
+            tiny_graph, factory, train_engine="reference"
+        )
+        chunked_params, chunked_history = _fit(
+            tiny_graph, factory, train_engine="batched", score_chunk_size=chunk
+        )
+        np.testing.assert_allclose(
+            chunked_history.losses, reference_history.losses, rtol=0, atol=1e-10
+        )
+        for key in reference_params:
+            np.testing.assert_allclose(
+                chunked_params[key], reference_params[key], rtol=0, atol=1e-10
+            )
+
+    def test_pairwise_loss_falls_back_to_reference_bitwise(self, tiny_graph):
+        factory = SCORING_FACTORIES["simple"]
+        overrides = dict(loss="logistic", negative_samples=4)
+        reference_params, reference_history = _fit(
+            tiny_graph, factory, train_engine="reference", **overrides
+        )
+        batched_params, batched_history = _fit(
+            tiny_graph, factory, train_engine="batched", **overrides
+        )
+        assert batched_history.losses == reference_history.losses
+        for key in reference_params:
+            np.testing.assert_array_equal(batched_params[key], reference_params[key])
+
+
+class TestChunkedMemoryBound:
+    def test_score_chunks_never_exceed_configured_size(self, tiny_graph):
+        """Every scored block is at most (batch, score_chunk_size)."""
+        structure = classical_structure("simple")
+        seen_widths = []
+
+        class SpyScoringFunction(BlockScoringFunction):
+            def score_candidates_chunk(self, params, queries, direction, start, stop, state=None):
+                seen_widths.append(stop - start)
+                return super().score_candidates_chunk(
+                    params, queries, direction, start, stop, state=state
+                )
+
+        config = TrainingConfig(
+            dimension=8,
+            epochs=1,
+            batch_size=64,
+            learning_rate=0.5,
+            seed=0,
+            train_engine="batched",
+            score_chunk_size=13,
+        )
+        Trainer(SpyScoringFunction(structure), config).fit(tiny_graph)
+        assert seen_widths, "chunked scoring was never exercised"
+        assert max(seen_widths) <= 13
+        # Both passes (log-sum-exp + gradient) cover the whole vocabulary.
+        assert sum(seen_widths) % tiny_graph.num_entities == 0
+
+    def test_unchunked_scores_everything_at_once(self, tiny_graph):
+        engine = BatchedTrainEngine(score_chunk_size=0)
+        assert list(entity_chunks(tiny_graph.num_entities, engine.score_chunk_size)) == [
+            (0, tiny_graph.num_entities)
+        ]
+
+
+class TestEngineSelectionThreading:
+    def test_trainer_builds_engine_from_config(self, tiny_graph):
+        config = TrainingConfig(dimension=8, train_engine="reference")
+        trainer = Trainer(BlockScoringFunction(classical_structure("simple")), config)
+        assert isinstance(trainer.engine, ReferenceTrainEngine)
+
+    def test_explicit_engine_wins(self, tiny_graph):
+        config = TrainingConfig(dimension=8, train_engine="reference")
+        trainer = Trainer(
+            BlockScoringFunction(classical_structure("simple")),
+            config,
+            engine=BatchedTrainEngine(score_chunk_size=5),
+        )
+        assert isinstance(trainer.engine, BatchedTrainEngine)
+        assert trainer.engine.score_chunk_size == 5
+
+    def test_evaluate_candidate_respects_config_engine(self, tiny_graph):
+        from repro.core.execution import EvaluationContext, EvaluationTask, evaluate_candidate
+
+        structure = classical_structure("simple")
+        outcomes = {}
+        for engine in ("reference", "batched"):
+            config = TrainingConfig(
+                dimension=8,
+                epochs=3,
+                batch_size=64,
+                learning_rate=0.5,
+                seed=0,
+                train_engine=engine,
+            )
+            context = EvaluationContext(tiny_graph, config)
+            outcomes[engine] = evaluate_candidate(context, EvaluationTask(structure, seed=3))
+        assert outcomes["batched"].validation_mrr == pytest.approx(
+            outcomes["reference"].validation_mrr, abs=1e-9
+        )

@@ -89,6 +89,82 @@ class TestTrainer:
         _params, history = Trainer(DistMult(), config).fit(tiny_graph, validation_callback=callback)
         assert len(history.losses) < 20
 
+    def test_returns_best_checkpoint_not_last_epoch(self, tiny_graph, fast_training_config):
+        """Regression: early stopping used to return the *last* epoch's params.
+
+        The scripted validation scores make the first evaluation the best and
+        every later epoch deliberately worse; the returned parameters must be
+        the snapshot taken at that first evaluation.
+        """
+        scores = iter([0.9, 0.5, 0.3, 0.2, 0.1])
+        snapshots = []
+
+        def callback(params):
+            snapshots.append({key: value.copy() for key, value in params.items()})
+            return next(scores)
+
+        config = fast_training_config.replace(epochs=5, eval_every=1)
+        params, history = Trainer(DistMult(), config).fit(tiny_graph, validation_callback=callback)
+        assert history.best_validation_mrr == 0.9
+        # Training continued (parameters kept changing after the best epoch) ...
+        assert not np.allclose(snapshots[0]["entities"], snapshots[-1]["entities"])
+        # ... but the returned checkpoint is the best-validation snapshot.
+        for key, value in snapshots[0].items():
+            np.testing.assert_array_equal(params[key], value)
+
+    def test_returned_params_score_best_validation_mrr(self, tiny_graph, fast_training_config):
+        """The returned checkpoint re-scores exactly history.best_validation_mrr."""
+
+        def callback(params):
+            return evaluate_link_prediction(
+                DistMult(), params, tiny_graph, split="valid"
+            ).mrr
+
+        config = fast_training_config.replace(epochs=12, eval_every=1)
+        params, history = Trainer(DistMult(), config).fit(tiny_graph, validation_callback=callback)
+        assert callback(params) == history.best_validation_mrr
+
+    def test_patience_counts_evaluations_not_epochs(self, tiny_graph, fast_training_config):
+        """With eval_every=2 and patience=2, training survives 4 non-best epochs."""
+        calls = []
+
+        def callback(_params):
+            calls.append(1)
+            return -float(len(calls))  # every evaluation is worse than the first
+
+        config = fast_training_config.replace(
+            epochs=20, eval_every=2, early_stopping_patience=2
+        )
+        _params, history = Trainer(DistMult(), config).fit(tiny_graph, validation_callback=callback)
+        # Evaluations at epochs 2 (best), 4 and 6 (two strikes) -> stop at 6.
+        assert len(history.losses) == 6
+        assert len(calls) == 3
+
+    def test_last_epoch_best_keeps_final_params(self, tiny_graph, fast_training_config):
+        """When validation keeps improving, the restore is a no-op."""
+        scores = iter([0.1, 0.2, 0.3])
+        snapshots = []
+
+        def callback(params):
+            snapshots.append({key: value.copy() for key, value in params.items()})
+            return next(scores)
+
+        config = fast_training_config.replace(epochs=3, eval_every=1)
+        params, _history = Trainer(DistMult(), config).fit(tiny_graph, validation_callback=callback)
+        for key, value in snapshots[-1].items():
+            np.testing.assert_array_equal(params[key], value)
+
+    def test_restore_preserves_caller_array_identity(self, tiny_graph, fast_training_config):
+        """The restore happens in place: caller-held references stay valid."""
+        trainer = Trainer(DistMult(), fast_training_config.replace(epochs=4, eval_every=1))
+        params = trainer.initialize(tiny_graph)
+        entities = params["entities"]
+        scores = iter([0.9, 0.1, 0.1, 0.1])
+        returned, _ = trainer.fit(
+            tiny_graph, params=params, validation_callback=lambda _p: next(scores)
+        )
+        assert returned["entities"] is entities
+
     def test_pairwise_loss_training_runs(self, tiny_graph, fast_training_config):
         config = fast_training_config.replace(loss="logistic", negative_samples=4, epochs=3)
         _params, history = Trainer(DistMult(), config).fit(tiny_graph)
@@ -206,6 +282,48 @@ class TestTripletClassification:
         params, _ = Trainer(SimplE(), fast_training_config.replace(epochs=25)).fit(tiny_graph)
         accuracy = evaluate_triplet_classification(SimplE(), params, tiny_graph, rng=0)
         assert accuracy > 0.55
+
+    def test_near_complete_graph_negatives_are_true_negatives(self):
+        """Regression: the 20-attempt budget used to silently emit positives.
+
+        On a near-complete graph random corruption almost always hits a known
+        positive, exhausting the budget; the exhaustive fallback must still
+        find the one true negative.
+        """
+        from repro.datasets import KnowledgeGraph
+
+        # 3 entities, 1 relation; every (h, r, t) pair is known EXCEPT (2, 0, 2).
+        triples = [(h, 0, t) for h in range(3) for t in range(3) if (h, t) != (2, 2)]
+        graph = KnowledgeGraph(
+            num_entities=3,
+            num_relations=1,
+            train=np.asarray(triples[:6], dtype=np.int64),
+            valid=np.asarray(triples[6:7], dtype=np.int64),
+            test=np.asarray(triples[7:], dtype=np.int64),
+            name="near-complete",
+        )
+        known = graph.triple_set()
+        for seed in range(20):
+            negatives = generate_classification_negatives(graph, "valid", rng=seed)
+            for row in negatives:
+                assert (int(row[0]), int(row[1]), int(row[2])) not in known
+
+    def test_no_true_negative_warns(self):
+        """When every corruption is a known positive the function must say so."""
+        from repro.datasets import KnowledgeGraph
+
+        # Complete graph: every (h, r, t) combination over 2 entities is known.
+        triples = [(h, 0, t) for h in range(2) for t in range(2)]
+        graph = KnowledgeGraph(
+            num_entities=2,
+            num_relations=1,
+            train=np.asarray(triples[:2], dtype=np.int64),
+            valid=np.asarray(triples[2:3], dtype=np.int64),
+            test=np.asarray(triples[3:], dtype=np.int64),
+            name="complete",
+        )
+        with pytest.warns(RuntimeWarning, match="no true negative"):
+            generate_classification_negatives(graph, "valid", rng=0)
 
     def test_shared_negatives_give_identical_results(self, tiny_graph, fast_training_config):
         params, _ = Trainer(SimplE(), fast_training_config).fit(tiny_graph)
