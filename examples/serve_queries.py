@@ -1,0 +1,76 @@
+"""Serving end to end: train, export an artifact, batch-query the engine.
+
+Run with::
+
+    PYTHONPATH=src python examples/serve_queries.py
+
+The script trains a small ComplEx model on the WN18RR miniature benchmark,
+exports it as a versioned serving artifact (manifest + params + vocab),
+loads the artifact back, and answers a heterogeneous batch of head/tail
+queries through the batched :class:`InferenceEngine` — once unfiltered and
+once with known train/valid positives removed — printing the engine's
+throughput counters at the end.  The same artifact can then be served over
+HTTP with ``repro-autosf serve --artifact <dir>``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.datasets import load_benchmark
+from repro.kge import train_model
+from repro.serving import (
+    InferenceEngine,
+    export_artifact,
+    known_positive_index,
+    load_artifact,
+)
+from repro.utils.config import TrainingConfig
+
+
+def main() -> None:
+    graph = load_benchmark("wn18rr", scale=0.5)
+    print(f"loaded {graph}")
+
+    print("\ntraining ComplEx ...")
+    config = TrainingConfig(dimension=32, epochs=30, batch_size=256, learning_rate=0.5, seed=0)
+    model = train_model(graph, "complex", config)
+    metrics = {"test_mrr": model.evaluate(graph, split="test").mrr}
+
+    with tempfile.TemporaryDirectory() as workdir:
+        # 1. Export: a self-contained, versioned artifact directory.
+        artifact_dir = export_artifact(
+            model, Path(workdir) / "artifact", graph=graph, metrics=metrics
+        )
+        artifact = load_artifact(artifact_dir)
+        print(f"\nexported artifact: {artifact.describe()}")
+
+        # 2. Engine: batched inference with known-positive filtering.
+        engine = InferenceEngine.from_artifact(
+            artifact, filter_index=known_positive_index(graph)
+        )
+
+        # 3. Batch query: heterogeneous head/tail queries in one call.
+        workload = []
+        for h, r, t in graph.test[:5]:
+            workload.append(("tail", int(h), int(r)))
+            workload.append(("head", int(t), int(r)))
+
+        plain = engine.query_batch(workload, top_k=3)
+        filtered = engine.query_batch(workload, top_k=3, filtered=True)
+        print("\nquery -> top-3 (unfiltered | known positives removed)")
+        for (direction, entity, relation), answer, novel in zip(workload, plain, filtered):
+            relation_label = artifact.relation_label(relation)
+            shown = ", ".join(f"e{e} ({s:.2f})" for e, s in answer)
+            shown_novel = ", ".join(f"e{e} ({s:.2f})" for e, s in novel)
+            print(f"  {direction:>4} (e{entity}, {relation_label}): {shown}  |  {shown_novel}")
+
+        stats = engine.stats()
+        select_s = sum(phase["total"] for phase in stats["timings"].values())
+        print(f"\nengine served {stats['queries_served']} queries "
+              f"({stats['cache_hits']} cache hits) in {select_s * 1000:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

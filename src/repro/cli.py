@@ -1,23 +1,32 @@
 """Command-line interface for the AutoSF reproduction.
 
-Three subcommands cover the common workflows without writing any Python:
+Six subcommands cover the common workflows without writing any Python:
 
 * ``repro-autosf stats``  — print the Table III-style relation-pattern
   statistics of a built-in miniature benchmark or a TSV dataset directory;
 * ``repro-autosf train``  — train one named scoring function and report the
   filtered link-prediction metrics.  ``--eval-every N`` / ``--patience P``
   enable validation-driven early stopping (patience counts evaluations, not
-  epochs) with best-checkpoint restore;
+  epochs) with best-checkpoint restore; ``--save DIR`` persists the model
+  together with entity/relation counts and the dataset's vocabulary, so it
+  reloads standalone;
 * ``repro-autosf search`` — run the progressive greedy search and print the
   case study of the best structure found.  Candidate training can be fanned
   out over worker processes (``--backend process --workers N``) and
   checkpointed to a persistent evaluation store (``--cache-dir DIR``); an
   interrupted or finished run restarts deterministically from its store with
-  ``--resume DIR``, retraining nothing that already completed.
+  ``--resume DIR``, retraining nothing that already completed;
+* ``repro-autosf export`` — package a saved model as a versioned serving
+  artifact (manifest + params + vocab, optionally with eval metrics);
+* ``repro-autosf query``  — answer a TSV batch of link-prediction queries
+  through the batched inference engine (``--filter`` removes known
+  positives);
+* ``repro-autosf serve``  — run the dependency-free HTTP query service with
+  latency/throughput counters.
 
-Every subcommand accepts either ``--benchmark <name>`` (one of the built-in
-miniatures) or ``--data <dir>`` (a directory with ``train.txt`` /
-``valid.txt`` / ``test.txt`` in the standard tab-separated format).
+``stats``/``train``/``search`` accept either ``--benchmark <name>`` (one of
+the built-in miniatures) or ``--data <dir>`` (a directory with ``train.txt``
+/ ``valid.txt`` / ``test.txt`` in the standard tab-separated format).
 ``train`` and ``search`` additionally take ``--train-engine
 {batched,reference}`` (the fused fast path vs the parity-oracle loop) and
 ``--score-chunk-size N`` (bound training memory by scoring candidates in
@@ -41,8 +50,24 @@ from repro.datasets import (
     load_tsv_dataset,
 )
 from repro.datasets.knowledge_graph import KnowledgeGraph
-from repro.kge import train_model
+from repro.kge import (
+    KGEModel,
+    ModelLoadError,
+    require_graph_matches_params,
+    train_model,
+)
 from repro.kge.scoring import available_scoring_functions
+from repro.serving import (
+    ArtifactError,
+    InferenceEngine,
+    answer_queries,
+    export_artifact,
+    format_response_rows,
+    known_positive_index,
+    load_artifact,
+    read_query_file,
+    serve_forever,
+)
 from repro.utils.config import TRAIN_ENGINES, SearchConfig, TrainingConfig
 from repro.utils.serialization import from_json_file, to_json_file
 
@@ -54,6 +79,13 @@ def _positive_int(value: str) -> int:
     number = int(value)
     if number <= 0:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value!r}")
+    return number
+
+
+def _non_negative_int(value: str) -> int:
+    number = int(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError(f"must be a non-negative integer, got {value!r}")
     return number
 
 
@@ -171,7 +203,7 @@ def command_train(args: argparse.Namespace) -> int:
         rows.append(row)
     print(format_table(rows, title=f"{args.model} on {graph.name}"))
     if args.save:
-        path = model.save(args.save)
+        path = model.save(args.save, graph=graph)
         print(f"model saved to {path}")
     return 0
 
@@ -257,6 +289,143 @@ def command_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_artifact_or_exit(path: str):
+    try:
+        return load_artifact(path)
+    except ArtifactError as error:
+        raise SystemExit(str(error))
+
+
+def _serving_filter_index(args: argparse.Namespace, artifact):
+    """Build the known-positive filter index when --filter is requested.
+
+    The dataset must be the one the artifact was trained on — a mismatched
+    graph would mask arbitrary wrong entities — so its vocabulary sizes are
+    validated against the artifact before any query runs.
+    """
+    if not args.filter:
+        return None
+    graph = _load_graph(args)
+    if (
+        graph.num_entities != artifact.num_entities
+        or graph.num_relations != artifact.num_relations
+    ):
+        raise SystemExit(
+            f"--filter dataset {graph.name} ({graph.num_entities} entities, "
+            f"{graph.num_relations} relations) does not match the artifact "
+            f"({artifact.num_entities} entities, {artifact.num_relations} "
+            f"relations); pass the dataset the model was trained on via "
+            f"--benchmark/--data (and matching --scale/--seed)"
+        )
+    return known_positive_index(graph)
+
+
+def _build_engine(args: argparse.Namespace, artifact) -> InferenceEngine:
+    """The shared engine construction behind ``query`` and ``serve``."""
+    return InferenceEngine.from_artifact(
+        artifact,
+        filter_index=_serving_filter_index(args, artifact),
+        batch_size=args.batch_size,
+        entity_chunk_size=args.entity_chunk_size,
+    )
+
+
+def command_export(args: argparse.Namespace) -> int:
+    try:
+        model = KGEModel.load(args.model)
+    except ModelLoadError as error:
+        raise SystemExit(str(error))
+    graph = None
+    metrics = None
+    if args.with_metrics:
+        graph = _load_graph(args)
+        try:
+            require_graph_matches_params(model.params, graph)
+        except ValueError as error:
+            raise SystemExit(
+                f"cannot evaluate --with-metrics: {error}; pass the dataset the "
+                f"model was trained on via --benchmark/--data (and matching "
+                f"--scale/--seed)"
+            )
+        metrics = {}
+        for split in ("valid", "test"):
+            result = model.evaluate(graph, split=split)
+            for key, value in result.as_dict().items():
+                metrics[f"{split}_{key}"] = value
+    try:
+        path = export_artifact(
+            model, args.output, graph=graph, metrics=metrics, model_directory=args.model
+        )
+    except ArtifactError as error:
+        raise SystemExit(str(error))
+    print(f"artifact exported to {path}")
+    artifact = load_artifact(path)
+    for key, value in artifact.describe().items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def command_query(args: argparse.Namespace) -> int:
+    artifact = _load_artifact_or_exit(args.artifact)
+    engine = _build_engine(args, artifact)
+    try:
+        requests = read_query_file(
+            args.queries, artifact, top_k=args.top_k, filtered=args.filter
+        )
+    except (OSError, ValueError) as error:
+        raise SystemExit(str(error))
+    if not requests:
+        raise SystemExit(f"no queries found in {args.queries}")
+    responses = answer_queries(engine, requests, artifact)
+    rows = format_response_rows(responses, artifact)
+    output = "\n".join(rows)
+    if args.output:
+        Path(args.output).write_text(output + "\n", encoding="utf-8")
+        print(f"{len(requests)} queries answered; results written to {args.output}")
+    else:
+        print(output)
+    total_s = engine.recorder.total("project") + engine.recorder.total("score") + engine.recorder.total("select")
+    if total_s > 0:
+        print(f"# {len(requests)} queries in {total_s * 1000:.1f} ms engine time "
+              f"({len(requests) / total_s:.0f} queries/s)")
+    return 0
+
+
+def command_serve(args: argparse.Namespace) -> int:  # pragma: no cover - blocking loop
+    artifact = _load_artifact_or_exit(args.artifact)
+    engine = _build_engine(args, artifact)
+    print(f"serving {artifact.scoring_function.name} "
+          f"({artifact.num_entities} entities, {artifact.num_relations} relations) "
+          f"on http://{args.host}:{args.port} — POST /query, GET /stats, GET /healthz")
+    serve_forever(engine, artifact, host=args.host, port=args.port)
+    return 0
+
+
+def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--artifact", required=True, help="serving artifact directory")
+    parser.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=256,
+        help="queries per micro-batch inside the engine (default: 256)",
+    )
+    parser.add_argument(
+        "--entity-chunk-size",
+        type=_non_negative_int,
+        default=0,
+        help="entity-chunk size for the engine's scoring step; bounds the "
+        "transient memory of distance-based models (TransE/RotatE) at "
+        "batch-size x chunk x dimension (0, the default, scores all "
+        "entities at once)",
+    )
+    parser.add_argument(
+        "--filter",
+        action="store_true",
+        help="remove known train/valid positives from the answers; rebuilds "
+        "the dataset from --benchmark/--data to index known triples",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-autosf",
@@ -316,6 +485,48 @@ def build_parser() -> argparse.ArgumentParser:
         "from DIR (only --backend/--workers/--budget may be overridden)",
     )
     search_parser.set_defaults(handler=command_search)
+
+    export_parser = subparsers.add_parser(
+        "export", help="package a saved model as a versioned serving artifact"
+    )
+    export_parser.add_argument(
+        "--model", required=True, help="model directory written by train --save"
+    )
+    export_parser.add_argument("--output", required=True, help="artifact output directory")
+    export_parser.add_argument(
+        "--with-metrics",
+        action="store_true",
+        help="evaluate the model on --benchmark/--data and embed the filtered "
+        "valid/test metrics (and the dataset vocabulary) in the artifact",
+    )
+    _add_dataset_arguments(export_parser)
+    export_parser.set_defaults(handler=command_export)
+
+    query_parser = subparsers.add_parser(
+        "query", help="answer a TSV batch of link-prediction queries"
+    )
+    _add_serving_arguments(query_parser)
+    query_parser.add_argument(
+        "--queries",
+        required=True,
+        help="TSV file: 'head<TAB>relation<TAB>?' asks for tails, "
+        "'?<TAB>relation<TAB>tail' for heads (labels or integer ids)",
+    )
+    query_parser.add_argument(
+        "--top-k", type=_positive_int, default=10, help="answers per query (default: 10)"
+    )
+    query_parser.add_argument("--output", help="write the result TSV here instead of stdout")
+    _add_dataset_arguments(query_parser)
+    query_parser.set_defaults(handler=command_query)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the HTTP query service (stdlib http.server)"
+    )
+    _add_serving_arguments(serve_parser)
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument("--port", type=int, default=8080, help="bind port")
+    _add_dataset_arguments(serve_parser)
+    serve_parser.set_defaults(handler=command_serve)
     return parser
 
 

@@ -26,7 +26,19 @@ from repro.kge.engine import (
     TrainEngine,
     get_train_engine,
 )
-from repro.kge.model import KGEModel, train_model
+from repro.kge.model import (
+    KGEModel,
+    ModelLoadError,
+    require_graph_matches_params,
+    scoring_function_from_metadata,
+    train_model,
+)
+from repro.kge.topk import (
+    mask_known_scores,
+    select_predictions,
+    top_k_indices,
+    top_k_reference,
+)
 from repro.kge.evaluation import (
     EvaluationResult,
     compute_ranks,
@@ -49,7 +61,14 @@ __all__ = [
     "TrainEngine",
     "get_train_engine",
     "KGEModel",
+    "ModelLoadError",
+    "require_graph_matches_params",
+    "scoring_function_from_metadata",
     "train_model",
+    "mask_known_scores",
+    "select_predictions",
+    "top_k_indices",
+    "top_k_reference",
     "EvaluationResult",
     "compute_ranks",
     "compute_ranks_reference",

@@ -15,7 +15,7 @@ from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.datasets.knowledge_graph import KnowledgeGraph
+from repro.datasets.knowledge_graph import FilterIndex, KnowledgeGraph
 from repro.kge.evaluation import (
     EvaluationResult,
     evaluate_link_prediction,
@@ -25,11 +25,158 @@ from repro.kge.scoring.base import HEAD, TAIL, ParamDict, ScoringFunction
 from repro.kge.scoring.bilinear import BlockScoringFunction
 from repro.kge.scoring.blocks import BlockStructure
 from repro.kge.scoring.registry import get_scoring_function
+from repro.kge.topk import mask_known_scores, select_predictions
 from repro.kge.trainer import Trainer, TrainingHistory
 from repro.utils.config import TrainingConfig
-from repro.utils.serialization import from_json_file, to_json_file
+from repro.utils.serialization import (
+    from_json_file,
+    load_params_npz,
+    save_params_npz,
+    to_json_file,
+)
 
 PathLike = Union[str, Path]
+
+#: File names a model directory written by :meth:`KGEModel.save` contains.
+MODEL_METADATA_FILENAME = "model.json"
+MODEL_PARAMS_FILENAME = "params.npz"
+MODEL_VOCAB_FILENAME = "vocab.json"
+
+
+class ModelLoadError(RuntimeError):
+    """A model directory is missing pieces or inconsistent.
+
+    Raised by :meth:`KGEModel.load` instead of the raw ``FileNotFoundError``
+    / ``KeyError`` a half-written directory would otherwise produce, always
+    naming the offending path.
+    """
+
+
+def scoring_function_from_metadata(metadata: Dict[str, object]) -> ScoringFunction:
+    """Rebuild a scoring function from saved metadata.
+
+    Block-structured models are reconstructed from their stored block list;
+    anything else resolves through the name registry.  Shared by
+    :meth:`KGEModel.load` and the serving artifact loader.
+    """
+    name = str(metadata["scoring_function"])
+    if "block_structure" in metadata:
+        structure = BlockStructure(
+            [tuple(block) for block in metadata["block_structure"]], name=name
+        )
+        return BlockScoringFunction(structure, name=name)
+    return get_scoring_function(name)
+
+
+def scoring_function_metadata(scoring_function: ScoringFunction) -> Dict[str, object]:
+    """The metadata :func:`scoring_function_from_metadata` needs to rebuild."""
+    metadata: Dict[str, object] = {"scoring_function": scoring_function.name}
+    if isinstance(scoring_function, BlockScoringFunction):
+        metadata["block_structure"] = [
+            list(block) for block in scoring_function.structure.blocks
+        ]
+    return metadata
+
+
+def require_graph_matches_params(
+    params: ParamDict,
+    graph: KnowledgeGraph,
+    error_cls: type = ValueError,
+) -> None:
+    """Fail when a graph's vocabulary sizes don't match trained parameters."""
+    num_entities = int(params["entities"].shape[0])
+    num_relations = int(params["relations"].shape[0])
+    if graph.num_entities != num_entities or graph.num_relations != num_relations:
+        raise error_cls(
+            f"graph vocabulary ({graph.num_entities} entities, "
+            f"{graph.num_relations} relations) does not match the trained "
+            f"parameters ({num_entities} entities, {num_relations} relations)"
+        )
+
+
+def write_vocab_file(
+    entity_names: Optional[Sequence[str]],
+    relation_names: Optional[Sequence[str]],
+    path: Path,
+) -> Optional[Path]:
+    """Write entity/relation labels as a vocab JSON (no file when both absent).
+
+    The single definition of the ``vocab.json`` schema — model saving and
+    artifact export both write through here, and the artifact loader reads
+    files produced by either.
+    """
+    if entity_names is None and relation_names is None:
+        return None
+    return to_json_file(
+        {
+            "entity_names": list(entity_names) if entity_names else None,
+            "relation_names": list(relation_names) if relation_names else None,
+        },
+        path,
+    )
+
+
+def read_model_directory(
+    base: Path,
+    metadata_filename: str,
+    params_filename: str,
+    error_cls: type,
+    label: str = "model",
+    writer_hint: str = "KGEModel.save",
+    required_metadata_keys: Sequence[str] = ("scoring_function", "config"),
+) -> Tuple[Dict[str, object], ParamDict]:
+    """Read and validate the metadata + params pair of a model-like directory.
+
+    Shared by :meth:`KGEModel.load` and the serving artifact loader: checks
+    both files exist, parses the metadata JSON, checks the required keys and
+    loads the parameter archive — every failure raised as ``error_cls`` with
+    a message naming the directory and the broken piece.
+    """
+    prefix = f"cannot load {label} from {base}"
+    metadata_path = base / metadata_filename
+    params_path = base / params_filename
+    missing_files = [path.name for path in (metadata_path, params_path) if not path.exists()]
+    if missing_files:
+        raise error_cls(
+            f"{prefix}: missing {', '.join(missing_files)} "
+            f"(expected a directory written by {writer_hint})"
+        )
+    try:
+        metadata = from_json_file(metadata_path)
+    except ValueError as error:
+        raise error_cls(
+            f"{prefix}: {metadata_path.name} is not valid JSON ({error})"
+        ) from error
+    missing_keys = [key for key in required_metadata_keys if key not in metadata]
+    if missing_keys:
+        raise error_cls(
+            f"{prefix}: {metadata_path.name} is missing required keys: "
+            f"{', '.join(missing_keys)}"
+        )
+    try:
+        params = load_params_npz(params_path, required_keys=("entities", "relations"))
+    except (ValueError, OSError) as error:
+        raise error_cls(f"{prefix}: {error}") from error
+    check_declared_counts(metadata, params, error_cls, prefix, metadata_filename, params_filename)
+    return metadata, params
+
+
+def check_declared_counts(
+    metadata: Dict[str, object],
+    params: ParamDict,
+    error_cls: type,
+    prefix: str,
+    metadata_filename: str,
+    params_filename: str,
+) -> None:
+    """Check declared entity/relation counts against the loaded arrays."""
+    for key, count_key in (("entities", "num_entities"), ("relations", "num_relations")):
+        declared = metadata.get(count_key)
+        if declared is not None and int(declared) != int(params[key].shape[0]):
+            raise error_cls(
+                f"{prefix}: {metadata_filename} declares {int(declared)} {key} "
+                f"but {params_filename} holds {int(params[key].shape[0])}"
+            )
 
 
 class KGEModel:
@@ -84,21 +231,61 @@ class KGEModel:
         """Plausibility scores of explicit (h, r, t) triples."""
         return self.scoring_function.score_triples(self._require_params(), np.asarray(triples))
 
-    def predict_tails(self, head: int, relation: int, top_k: int = 10) -> Sequence[Tuple[int, float]]:
-        """Top-k candidate tails for ``(head, relation, ?)`` as (entity, score)."""
-        params = self._require_params()
-        queries = np.asarray([[head, relation]], dtype=np.int64)
-        scores = self.scoring_function.score_candidates(params, queries, direction=TAIL)[0]
-        order = np.argsort(-scores)[:top_k]
-        return [(int(index), float(scores[index])) for index in order]
+    def _predict(
+        self,
+        entity: int,
+        relation: int,
+        direction: str,
+        top_k: int,
+        exclude_known: Optional[FilterIndex],
+    ) -> Sequence[Tuple[int, float]]:
+        """One query scored naively, selected through the shared top-k helper.
 
-    def predict_heads(self, relation: int, tail: int, top_k: int = 10) -> Sequence[Tuple[int, float]]:
-        """Top-k candidate heads for ``(?, relation, tail)`` as (entity, score)."""
+        This is the serving engine's parity oracle: plain per-query
+        ``score_candidates`` (no relation materialization, no caching), with
+        selection and known-positive masking going through exactly the same
+        helpers as the batched engine.
+        """
         params = self._require_params()
-        queries = np.asarray([[tail, relation]], dtype=np.int64)
-        scores = self.scoring_function.score_candidates(params, queries, direction=HEAD)[0]
-        order = np.argsort(-scores)[:top_k]
-        return [(int(index), float(scores[index])) for index in order]
+        queries = np.asarray([[entity, relation]], dtype=np.int64)
+        scores = self.scoring_function.score_candidates(params, queries, direction=direction)
+        if exclude_known is not None:
+            scores = mask_known_scores(
+                scores, exclude_known, queries[:, 0], queries[:, 1], direction
+            )
+        order, top_scores = select_predictions(scores[0], top_k)
+        return [(int(index), float(score)) for index, score in zip(order, top_scores)]
+
+    def predict_tails(
+        self,
+        head: int,
+        relation: int,
+        top_k: int = 10,
+        exclude_known: Optional[FilterIndex] = None,
+    ) -> Sequence[Tuple[int, float]]:
+        """Top-k candidate tails for ``(head, relation, ?)`` as (entity, score).
+
+        Candidates are ordered by descending score, ties by lower entity
+        index (selected with ``argpartition``, not a full sort).  When
+        ``exclude_known`` is given, entities listed as known answers of the
+        query in that :class:`FilterIndex` are removed from the candidates —
+        a saturated query may therefore return fewer than ``top_k`` results.
+        """
+        return self._predict(head, relation, TAIL, top_k, exclude_known)
+
+    def predict_heads(
+        self,
+        relation: int,
+        tail: int,
+        top_k: int = 10,
+        exclude_known: Optional[FilterIndex] = None,
+    ) -> Sequence[Tuple[int, float]]:
+        """Top-k candidate heads for ``(?, relation, tail)`` as (entity, score).
+
+        Same ordering, tie-breaking and ``exclude_known`` semantics as
+        :meth:`predict_tails`.
+        """
+        return self._predict(tail, relation, HEAD, top_k, exclude_known)
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -123,39 +310,47 @@ class KGEModel:
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
-    def save(self, directory: PathLike) -> Path:
-        """Save parameters + config (+ block structure, if any) to a directory."""
+    def save(self, directory: PathLike, graph: Optional[KnowledgeGraph] = None) -> Path:
+        """Save parameters + config (+ block structure, if any) to a directory.
+
+        Entity/relation counts are persisted in the metadata so the model can
+        be reloaded, exported and queried without re-specifying the dataset.
+        When ``graph`` is given and carries entity/relation labels, a
+        ``vocab.json`` is written alongside so downstream consumers (the
+        serving artifact, the query CLI) can resolve symbols.
+        """
         params = self._require_params()
+        if graph is not None:
+            require_graph_matches_params(params, graph)
         base = Path(directory)
         base.mkdir(parents=True, exist_ok=True)
-        np.savez(base / "params.npz", **params)
-        metadata: Dict[str, object] = {
-            "scoring_function": self.scoring_function.name,
-            "config": self.config.to_dict(),
-        }
-        if isinstance(self.scoring_function, BlockScoringFunction):
-            metadata["block_structure"] = [list(block) for block in self.scoring_function.structure.blocks]
-        to_json_file(metadata, base / "model.json")
+        save_params_npz(params, base / MODEL_PARAMS_FILENAME)
+        metadata: Dict[str, object] = scoring_function_metadata(self.scoring_function)
+        metadata["config"] = self.config.to_dict()
+        metadata["num_entities"] = int(params["entities"].shape[0])
+        metadata["num_relations"] = int(params["relations"].shape[0])
+        to_json_file(metadata, base / MODEL_METADATA_FILENAME)
+        if graph is not None:
+            write_vocab_file(graph.entity_names, graph.relation_names, base / MODEL_VOCAB_FILENAME)
         return base
 
     @classmethod
     def load(cls, directory: PathLike) -> "KGEModel":
-        """Load a model previously written by :meth:`save`."""
+        """Load a model previously written by :meth:`save`.
+
+        A missing or half-written directory raises :class:`ModelLoadError`
+        naming the path and the missing piece, instead of the raw
+        ``FileNotFoundError`` / ``KeyError`` it used to surface.
+        """
         base = Path(directory)
-        metadata = from_json_file(base / "model.json")
-        config = TrainingConfig.from_dict(metadata["config"])
-        if "block_structure" in metadata:
-            structure = BlockStructure(
-                [tuple(block) for block in metadata["block_structure"]],
-                name=str(metadata["scoring_function"]),
-            )
-            scoring_function: ScoringFunction = BlockScoringFunction(
-                structure, name=str(metadata["scoring_function"])
-            )
-        else:
-            scoring_function = get_scoring_function(str(metadata["scoring_function"]))
-        with np.load(base / "params.npz") as archive:
-            params = {key: archive[key] for key in archive.files}
+        metadata, params = read_model_directory(
+            base, MODEL_METADATA_FILENAME, MODEL_PARAMS_FILENAME, ModelLoadError
+        )
+        try:
+            config = TrainingConfig.from_dict(metadata["config"])
+            scoring_function = scoring_function_from_metadata(metadata)
+        except (KeyError, TypeError, ValueError) as error:
+            raise ModelLoadError(f"cannot load model from {base}: {error}") from error
         return cls(scoring_function, config, params=params)
 
 

@@ -1,6 +1,12 @@
 """Scoring functions: the unified block family, classical BLMs, TDMs, MLP."""
 
-from repro.kge.scoring.base import HEAD, TAIL, ParamDict, ScoringFunction
+from repro.kge.scoring.base import (
+    HEAD,
+    TAIL,
+    ParamDict,
+    RelationOperator,
+    ScoringFunction,
+)
 from repro.kge.scoring.blocks import (
     NUM_CHUNKS,
     Block,
@@ -34,6 +40,7 @@ __all__ = [
     "HEAD",
     "TAIL",
     "ParamDict",
+    "RelationOperator",
     "ScoringFunction",
     "NUM_CHUNKS",
     "Block",

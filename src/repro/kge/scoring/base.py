@@ -244,6 +244,27 @@ class ScoringFunction(ABC):
             grads[key] += grad
 
     # ------------------------------------------------------------------
+    # Relation-materialized inference (the serving engine's interface)
+    # ------------------------------------------------------------------
+    # Serving workloads answer many queries that share a relation.  Scoring
+    # then splits into a query-side *projection* (depends on the query entity
+    # and the relation) and a candidate-side comparison (depends only on the
+    # projection and the candidate embeddings).  A RelationOperator
+    # materializes one relation's parameters for one direction exactly once
+    # — gathered, signed and reshaped into whatever form makes the per-query
+    # work a broadcast plus (for dot-product families) a single GEMM per
+    # batch — and is then reused for every query batch on that relation.
+    # The default below delegates to the chunk-aware candidate pass, so
+    # every scoring function gets a working operator; subclasses override
+    # ``relation_operator`` with fused implementations.
+
+    def relation_operator(
+        self, params: ParamDict, relation: int, direction: str = TAIL
+    ) -> "RelationOperator":
+        """Materialize the scoring operator of one (relation, direction) pair."""
+        return RelationOperator(self, params, relation, direction)
+
+    # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------
     def candidate_entities(self, params: ParamDict, candidates: Optional[np.ndarray]) -> np.ndarray:
@@ -258,6 +279,79 @@ class ScoringFunction(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - repr formatting
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+class RelationOperator:
+    """The scoring operator of one (relation, direction) pair.
+
+    The two-step protocol mirrors how batched inference uses it:
+
+    * :meth:`project` turns a batch of query-entity indices into the
+      query-side state (for bilinear families: one fused ``(batch,
+      dimension)`` projection matrix);
+    * :meth:`score` compares a projection against the contiguous candidate
+      entities ``start:stop`` (for bilinear families: one GEMM against the
+      entity-table slice).
+
+    This generic implementation reuses the chunk-aware candidate pass, so it
+    is correct for every scoring function; family-specific subclasses avoid
+    the per-query relation gathers entirely by materializing the relation's
+    parameters once at construction.
+    """
+
+    def __init__(
+        self,
+        scoring_function: "ScoringFunction",
+        params: ParamDict,
+        relation: int,
+        direction: str,
+    ) -> None:
+        num_relations = params["relations"].shape[0]
+        relation = int(relation)
+        if not 0 <= relation < num_relations:
+            raise ValueError(
+                f"relation index {relation} out of range [0, {num_relations})"
+            )
+        self.scoring_function = scoring_function
+        self.params = params
+        self.relation = relation
+        self.direction = validate_direction(direction)
+
+    @property
+    def num_entities(self) -> int:
+        return int(self.params["entities"].shape[0])
+
+    def _queries(self, entity_indices: np.ndarray) -> np.ndarray:
+        entity_indices = np.asarray(entity_indices, dtype=np.int64)
+        relations = np.full_like(entity_indices, self.relation)
+        return np.stack([entity_indices, relations], axis=1)
+
+    def project(self, entity_indices: np.ndarray) -> object:
+        """Precompute the query-side state for a batch of query entities."""
+        queries = self._queries(entity_indices)
+        return {
+            "queries": queries,
+            "state": self.scoring_function.begin_candidate_pass(
+                self.params, queries, self.direction
+            ),
+        }
+
+    def score(self, projection: object, start: int, stop: int) -> np.ndarray:
+        """Scores of every projected query against entities ``start:stop``."""
+        return self.scoring_function.score_candidates_chunk(
+            self.params,
+            projection["queries"],
+            self.direction,
+            start,
+            stop,
+            projection["state"],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        return (
+            f"{type(self).__name__}(scoring_function={self.scoring_function.name!r}, "
+            f"relation={self.relation}, direction={self.direction!r})"
+        )
 
 
 def check_queries(queries: np.ndarray) -> np.ndarray:

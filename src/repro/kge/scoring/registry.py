@@ -34,6 +34,14 @@ _FACTORIES: Dict[str, Callable[[], ScoringFunction]] = {
     "mlp": MLPScoringFunction,
 }
 
+#: Display-name aliases resolved by :func:`get_scoring_function` but not
+#: listed as primary names.  Saved models and serving artifacts record the
+#: instance's display name (e.g. ``"TransE-L1"``), which must round-trip.
+_ALIASES: Dict[str, Callable[[], ScoringFunction]] = {
+    "transel1": lambda: TransE(norm=1),
+    "transel2": lambda: TransE(norm=2),
+}
+
 
 def available_scoring_functions() -> List[str]:
     """Names accepted by :func:`get_scoring_function`."""
@@ -47,12 +55,13 @@ def get_scoring_function(name: str) -> ScoringFunction:
     ``"DistMult"`` and ``"dist_mult"`` both work.
     """
     key = name.lower().replace("-", "").replace("_", "")
-    if key not in _FACTORIES:
+    factory = _FACTORIES.get(key) or _ALIASES.get(key)
+    if factory is None:
         raise KeyError(
             f"unknown scoring function {name!r}; available: "
             f"{', '.join(available_scoring_functions())}"
         )
-    return _FACTORIES[key]()
+    return factory()
 
 
 def block_scoring_function(structure: BlockStructure) -> BlockScoringFunction:

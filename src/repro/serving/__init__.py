@@ -1,0 +1,55 @@
+"""Batched link-prediction serving: artifacts, inference engine, query service.
+
+The serving subsystem turns a trained scoring function — the *output* of an
+AutoSF search — into something deployable, in three layers:
+
+* :mod:`repro.serving.artifact` — a versioned, self-contained model artifact
+  (manifest + params + vocab) with descriptive validation errors;
+* :mod:`repro.serving.engine` — the batched :class:`InferenceEngine`:
+  heterogeneous head/tail queries grouped per relation through materialized
+  :class:`~repro.kge.scoring.base.RelationOperator` s, ``argpartition``
+  top-k, optional known-positive filtering, and LRU caching — with the naive
+  ``KGEModel.predict_*`` path kept as the exact parity oracle;
+* :mod:`repro.serving.service` — ``QueryRequest``/``QueryResponse``, TSV
+  batch mode, and a dependency-free ``http.server`` JSON endpoint with
+  latency/throughput counters.
+"""
+
+from repro.serving.artifact import (
+    ARTIFACT_SCHEMA_VERSION,
+    ArtifactError,
+    ModelArtifact,
+    export_artifact,
+    load_artifact,
+)
+from repro.serving.engine import InferenceEngine, known_positive_index
+from repro.serving.service import (
+    QueryRequest,
+    QueryResponse,
+    QueryServer,
+    answer_queries,
+    create_server,
+    format_response_rows,
+    parse_query_line,
+    read_query_file,
+    serve_forever,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "ArtifactError",
+    "ModelArtifact",
+    "export_artifact",
+    "load_artifact",
+    "InferenceEngine",
+    "known_positive_index",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryServer",
+    "answer_queries",
+    "create_server",
+    "format_response_rows",
+    "parse_query_line",
+    "read_query_file",
+    "serve_forever",
+]

@@ -1,0 +1,279 @@
+"""Versioned, self-contained model artifacts for serving.
+
+An artifact directory is everything inference needs, with nothing implicit:
+
+* ``manifest.json`` — schema version, scoring-function name (+ block
+  structure for searched models), entity/relation counts, the training
+  configuration, and the evaluation metrics recorded at export time;
+* ``params.npz`` — the trained parameter arrays;
+* ``vocab.json`` — optional entity/relation labels, so queries can be posed
+  (and answers returned) symbolically.
+
+:func:`export_artifact` writes one from a trained :class:`KGEModel`;
+:func:`load_artifact` validates every piece and raises a descriptive
+:class:`ArtifactError` naming the artifact path on anything missing or
+mismatched, so a half-copied artifact fails loudly at load time rather than
+mysteriously at query time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.datasets.knowledge_graph import KnowledgeGraph
+from repro.kge.model import (
+    MODEL_VOCAB_FILENAME,
+    KGEModel,
+    read_model_directory,
+    require_graph_matches_params,
+    scoring_function_from_metadata,
+    scoring_function_metadata,
+    write_vocab_file,
+)
+from repro.kge.scoring.base import ParamDict, ScoringFunction
+from repro.utils.config import TrainingConfig
+from repro.utils.serialization import from_json_file, save_params_npz, to_json_file
+
+PathLike = Union[str, Path]
+
+#: Current artifact schema version; bumped on incompatible layout changes.
+ARTIFACT_SCHEMA_VERSION = 1
+
+MANIFEST_FILENAME = "manifest.json"
+PARAMS_FILENAME = "params.npz"
+VOCAB_FILENAME = "vocab.json"
+
+#: Manifest keys every artifact must carry.
+_REQUIRED_MANIFEST_KEYS = (
+    "schema_version",
+    "scoring_function",
+    "num_entities",
+    "num_relations",
+    "config",
+)
+
+
+class ArtifactError(RuntimeError):
+    """An artifact directory is missing pieces, corrupt, or inconsistent."""
+
+
+@dataclass
+class ModelArtifact:
+    """A loaded serving artifact: scoring function, parameters, vocab, metadata."""
+
+    scoring_function: ScoringFunction
+    params: ParamDict
+    config: TrainingConfig
+    num_entities: int
+    num_relations: int
+    metrics: Dict[str, float] = field(default_factory=dict)
+    entity_names: Optional[Tuple[str, ...]] = None
+    relation_names: Optional[Tuple[str, ...]] = None
+    schema_version: int = ARTIFACT_SCHEMA_VERSION
+    path: Optional[Path] = None
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def to_model(self) -> KGEModel:
+        """The artifact as a ready-to-query :class:`KGEModel`."""
+        return KGEModel(self.scoring_function, self.config, params=self.params)
+
+    # ------------------------------------------------------------------
+    # Symbol resolution
+    # ------------------------------------------------------------------
+    def _lookup_table(self, names: Tuple[str, ...], cache_key: str) -> Dict[str, int]:
+        table = self.__dict__.get(cache_key)
+        if table is None:
+            table = {name: index for index, name in enumerate(names)}
+            self.__dict__[cache_key] = table
+        return table
+
+    def _resolve(self, symbol: Union[str, int], names: Optional[Tuple[str, ...]],
+                 count: int, kind: str, cache_key: str) -> int:
+        if isinstance(symbol, (int, np.integer)):
+            index = int(symbol)
+        else:
+            symbol = str(symbol)
+            index = None
+            if names is not None:
+                index = self._lookup_table(names, cache_key).get(symbol)
+            if index is None:
+                try:
+                    index = int(symbol)
+                except ValueError:
+                    raise KeyError(
+                        f"unknown {kind} {symbol!r} "
+                        f"({'not in the artifact vocabulary' if names else 'artifact has no vocabulary'}"
+                        f" and not an integer id)"
+                    ) from None
+        if not 0 <= index < count:
+            raise KeyError(f"{kind} id {index} out of range [0, {count})")
+        return index
+
+    def entity_id(self, symbol: Union[str, int]) -> int:
+        """Resolve an entity label or integer id to an index."""
+        return self._resolve(
+            symbol, self.entity_names, self.num_entities, "entity", "_entity_lookup"
+        )
+
+    def relation_id(self, symbol: Union[str, int]) -> int:
+        """Resolve a relation label or integer id to an index."""
+        return self._resolve(
+            symbol, self.relation_names, self.num_relations, "relation", "_relation_lookup"
+        )
+
+    def entity_label(self, index: int) -> str:
+        """Human-readable label of an entity (falls back to ``e<i>``)."""
+        if self.entity_names is not None:
+            return self.entity_names[index]
+        return f"e{index}"
+
+    def relation_label(self, index: int) -> str:
+        """Human-readable label of a relation (falls back to ``r<j>``)."""
+        if self.relation_names is not None:
+            return self.relation_names[index]
+        return f"r{index}"
+
+    def describe(self) -> Dict[str, object]:
+        """Headline facts for logs and the serve endpoint's health check."""
+        return {
+            "schema_version": self.schema_version,
+            "scoring_function": self.scoring_function.name,
+            "num_entities": self.num_entities,
+            "num_relations": self.num_relations,
+            "has_vocabulary": self.entity_names is not None or self.relation_names is not None,
+            "metrics": dict(self.metrics),
+        }
+
+
+def _vocab_from_sources(
+    graph: Optional[KnowledgeGraph],
+    model_directory: Optional[Path],
+) -> Tuple[Optional[Sequence[str]], Optional[Sequence[str]]]:
+    """Entity/relation labels from the dataset or a saved model's vocab.json."""
+    if graph is not None and (graph.entity_names or graph.relation_names):
+        return graph.entity_names, graph.relation_names
+    if model_directory is not None:
+        vocab_path = Path(model_directory) / MODEL_VOCAB_FILENAME
+        if vocab_path.exists():
+            vocab = from_json_file(vocab_path)
+            return vocab.get("entity_names"), vocab.get("relation_names")
+    return None, None
+
+
+def export_artifact(
+    model: KGEModel,
+    directory: PathLike,
+    graph: Optional[KnowledgeGraph] = None,
+    metrics: Optional[Dict[str, float]] = None,
+    model_directory: Optional[PathLike] = None,
+) -> Path:
+    """Write a serving artifact for a trained model.
+
+    Parameters
+    ----------
+    graph:
+        Optional dataset the model was trained on; supplies the vocabulary
+        (when it has labels) and is validated against the parameter shapes.
+    metrics:
+        Optional evaluation metrics to embed in the manifest (e.g. filtered
+        test MRR at export time).
+    model_directory:
+        Optional directory the model was loaded from; its ``vocab.json`` is
+        reused when no ``graph`` is given.
+    """
+    if model.params is None:
+        raise ArtifactError("cannot export an untrained model (no parameters)")
+    params = model.params
+    if graph is not None:
+        require_graph_matches_params(params, graph, error_cls=ArtifactError)
+
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    manifest: Dict[str, object] = scoring_function_metadata(model.scoring_function)
+    manifest.update(
+        {
+            "schema_version": ARTIFACT_SCHEMA_VERSION,
+            "num_entities": int(params["entities"].shape[0]),
+            "num_relations": int(params["relations"].shape[0]),
+            "config": model.config.to_dict(),
+            "metrics": dict(metrics or {}),
+        }
+    )
+    to_json_file(manifest, base / MANIFEST_FILENAME)
+    save_params_npz(params, base / PARAMS_FILENAME)
+
+    entity_names, relation_names = _vocab_from_sources(
+        graph, Path(model_directory) if model_directory is not None else None
+    )
+    write_vocab_file(entity_names, relation_names, base / VOCAB_FILENAME)
+    return base
+
+
+def load_artifact(directory: PathLike) -> ModelArtifact:
+    """Load and validate a serving artifact written by :func:`export_artifact`."""
+    base = Path(directory)
+    if not base.is_dir():
+        raise ArtifactError(f"artifact directory {base} does not exist")
+    manifest, params = read_model_directory(
+        base,
+        MANIFEST_FILENAME,
+        PARAMS_FILENAME,
+        ArtifactError,
+        label="artifact",
+        writer_hint="export_artifact",
+        required_metadata_keys=_REQUIRED_MANIFEST_KEYS,
+    )
+    schema_version = int(manifest["schema_version"])
+    if schema_version != ARTIFACT_SCHEMA_VERSION:
+        raise ArtifactError(
+            f"artifact {base} has schema version {schema_version}, but this "
+            f"build reads version {ARTIFACT_SCHEMA_VERSION}; re-export the model"
+        )
+
+    try:
+        scoring_function = scoring_function_from_metadata(manifest)
+        config = TrainingConfig.from_dict(manifest["config"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ArtifactError(f"cannot load artifact from {base}: {error}") from error
+
+    num_entities = int(manifest["num_entities"])
+    num_relations = int(manifest["num_relations"])
+    entity_names = relation_names = None
+    vocab_path = base / VOCAB_FILENAME
+    if vocab_path.exists():
+        try:
+            vocab = from_json_file(vocab_path)
+        except ValueError as error:
+            raise ArtifactError(
+                f"artifact {base}: {VOCAB_FILENAME} is not valid JSON ({error})"
+            ) from error
+        entity_names = vocab.get("entity_names")
+        relation_names = vocab.get("relation_names")
+        for label, names, count in (
+            ("entity_names", entity_names, num_entities),
+            ("relation_names", relation_names, num_relations),
+        ):
+            if names is not None and len(names) != count:
+                raise ArtifactError(
+                    f"artifact {base}: {VOCAB_FILENAME} holds {len(names)} "
+                    f"{label} but the manifest declares {count}"
+                )
+
+    return ModelArtifact(
+        scoring_function=scoring_function,
+        params=params,
+        config=config,
+        num_entities=num_entities,
+        num_relations=num_relations,
+        metrics=dict(manifest.get("metrics") or {}),
+        entity_names=tuple(entity_names) if entity_names else None,
+        relation_names=tuple(relation_names) if relation_names else None,
+        schema_version=schema_version,
+        path=base,
+    )

@@ -1,0 +1,337 @@
+"""The batched link-prediction inference engine.
+
+The naive query path (:meth:`repro.kge.model.KGEModel.predict_tails` /
+``predict_heads``) scores one query at a time: it gathers the relation's
+parameters per query, runs batch-of-one candidate scoring, and selects from
+the full entity set.  :class:`InferenceEngine` serves the same queries in
+bulk:
+
+* heterogeneous head/tail queries are **grouped by (relation, direction)**
+  and each group answered through the relation's materialized
+  :class:`~repro.kge.scoring.base.RelationOperator` — the relation's
+  parameters are gathered, signed and reshaped exactly once, and for
+  bilinear families scoring collapses to a single GEMM per micro-batch
+  instead of one small GEMM per block per query;
+* queries run in **micro-batches** (``batch_size`` queries against the full
+  entity table), bounding peak memory at ``batch_size x num_entities``
+  scores;
+* top-k selection uses ``argpartition`` via the shared
+  :func:`repro.kge.topk.top_k_indices` helper, with canonical tie-breaking
+  (descending score, then ascending entity index);
+* known positives can be **filtered** through the same CSR-style
+  :class:`~repro.datasets.knowledge_graph.FilterIndex` that filtered
+  evaluation uses, so served predictions are unseen triples;
+* materialized operators and finished (entity, relation) answers live in
+  bounded **LRU caches**, so repeated queries cost a dictionary hit.
+
+The engine's results are *exactly* those of the naive path — same entities,
+same order, same tie-breaking — which the parity tests pin per scoring
+family, mirroring the reference-oracle pattern of the execution and
+training engines.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.datasets.knowledge_graph import FilterIndex, KnowledgeGraph
+from repro.kge.scoring.base import HEAD, TAIL, ParamDict, ScoringFunction, validate_direction
+from repro.kge.topk import mask_known_scores, select_predictions_batch
+from repro.serving.artifact import ModelArtifact
+from repro.utils.timing import TimingRecorder
+
+#: One prediction: (entity index, score).
+Prediction = Tuple[int, float]
+
+#: One heterogeneous query: (direction, entity, relation).
+Query = Tuple[str, int, int]
+
+
+def known_positive_index(
+    graph: KnowledgeGraph, splits: Sequence[str] = ("train", "valid")
+) -> FilterIndex:
+    """A :class:`FilterIndex` over the chosen splits, for serving-side filtering.
+
+    Defaults to train+valid: those are the triples the deployment already
+    knows, while test stands in for the unseen future the engine should be
+    free to predict.
+    """
+    triples = np.concatenate([graph.split(split) for split in splits], axis=0)
+    return FilterIndex.build(triples, graph.num_relations)
+
+
+class InferenceEngine:
+    """Batched, relation-materialized link-prediction inference.
+
+    Parameters
+    ----------
+    scoring_function, params:
+        The trained model to serve.
+    filter_index:
+        Optional known-positive index; required to answer ``filtered=True``
+        queries (build one with :func:`known_positive_index`).
+    batch_size:
+        Queries per micro-batch; the score slab is ``batch_size x
+        num_entities`` floats, which for dot-product families is also the
+        peak transient memory.
+    entity_chunk_size:
+        Optional entity-axis chunking for the scoring step (``0`` scores all
+        entities at once).  Distance-based families (TransE, RotatE)
+        materialize a ``batch x entities x dimension`` difference tensor
+        while scoring; chunking bounds that transient at ``batch_size x
+        entity_chunk_size x dimension`` — the serving-side analogue of the
+        training engine's ``score_chunk_size``.
+    operator_cache_size / result_cache_size:
+        LRU capacities for materialized relation operators and for finished
+        (direction, entity, relation, top_k, filtered) answers.
+    recorder:
+        Optional :class:`TimingRecorder`; the engine attributes time to the
+        ``project`` / ``score`` / ``select`` phases and counts queries and
+        cache hits, which the serve endpoint reports.
+    """
+
+    def __init__(
+        self,
+        scoring_function: ScoringFunction,
+        params: ParamDict,
+        filter_index: Optional[FilterIndex] = None,
+        batch_size: int = 256,
+        entity_chunk_size: int = 0,
+        operator_cache_size: int = 256,
+        result_cache_size: int = 4096,
+        recorder: Optional[TimingRecorder] = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if entity_chunk_size < 0:
+            raise ValueError("entity_chunk_size must be non-negative (0 disables chunking)")
+        if operator_cache_size <= 0:
+            raise ValueError("operator_cache_size must be positive")
+        if result_cache_size < 0:
+            raise ValueError("result_cache_size must be non-negative")
+        self.scoring_function = scoring_function
+        self.params = params
+        self.filter_index = filter_index
+        self.batch_size = int(batch_size)
+        self.entity_chunk_size = int(entity_chunk_size)
+        self.num_entities = int(params["entities"].shape[0])
+        self.num_relations = int(params["relations"].shape[0])
+        self.recorder = recorder if recorder is not None else TimingRecorder()
+        self._operator_cache_size = int(operator_cache_size)
+        self._result_cache_size = int(result_cache_size)
+        self._operators: "OrderedDict[Tuple[int, str], object]" = OrderedDict()
+        self._results: "OrderedDict[tuple, Tuple[Prediction, ...]]" = OrderedDict()
+        # The caches are mutated on every query; one lock makes the engine
+        # safe under the threading HTTP server (batching, not concurrency,
+        # is the throughput mechanism here).
+        self._lock = threading.Lock()
+        self.queries_served = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_artifact(
+        cls, artifact: ModelArtifact, **kwargs: object
+    ) -> "InferenceEngine":
+        """Build an engine straight from a loaded serving artifact."""
+        return cls(artifact.scoring_function, artifact.params, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Caches
+    # ------------------------------------------------------------------
+    def _operator(self, relation: int, direction: str):
+        key = (int(relation), direction)
+        operator = self._operators.get(key)
+        if operator is None:
+            operator = self.scoring_function.relation_operator(
+                self.params, relation, direction
+            )
+            self._operators[key] = operator
+            if len(self._operators) > self._operator_cache_size:
+                self._operators.popitem(last=False)
+        else:
+            self._operators.move_to_end(key)
+        return operator
+
+    def _cached_result(self, key: tuple) -> Optional[Tuple[Prediction, ...]]:
+        result = self._results.get(key)
+        if result is not None:
+            self._results.move_to_end(key)
+        return result
+
+    def _store_result(self, key: tuple, result: Tuple[Prediction, ...]) -> None:
+        if self._result_cache_size == 0:
+            return
+        self._results[key] = result
+        if len(self._results) > self._result_cache_size:
+            self._results.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _check_query(self, direction: str, entity: int, relation: int, filtered: bool) -> Query:
+        validate_direction(direction)
+        entity = int(entity)
+        relation = int(relation)
+        if not 0 <= entity < self.num_entities:
+            raise ValueError(
+                f"entity id {entity} out of range [0, {self.num_entities})"
+            )
+        if not 0 <= relation < self.num_relations:
+            raise ValueError(
+                f"relation id {relation} out of range [0, {self.num_relations})"
+            )
+        if filtered and self.filter_index is None:
+            raise ValueError(
+                "filtered queries need a filter index; construct the engine "
+                "with filter_index=known_positive_index(graph)"
+            )
+        return (direction, entity, relation)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def predict_tails(
+        self, head: int, relation: int, top_k: int = 10, filtered: bool = False
+    ) -> List[Prediction]:
+        """Top-k candidate tails for ``(head, relation, ?)``."""
+        return self.query_batch([(TAIL, head, relation)], top_k=top_k, filtered=filtered)[0]
+
+    def predict_heads(
+        self, relation: int, tail: int, top_k: int = 10, filtered: bool = False
+    ) -> List[Prediction]:
+        """Top-k candidate heads for ``(?, relation, tail)``."""
+        return self.query_batch([(HEAD, tail, relation)], top_k=top_k, filtered=filtered)[0]
+
+    def query_batch(
+        self,
+        queries: Sequence[Union[Query, Sequence[object]]],
+        top_k: int = 10,
+        filtered: bool = False,
+    ) -> List[List[Prediction]]:
+        """Answer heterogeneous (direction, entity, relation) queries.
+
+        Results are returned in input order, each a list of (entity, score)
+        pairs ordered by descending score with ties broken by entity index.
+        With ``filtered=True`` known positives are removed, so saturated
+        queries may return fewer than ``top_k`` pairs.
+        """
+        with self._lock:
+            return self._query_batch_locked(queries, top_k, filtered)
+
+    def _query_batch_locked(
+        self,
+        queries: Sequence[Union[Query, Sequence[object]]],
+        top_k: int,
+        filtered: bool,
+    ) -> List[List[Prediction]]:
+        top_k = int(top_k)
+        if top_k <= 0:
+            raise ValueError("top_k must be positive")
+        normalized = [
+            self._check_query(direction, entity, relation, filtered)
+            for direction, entity, relation in queries
+        ]
+        self.queries_served += len(normalized)
+
+        results: List[Optional[Tuple[Prediction, ...]]] = [None] * len(normalized)
+        pending: Dict[Query, List[int]] = {}
+        for position, query in enumerate(normalized):
+            cached = self._cached_result((*query, top_k, filtered))
+            if cached is not None:
+                self.cache_hits += 1
+                results[position] = cached
+            else:
+                # Keyed by the full query, so duplicates within one batch are
+                # scored once and fanned out to every requesting position.
+                pending.setdefault(query, []).append(position)
+
+        # Order the unique queries by (direction, relation) group, then
+        # process them in slabs of ``batch_size`` rows: scoring still runs
+        # per group segment (one materialized operator each), but top-k
+        # selection sees a whole slab at once — essential when a batch
+        # spreads thinly over many relations.  Peak memory stays at
+        # batch_size x num_entities scores.
+        work_list = sorted(pending, key=lambda query: (query[0], query[2]))
+        for slab_begin in range(0, len(work_list), self.batch_size):
+            slab = work_list[slab_begin : slab_begin + self.batch_size]
+            scores = np.empty((len(slab), self.num_entities), dtype=np.float64)
+            segment_begin = 0
+            while segment_begin < len(slab):
+                direction, _, relation = slab[segment_begin]
+                segment_end = segment_begin
+                while (
+                    segment_end < len(slab)
+                    and slab[segment_end][0] == direction
+                    and slab[segment_end][2] == relation
+                ):
+                    segment_end += 1
+                entities = np.asarray(
+                    [entity for _d, entity, _r in slab[segment_begin:segment_end]],
+                    dtype=np.int64,
+                )
+                operator = self._operator(relation, direction)
+                with self.recorder.measure("project"):
+                    projection = operator.project(entities)
+                with self.recorder.measure("score"):
+                    chunk = self.entity_chunk_size or self.num_entities
+                    for start in range(0, self.num_entities, chunk):
+                        stop = min(start + chunk, self.num_entities)
+                        scores[segment_begin:segment_end, start:stop] = operator.score(
+                            projection, start, stop
+                        )
+                if filtered:
+                    mask_known_scores(
+                        scores[segment_begin:segment_end],
+                        self.filter_index,
+                        entities,
+                        np.full_like(entities, relation),
+                        direction,
+                    )
+                segment_begin = segment_end
+            with self.recorder.measure("select"):
+                selected = select_predictions_batch(scores, top_k)
+                for query, (order, top_scores) in zip(slab, selected):
+                    answer = tuple(zip(order.tolist(), top_scores.tolist()))
+                    self._store_result((*query, top_k, filtered), answer)
+                    for position in pending[query]:
+                        results[position] = answer
+
+        return [list(result) for result in results]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Counters + per-phase timings for the serve endpoint's /stats.
+
+        Takes the engine lock: the caches and the recorder are mutated by
+        concurrent query threads, and iterating them mid-query would race.
+        """
+        with self._lock:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> Dict[str, object]:
+        return {
+            "scoring_function": self.scoring_function.name,
+            "num_entities": self.num_entities,
+            "num_relations": self.num_relations,
+            "queries_served": self.queries_served,
+            "cache_hits": self.cache_hits,
+            "cached_operators": len(self._operators),
+            "cached_results": len(self._results),
+            "timings": self.recorder.summary(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting
+        return (
+            f"InferenceEngine({self.scoring_function.name!r}, "
+            f"entities={self.num_entities}, relations={self.num_relations}, "
+            f"filtered={'yes' if self.filter_index is not None else 'no'})"
+        )

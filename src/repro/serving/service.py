@@ -1,0 +1,353 @@
+"""Query service: request/response schema, TSV batch mode, stdlib HTTP server.
+
+Three consumption styles over the same :class:`InferenceEngine`:
+
+* **Python** — build :class:`QueryRequest` objects and call
+  :func:`answer_queries`;
+* **batch files** — ``repro-autosf query --queries file.tsv`` reads one
+  query per line in the triple-shaped format ``head<TAB>relation<TAB>?``
+  (tail prediction) or ``?<TAB>relation<TAB>tail`` (head prediction), with
+  entities/relations given as vocabulary labels or integer ids;
+* **HTTP** — ``repro-autosf serve`` runs a dependency-free
+  ``http.server``-based JSON endpoint: ``POST /query`` answers a single
+  query or a ``{"queries": [...]}`` batch, ``GET /stats`` reports the
+  engine's latency/throughput counters (via ``TimingRecorder``), and
+  ``GET /healthz`` describes the loaded artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.kge.scoring.base import HEAD, TAIL, validate_direction
+from repro.serving.artifact import ModelArtifact
+from repro.serving.engine import InferenceEngine
+
+PathLike = Union[str, Path]
+
+#: The placeholder marking the slot to predict in TSV query files.
+QUERY_PLACEHOLDER = "?"
+
+
+@dataclass
+class QueryRequest:
+    """One link-prediction query.
+
+    ``entity`` is the *known* slot: the head for tail queries and the tail
+    for head queries.  ``top_k`` bounds the answer length and ``filtered``
+    removes known positives (requires an engine built with a filter index).
+    """
+
+    direction: str
+    entity: int
+    relation: int
+    top_k: int = 10
+    filtered: bool = False
+
+    def __post_init__(self) -> None:
+        validate_direction(self.direction)
+        if self.top_k <= 0:
+            raise ValueError("top_k must be positive")
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object], artifact: Optional[ModelArtifact] = None) -> "QueryRequest":
+        """Build a request from a JSON payload, resolving labels via the artifact."""
+        if not isinstance(data, dict):
+            raise ValueError(f"a query must be a JSON object, got {type(data).__name__}")
+        missing = [key for key in ("direction", "entity", "relation") if key not in data]
+        if missing:
+            raise ValueError(f"query is missing required fields: {', '.join(missing)}")
+        entity, relation = data["entity"], data["relation"]
+        if artifact is not None:
+            entity = artifact.entity_id(entity)
+            relation = artifact.relation_id(relation)
+        return cls(
+            direction=str(data["direction"]),
+            entity=int(entity),
+            relation=int(relation),
+            top_k=int(data.get("top_k", 10)),
+            filtered=bool(data.get("filtered", False)),
+        )
+
+    def as_tuple(self) -> Tuple[str, int, int]:
+        return (self.direction, self.entity, self.relation)
+
+
+@dataclass
+class QueryResponse:
+    """The answer to one query: labeled predictions plus the batch latency."""
+
+    request: QueryRequest
+    predictions: List[Dict[str, object]] = field(default_factory=list)
+    latency_ms: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "direction": self.request.direction,
+            "entity": self.request.entity,
+            "relation": self.request.relation,
+            "top_k": self.request.top_k,
+            "filtered": self.request.filtered,
+            "predictions": self.predictions,
+            "latency_ms": self.latency_ms,
+        }
+
+
+def answer_queries(
+    engine: InferenceEngine,
+    requests: Sequence[QueryRequest],
+    artifact: Optional[ModelArtifact] = None,
+) -> List[QueryResponse]:
+    """Answer requests through the engine, grouping compatible ones per batch.
+
+    Queries are batched per (top_k, filtered) setting — the common case of a
+    homogeneous batch goes through the engine in one call.  Labels are
+    attached from the artifact's vocabulary when available.
+    """
+    responses: List[Optional[QueryResponse]] = [None] * len(requests)
+    groups: Dict[Tuple[int, bool], List[int]] = {}
+    for position, request in enumerate(requests):
+        groups.setdefault((request.top_k, request.filtered), []).append(position)
+
+    for (top_k, filtered), positions in groups.items():
+        started = time.perf_counter()
+        batch = engine.query_batch(
+            [requests[position].as_tuple() for position in positions],
+            top_k=top_k,
+            filtered=filtered,
+        )
+        latency_ms = (time.perf_counter() - started) * 1000.0
+        for position, predictions in zip(positions, batch):
+            labeled = [
+                {
+                    "entity": entity,
+                    "label": artifact.entity_label(entity) if artifact else f"e{entity}",
+                    "score": score,
+                }
+                for entity, score in predictions
+            ]
+            responses[position] = QueryResponse(
+                request=requests[position],
+                predictions=labeled,
+                latency_ms=latency_ms,
+            )
+    return [response for response in responses if response is not None]
+
+
+# ----------------------------------------------------------------------
+# TSV batch mode
+# ----------------------------------------------------------------------
+def parse_query_line(
+    line: str,
+    artifact: ModelArtifact,
+    top_k: int = 10,
+    filtered: bool = False,
+) -> QueryRequest:
+    """Parse one triple-shaped query line.
+
+    ``head<TAB>relation<TAB>?`` asks for tails, ``?<TAB>relation<TAB>tail``
+    for heads; exactly one of the two entity slots must be the placeholder.
+    """
+    parts = line.split("\t")
+    if len(parts) != 3:
+        raise ValueError(
+            f"expected 3 tab-separated fields (head, relation, tail), got {len(parts)}"
+        )
+    head, relation, tail = (part.strip() for part in parts)
+    if (head == QUERY_PLACEHOLDER) == (tail == QUERY_PLACEHOLDER):
+        raise ValueError(
+            f"exactly one of head/tail must be {QUERY_PLACEHOLDER!r} "
+            f"(got head={head!r}, tail={tail!r})"
+        )
+    if tail == QUERY_PLACEHOLDER:
+        direction, entity = TAIL, artifact.entity_id(head)
+    else:
+        direction, entity = HEAD, artifact.entity_id(tail)
+    return QueryRequest(
+        direction=direction,
+        entity=entity,
+        relation=artifact.relation_id(relation),
+        top_k=top_k,
+        filtered=filtered,
+    )
+
+
+def read_query_file(
+    path: PathLike,
+    artifact: ModelArtifact,
+    top_k: int = 10,
+    filtered: bool = False,
+) -> List[QueryRequest]:
+    """Read a TSV query file, skipping blank lines and ``#`` comments."""
+    requests: List[QueryRequest] = []
+    source = Path(path)
+    with source.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line.strip() or line.lstrip().startswith("#"):
+                continue
+            try:
+                requests.append(parse_query_line(line, artifact, top_k, filtered))
+            except (KeyError, ValueError) as error:
+                raise ValueError(f"{source}:{line_number}: {error}") from error
+    return requests
+
+
+def format_response_rows(responses: Sequence[QueryResponse], artifact: ModelArtifact) -> List[str]:
+    """Render responses as TSV rows: query, rank, predicted entity, score."""
+    rows = ["direction\tquery_entity\trelation\trank\tentity\tscore"]
+    for response in responses:
+        request = response.request
+        relation_label = artifact.relation_label(request.relation)
+        entity_label = artifact.entity_label(request.entity)
+        for rank, prediction in enumerate(response.predictions, start=1):
+            rows.append(
+                f"{request.direction}\t{entity_label}\t{relation_label}\t"
+                f"{rank}\t{prediction['label']}\t{prediction['score']:.6f}"
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# HTTP service
+# ----------------------------------------------------------------------
+class QueryServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one engine + artifact."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        engine: InferenceEngine,
+        artifact: Optional[ModelArtifact] = None,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, QueryHandler)
+        self.engine = engine
+        self.artifact = artifact
+        self.quiet = quiet
+        self.started_at = time.time()
+        self.requests_served = 0
+        self.errors = 0
+        # Handler threads increment the counters concurrently.
+        self.counter_lock = threading.Lock()
+
+    def count_request(self, error: bool = False) -> None:
+        with self.counter_lock:
+            if error:
+                self.errors += 1
+            else:
+                self.requests_served += 1
+
+
+class QueryHandler(BaseHTTPRequestHandler):
+    """Request handler: ``POST /query``, ``GET /stats``, ``GET /healthz``."""
+
+    server: QueryServer
+
+    # -- plumbing ---------------------------------------------------------
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        if not self.server.quiet:  # pragma: no cover - console logging only
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self.server.count_request(error=True)
+        self._send_json(status, {"error": message})
+
+    # -- GET --------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming contract
+        if self.path == "/healthz":
+            payload: Dict[str, object] = {"status": "ok"}
+            if self.server.artifact is not None:
+                payload["artifact"] = self.server.artifact.describe()
+            else:
+                payload["scoring_function"] = self.server.engine.scoring_function.name
+            self._send_json(200, payload)
+        elif self.path == "/stats":
+            stats = self.server.engine.stats()
+            stats["uptime_s"] = time.time() - self.server.started_at
+            stats["http_requests"] = self.server.requests_served
+            stats["http_errors"] = self.server.errors
+            self._send_json(200, stats)
+        else:
+            self._send_error_json(404, f"unknown path {self.path!r}; try /query, /stats, /healthz")
+
+    # -- POST -------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming contract
+        if self.path != "/query":
+            self._send_error_json(404, f"unknown path {self.path!r}; POST to /query")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, TypeError) as error:
+            self._send_error_json(400, f"invalid JSON body: {error}")
+            return
+        try:
+            if isinstance(payload, dict) and "queries" in payload:
+                raw_queries = payload["queries"]
+                if not isinstance(raw_queries, list):
+                    raise ValueError('"queries" must be a list of query objects')
+                requests = [
+                    QueryRequest.from_dict(entry, self.server.artifact)
+                    for entry in raw_queries
+                ]
+                batched = True
+            else:
+                requests = [QueryRequest.from_dict(payload, self.server.artifact)]
+                batched = False
+        except (KeyError, ValueError) as error:
+            self._send_error_json(400, str(error))
+            return
+        try:
+            responses = answer_queries(self.server.engine, requests, self.server.artifact)
+        except ValueError as error:
+            self._send_error_json(400, str(error))
+            return
+        self.server.count_request()
+        if batched:
+            self._send_json(200, {"responses": [response.to_dict() for response in responses]})
+        else:
+            self._send_json(200, responses[0].to_dict())
+
+
+def create_server(
+    engine: InferenceEngine,
+    artifact: Optional[ModelArtifact] = None,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    quiet: bool = True,
+) -> QueryServer:
+    """Bind a :class:`QueryServer` (port 0 picks a free port, handy in tests)."""
+    return QueryServer((host, port), engine, artifact, quiet=quiet)
+
+
+def serve_forever(
+    engine: InferenceEngine,
+    artifact: Optional[ModelArtifact] = None,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+) -> None:  # pragma: no cover - blocking loop, exercised manually via the CLI
+    """Run the query service until interrupted."""
+    server = create_server(engine, artifact, host, port, quiet=False)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

@@ -132,3 +132,109 @@ class TestCommands:
     def test_resume_without_manifest_fails(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["search", "--resume", str(tmp_path / "nowhere")])
+
+
+class TestServingCommands:
+    @pytest.fixture()
+    def saved_model(self, tmp_path):
+        target = tmp_path / "model"
+        main(
+            [
+                "train",
+                "--benchmark", "wn18rr",
+                "--scale", "0.25",
+                "--model", "distmult",
+                "--dimension", "8",
+                "--epochs", "2",
+                "--batch-size", "128",
+                "--save", str(target),
+            ]
+        )
+        return target
+
+    def test_export_then_query(self, saved_model, tmp_path, capsys):
+        artifact = tmp_path / "artifact"
+        exit_code = main(
+            ["export", "--model", str(saved_model), "--output", str(artifact)]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "artifact exported" in captured
+        assert (artifact / "manifest.json").exists()
+        assert (artifact / "params.npz").exists()
+
+        queries = tmp_path / "queries.tsv"
+        queries.write_text("0\t0\t?\n?\t1\t2\n", encoding="utf-8")
+        exit_code = main(
+            [
+                "query",
+                "--artifact", str(artifact),
+                "--queries", str(queries),
+                "--top-k", "3",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        lines = [line for line in captured.splitlines() if line and not line.startswith("#")]
+        assert lines[0].startswith("direction\t")
+        assert len(lines) == 1 + 2 * 3  # header + two queries x top-3
+
+    def test_export_with_metrics(self, saved_model, tmp_path, capsys):
+        artifact = tmp_path / "artifact_metrics"
+        exit_code = main(
+            [
+                "export",
+                "--model", str(saved_model),
+                "--output", str(artifact),
+                "--with-metrics",
+                "--benchmark", "wn18rr",
+                "--scale", "0.25",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "test_mrr" in captured
+
+    def test_export_with_metrics_rejects_mismatched_dataset(self, saved_model, tmp_path):
+        # The model was trained at --scale 0.25; the default --scale 0.5
+        # dataset has a different vocabulary and must be rejected up front,
+        # not crash mid-evaluation.
+        with pytest.raises(SystemExit, match="does not match"):
+            main(
+                [
+                    "export",
+                    "--model", str(saved_model),
+                    "--output", str(tmp_path / "out"),
+                    "--with-metrics",
+                    "--benchmark", "wn18rr",
+                ]
+            )
+
+    def test_export_missing_model_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot load model"):
+            main(["export", "--model", str(tmp_path / "nowhere"), "--output", str(tmp_path / "out")])
+
+    def test_query_missing_artifact_fails(self, tmp_path):
+        queries = tmp_path / "queries.tsv"
+        queries.write_text("0\t0\t?\n", encoding="utf-8")
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["query", "--artifact", str(tmp_path / "nowhere"), "--queries", str(queries)])
+
+    def test_query_filter_rejects_mismatched_dataset(self, saved_model, tmp_path, capsys):
+        artifact = tmp_path / "artifact"
+        main(["export", "--model", str(saved_model), "--output", str(artifact)])
+        capsys.readouterr()
+        queries = tmp_path / "queries.tsv"
+        queries.write_text("0\t0\t?\n", encoding="utf-8")
+        # The model was trained at --scale 0.25; the default --scale 0.5
+        # dataset has a different vocabulary and must be rejected.
+        with pytest.raises(SystemExit, match="does not match the artifact"):
+            main(
+                [
+                    "query",
+                    "--artifact", str(artifact),
+                    "--queries", str(queries),
+                    "--filter",
+                    "--benchmark", "wn18rr",
+                ]
+            )

@@ -3,10 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.kge import KGEModel, train_model
+from repro.kge import KGEModel, ModelLoadError, train_model
 from repro.kge.scoring import BlockScoringFunction, DistMult, classical_structure
 from repro.core.search_space import random_structure
+from repro.serving import known_positive_index
 from repro.utils.config import TrainingConfig
+from repro.utils.serialization import from_json_file, to_json_file
 
 
 @pytest.fixture(scope="module")
@@ -63,6 +65,38 @@ class TestPrediction:
         with pytest.raises(RuntimeError):
             model.score(np.array([[0, 0, 1]]))
 
+    def test_predict_ties_break_by_lower_entity_index(self, trained_model):
+        params = {key: value.copy() for key, value in trained_model.params.items()}
+        params["entities"][5] = params["entities"][2]  # force an exact tie
+        tied = KGEModel(trained_model.scoring_function, trained_model.config, params=params)
+        predictions = tied.predict_tails(0, 0, top_k=params["entities"].shape[0])
+        ranks = {entity: rank for rank, (entity, _score) in enumerate(predictions)}
+        assert ranks[2] + 1 == ranks[5]
+
+    def test_exclude_known_removes_training_tails(self, trained_model, tiny_graph):
+        index = known_positive_index(tiny_graph, splits=("train",))
+        h, r = int(tiny_graph.train[0, 0]), int(tiny_graph.train[0, 1])
+        known = {
+            int(t) for hh, rr, t in tiny_graph.train if int(hh) == h and int(rr) == r
+        }
+        predictions = trained_model.predict_tails(
+            h, r, top_k=tiny_graph.num_entities, exclude_known=index
+        )
+        answered = {entity for entity, _score in predictions}
+        assert known and not (answered & known)
+        assert len(predictions) == tiny_graph.num_entities - len(known)
+
+    def test_exclude_known_heads(self, trained_model, tiny_graph):
+        index = known_positive_index(tiny_graph, splits=("train",))
+        r, t = int(tiny_graph.train[0, 1]), int(tiny_graph.train[0, 2])
+        known = {
+            int(h) for h, rr, tt in tiny_graph.train if int(rr) == r and int(tt) == t
+        }
+        predictions = trained_model.predict_heads(
+            r, t, top_k=tiny_graph.num_entities, exclude_known=index
+        )
+        assert known and not ({entity for entity, _ in predictions} & known)
+
 
 class TestEvaluationAndClassification:
     def test_evaluate_returns_metrics(self, trained_model, tiny_graph):
@@ -106,3 +140,55 @@ class TestSerialization:
         model = KGEModel(DistMult(), TrainingConfig(dimension=8, epochs=1))
         with pytest.raises(RuntimeError):
             model.save(tmp_path / "nothing")
+
+    def test_save_persists_counts_and_vocab(self, trained_model, tiny_graph, tmp_path):
+        directory = trained_model.save(tmp_path / "standalone", graph=tiny_graph)
+        metadata = from_json_file(directory / "model.json")
+        assert metadata["num_entities"] == tiny_graph.num_entities
+        assert metadata["num_relations"] == tiny_graph.num_relations
+        vocab = from_json_file(directory / "vocab.json")
+        assert vocab["relation_names"] == list(tiny_graph.relation_names)
+
+    def test_save_rejects_mismatched_graph(self, trained_model, micro_graph, tmp_path):
+        with pytest.raises(ValueError, match="does not match"):
+            trained_model.save(tmp_path / "mismatch", graph=micro_graph)
+
+
+class TestLoadValidation:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ModelLoadError, match="missing model.json, params.npz"):
+            KGEModel.load(tmp_path / "nowhere")
+
+    def test_half_written_directory(self, trained_model, tmp_path):
+        directory = trained_model.save(tmp_path / "half")
+        (directory / "params.npz").unlink()
+        with pytest.raises(ModelLoadError, match="params.npz"):
+            KGEModel.load(directory)
+
+    def test_corrupt_metadata(self, trained_model, tmp_path):
+        directory = trained_model.save(tmp_path / "corrupt")
+        (directory / "model.json").write_text("{oops", encoding="utf-8")
+        with pytest.raises(ModelLoadError, match="not valid JSON"):
+            KGEModel.load(directory)
+
+    def test_missing_metadata_keys(self, trained_model, tmp_path):
+        directory = trained_model.save(tmp_path / "nokeys")
+        metadata = from_json_file(directory / "model.json")
+        del metadata["config"]
+        to_json_file(metadata, directory / "model.json")
+        with pytest.raises(ModelLoadError, match="missing required keys: config"):
+            KGEModel.load(directory)
+
+    def test_missing_param_arrays(self, trained_model, tmp_path):
+        directory = trained_model.save(tmp_path / "noarrays")
+        np.savez(directory / "params.npz", entities=trained_model.params["entities"])
+        with pytest.raises(ModelLoadError, match="relations"):
+            KGEModel.load(directory)
+
+    def test_count_mismatch(self, trained_model, tmp_path):
+        directory = trained_model.save(tmp_path / "badcount")
+        metadata = from_json_file(directory / "model.json")
+        metadata["num_entities"] += 3
+        to_json_file(metadata, directory / "model.json")
+        with pytest.raises(ModelLoadError, match="declares"):
+            KGEModel.load(directory)

@@ -1,0 +1,149 @@
+"""Tests for the versioned serving artifact (export / load round-trips)."""
+
+import numpy as np
+import pytest
+
+from repro.kge import KGEModel, train_model
+from repro.kge.scoring import BlockScoringFunction
+from repro.core.search_space import random_structure
+from repro.serving import (
+    ARTIFACT_SCHEMA_VERSION,
+    ArtifactError,
+    export_artifact,
+    load_artifact,
+)
+from repro.utils.config import TrainingConfig
+from repro.utils.serialization import from_json_file, to_json_file
+
+#: One representative per scoring family (block, full-matrix, translational,
+#: rotational, neural), plus a searched block structure below.
+FAMILIES = ["complex", "rescal", "transe", "rotate", "mlp"]
+
+
+@pytest.fixture(scope="module")
+def family_models(tiny_graph):
+    config = TrainingConfig(dimension=8, epochs=2, batch_size=64, learning_rate=0.5, seed=0)
+    models = {name: train_model(tiny_graph, name, config) for name in FAMILIES}
+    models["searched"] = train_model(
+        tiny_graph, random_structure(6, rng=0, require_c2=True), config
+    )
+    return models
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", FAMILIES + ["searched"])
+    def test_scores_survive_export_and_load(self, name, family_models, tiny_graph, tmp_path):
+        model = family_models[name]
+        path = export_artifact(model, tmp_path / name, graph=tiny_graph)
+        artifact = load_artifact(path)
+        triples = tiny_graph.test[:5]
+        np.testing.assert_array_equal(
+            artifact.to_model().score(triples), model.score(triples)
+        )
+        assert artifact.num_entities == tiny_graph.num_entities
+        assert artifact.num_relations == tiny_graph.num_relations
+        assert artifact.schema_version == ARTIFACT_SCHEMA_VERSION
+
+    def test_block_structure_survives(self, family_models, tiny_graph, tmp_path):
+        model = family_models["searched"]
+        artifact = load_artifact(export_artifact(model, tmp_path / "blocks"))
+        assert isinstance(artifact.scoring_function, BlockScoringFunction)
+        assert artifact.scoring_function.structure.key() == model.scoring_function.structure.key()
+
+    def test_metrics_embedded(self, family_models, tmp_path):
+        model = family_models["complex"]
+        path = export_artifact(model, tmp_path / "metrics", metrics={"test_mrr": 0.25})
+        assert load_artifact(path).metrics == {"test_mrr": 0.25}
+
+    def test_vocabulary_round_trip(self, family_models, tiny_graph, tmp_path):
+        artifact = load_artifact(
+            export_artifact(family_models["complex"], tmp_path / "vocab", graph=tiny_graph)
+        )
+        # The synthetic benchmarks label relations but not entities.
+        assert artifact.relation_names == tiny_graph.relation_names
+        assert artifact.entity_names is None
+        label = tiny_graph.relation_names[0]
+        assert artifact.relation_id(label) == 0
+        assert artifact.relation_label(0) == label
+        assert artifact.entity_id("7") == 7
+        assert artifact.entity_label(7) == "e7"
+
+    def test_vocab_reused_from_model_directory(self, family_models, tiny_graph, tmp_path):
+        model = family_models["complex"]
+        model_dir = model.save(tmp_path / "saved", graph=tiny_graph)
+        artifact = load_artifact(
+            export_artifact(model, tmp_path / "from_saved", model_directory=model_dir)
+        )
+        assert artifact.relation_names == tiny_graph.relation_names
+
+
+class TestValidation:
+    @pytest.fixture()
+    def artifact_dir(self, family_models, tiny_graph, tmp_path):
+        return export_artifact(family_models["complex"], tmp_path / "artifact", graph=tiny_graph)
+
+    def test_untrained_model_rejected(self, tmp_path):
+        from repro.kge.scoring import get_scoring_function
+
+        model = KGEModel(get_scoring_function("complex"), TrainingConfig(dimension=8, epochs=1))
+        with pytest.raises(ArtifactError, match="untrained"):
+            export_artifact(model, tmp_path / "nothing")
+
+    def test_graph_mismatch_rejected(self, family_models, micro_graph, tmp_path):
+        with pytest.raises(ArtifactError, match="does not match"):
+            export_artifact(family_models["complex"], tmp_path / "bad", graph=micro_graph)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ArtifactError, match="does not exist"):
+            load_artifact(tmp_path / "nowhere")
+
+    def test_missing_params(self, artifact_dir):
+        (artifact_dir / "params.npz").unlink()
+        with pytest.raises(ArtifactError, match="params.npz"):
+            load_artifact(artifact_dir)
+
+    def test_missing_manifest(self, artifact_dir):
+        (artifact_dir / "manifest.json").unlink()
+        with pytest.raises(ArtifactError, match="manifest.json"):
+            load_artifact(artifact_dir)
+
+    def test_corrupt_manifest(self, artifact_dir):
+        (artifact_dir / "manifest.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(ArtifactError, match="not valid JSON"):
+            load_artifact(artifact_dir)
+
+    def test_missing_manifest_keys(self, artifact_dir):
+        manifest = from_json_file(artifact_dir / "manifest.json")
+        del manifest["num_entities"]
+        to_json_file(manifest, artifact_dir / "manifest.json")
+        with pytest.raises(ArtifactError, match="num_entities"):
+            load_artifact(artifact_dir)
+
+    def test_schema_version_mismatch(self, artifact_dir):
+        manifest = from_json_file(artifact_dir / "manifest.json")
+        manifest["schema_version"] = ARTIFACT_SCHEMA_VERSION + 1
+        to_json_file(manifest, artifact_dir / "manifest.json")
+        with pytest.raises(ArtifactError, match="schema version"):
+            load_artifact(artifact_dir)
+
+    def test_count_mismatch(self, artifact_dir):
+        manifest = from_json_file(artifact_dir / "manifest.json")
+        manifest["num_entities"] += 1
+        to_json_file(manifest, artifact_dir / "manifest.json")
+        with pytest.raises(ArtifactError, match="declares"):
+            load_artifact(artifact_dir)
+
+    def test_vocab_length_mismatch(self, artifact_dir):
+        to_json_file(
+            {"entity_names": ["only", "two"], "relation_names": None},
+            artifact_dir / "vocab.json",
+        )
+        with pytest.raises(ArtifactError, match="entity_names"):
+            load_artifact(artifact_dir)
+
+    def test_unknown_symbol_resolution(self, artifact_dir):
+        artifact = load_artifact(artifact_dir)
+        with pytest.raises(KeyError, match="unknown relation"):
+            artifact.relation_id("no_such_relation")
+        with pytest.raises(KeyError, match="out of range"):
+            artifact.entity_id(10**6)

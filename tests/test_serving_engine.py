@@ -1,0 +1,242 @@
+"""Tests for the batched inference engine: parity, filtering, caching, top-k."""
+
+import numpy as np
+import pytest
+
+from repro.kge import train_model
+from repro.kge.topk import (
+    select_predictions,
+    select_predictions_batch,
+    top_k_indices,
+    top_k_reference,
+)
+from repro.core.search_space import random_structure
+from repro.serving import InferenceEngine, known_positive_index
+from repro.utils.config import TrainingConfig
+
+FAMILIES = ["complex", "rescal", "transe", "rotate", "mlp"]
+
+
+@pytest.fixture(scope="module")
+def family_models(tiny_graph):
+    config = TrainingConfig(dimension=8, epochs=2, batch_size=64, learning_rate=0.5, seed=0)
+    models = {name: train_model(tiny_graph, name, config) for name in FAMILIES}
+    models["searched"] = train_model(
+        tiny_graph, random_structure(6, rng=0, require_c2=True), config
+    )
+    return models
+
+
+def assert_same_predictions(answer, expected, context=""):
+    """Same entities in the same order; scores equal to float round-off.
+
+    The engine's fused relation operators sum GEMMs in a different order
+    than per-query ``score_candidates``, so scores may differ in the last
+    ulp — but the ranking (including tie-breaking) must be identical.
+    """
+    assert [entity for entity, _ in answer] == [entity for entity, _ in expected], context
+    np.testing.assert_allclose(
+        [score for _, score in answer],
+        [score for _, score in expected],
+        rtol=1e-12,
+        atol=1e-12,
+        err_msg=context,
+    )
+
+
+@pytest.fixture(scope="module")
+def query_workload(tiny_graph):
+    """Heterogeneous head/tail queries covering every relation."""
+    queries = []
+    for h, r, t in tiny_graph.test[:20]:
+        queries.append(("tail", int(h), int(r)))
+        queries.append(("head", int(t), int(r)))
+    return queries
+
+
+class TestTopKHelpers:
+    def test_matches_reference_on_random_scores(self, rng):
+        for _ in range(50):
+            scores = rng.normal(size=40)
+            k = int(rng.integers(1, 40))
+            np.testing.assert_array_equal(top_k_indices(scores, k), top_k_reference(scores, k))
+
+    def test_matches_reference_with_heavy_ties(self, rng):
+        for _ in range(50):
+            scores = rng.integers(0, 4, size=30).astype(float)  # many exact ties
+            k = int(rng.integers(1, 30))
+            np.testing.assert_array_equal(top_k_indices(scores, k), top_k_reference(scores, k))
+
+    def test_ties_break_by_lower_index(self):
+        scores = np.array([1.0, 3.0, 3.0, 2.0, 3.0])
+        np.testing.assert_array_equal(top_k_indices(scores, 2), [1, 2])
+        np.testing.assert_array_equal(top_k_indices(scores, 4), [1, 2, 4, 3])
+
+    def test_k_larger_than_n(self):
+        scores = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(top_k_indices(scores, 10), [1, 0])
+
+    def test_k_zero(self):
+        assert top_k_indices(np.array([1.0]), 0).size == 0
+
+    def test_batch_selection_matches_scalar(self, rng):
+        """The vectorized batch selector must equal the per-row helper —
+        including rows with heavy exact ties and -inf masked entries."""
+        for _ in range(20):
+            scores = rng.integers(0, 5, size=(12, 25)).astype(float)
+            scores[rng.random(size=scores.shape) < 0.2] = -np.inf
+            k = int(rng.integers(1, 30))
+            for row, (indices, values) in enumerate(select_predictions_batch(scores, k)):
+                expected_indices, expected_values = select_predictions(scores[row], k)
+                np.testing.assert_array_equal(indices, expected_indices)
+                np.testing.assert_array_equal(values, expected_values)
+
+
+class TestEngineOracleParity:
+    """The engine must reproduce the naive KGEModel.predict_* path exactly."""
+
+    @pytest.mark.parametrize("name", FAMILIES + ["searched"])
+    def test_unfiltered_parity(self, name, family_models, query_workload):
+        model = family_models[name]
+        engine = InferenceEngine(model.scoring_function, model.params)
+        batched = engine.query_batch(query_workload, top_k=10)
+        for (direction, entity, relation), answer in zip(query_workload, batched):
+            if direction == "tail":
+                expected = model.predict_tails(entity, relation, top_k=10)
+            else:
+                expected = model.predict_heads(relation, entity, top_k=10)
+            assert_same_predictions(
+                answer, expected, f"{name} {direction} ({entity}, {relation})"
+            )
+
+    @pytest.mark.parametrize("name", ["complex", "transe"])
+    def test_filtered_parity(self, name, family_models, tiny_graph, query_workload):
+        model = family_models[name]
+        index = known_positive_index(tiny_graph)
+        engine = InferenceEngine(model.scoring_function, model.params, filter_index=index)
+        batched = engine.query_batch(query_workload, top_k=10, filtered=True)
+        for (direction, entity, relation), answer in zip(query_workload, batched):
+            if direction == "tail":
+                expected = model.predict_tails(entity, relation, top_k=10, exclude_known=index)
+            else:
+                expected = model.predict_heads(relation, entity, top_k=10, exclude_known=index)
+            assert_same_predictions(answer, expected, f"{name} {direction}")
+
+    def test_tie_breaking_parity(self, family_models, tiny_graph):
+        """Duplicated entity rows force exact score ties in both paths."""
+        model = family_models["complex"]
+        params = {key: value.copy() for key, value in model.params.items()}
+        params["entities"][10:20] = params["entities"][0:10]  # exact duplicates
+        engine = InferenceEngine(model.scoring_function, params)
+        for relation in range(tiny_graph.num_relations):
+            answer = engine.query_batch([("tail", 0, relation)], top_k=15)[0]
+            scores = model.scoring_function.score_candidates(
+                params, np.asarray([[0, relation]]), direction="tail"
+            )[0]
+            expected = top_k_reference(scores, 15)
+            np.testing.assert_array_equal([entity for entity, _ in answer], expected)
+
+    def test_micro_batching_invariant(self, family_models, query_workload):
+        model = family_models["searched"]
+        small = InferenceEngine(model.scoring_function, model.params, batch_size=3)
+        large = InferenceEngine(model.scoring_function, model.params, batch_size=1024)
+        for answer, expected in zip(
+            small.query_batch(query_workload, top_k=7),
+            large.query_batch(query_workload, top_k=7),
+        ):
+            assert_same_predictions(answer, expected)
+
+    @pytest.mark.parametrize("name", ["transe", "rotate", "complex"])
+    def test_entity_chunking_invariant(self, name, family_models, query_workload):
+        """Entity-axis chunking (the memory bound for distance-based models)
+        must not change any answer."""
+        model = family_models[name]
+        chunked = InferenceEngine(model.scoring_function, model.params, entity_chunk_size=7)
+        full = InferenceEngine(model.scoring_function, model.params)
+        for answer, expected in zip(
+            chunked.query_batch(query_workload, top_k=7),
+            full.query_batch(query_workload, top_k=7),
+        ):
+            assert_same_predictions(answer, expected)
+
+
+class TestFiltering:
+    def test_known_positives_removed(self, family_models, tiny_graph):
+        model = family_models["complex"]
+        index = known_positive_index(tiny_graph, splits=("train", "valid"))
+        engine = InferenceEngine(model.scoring_function, model.params, filter_index=index)
+        for h, r, _t in tiny_graph.train[:30]:
+            h, r = int(h), int(r)
+            answer = engine.query_batch(
+                [("tail", h, r)], top_k=tiny_graph.num_entities, filtered=True
+            )[0]
+            answered = {entity for entity, _ in answer}
+            known_tails = {
+                int(t)
+                for split in ("train", "valid")
+                for hh, rr, t in tiny_graph.split(split)
+                if int(hh) == h and int(rr) == r
+            }
+            assert known_tails and not (answered & known_tails)
+
+    def test_filtered_returns_fewer_when_saturated(self, family_models, tiny_graph):
+        model = family_models["complex"]
+        index = known_positive_index(tiny_graph)
+        engine = InferenceEngine(model.scoring_function, model.params, filter_index=index)
+        h, r = int(tiny_graph.train[0, 0]), int(tiny_graph.train[0, 1])
+        full = engine.query_batch([("tail", h, r)], top_k=tiny_graph.num_entities)[0]
+        filtered = engine.query_batch(
+            [("tail", h, r)], top_k=tiny_graph.num_entities, filtered=True
+        )[0]
+        assert len(filtered) < len(full) == tiny_graph.num_entities
+
+    def test_filtered_without_index_raises(self, family_models):
+        model = family_models["complex"]
+        engine = InferenceEngine(model.scoring_function, model.params)
+        with pytest.raises(ValueError, match="filter index"):
+            engine.query_batch([("tail", 0, 0)], filtered=True)
+
+
+class TestCachingAndValidation:
+    def test_result_cache_hits(self, family_models):
+        model = family_models["complex"]
+        engine = InferenceEngine(model.scoring_function, model.params)
+        first = engine.query_batch([("tail", 0, 0)], top_k=5)
+        assert engine.cache_hits == 0
+        second = engine.query_batch([("tail", 0, 0)], top_k=5)
+        assert engine.cache_hits == 1
+        assert first == second
+
+    def test_distinct_top_k_not_conflated(self, family_models):
+        model = family_models["complex"]
+        engine = InferenceEngine(model.scoring_function, model.params)
+        five = engine.query_batch([("tail", 0, 0)], top_k=5)[0]
+        ten = engine.query_batch([("tail", 0, 0)], top_k=10)[0]
+        assert len(five) == 5 and len(ten) == 10
+        assert ten[:5] == five
+
+    def test_operator_cache_bounded(self, family_models, tiny_graph):
+        model = family_models["complex"]
+        engine = InferenceEngine(model.scoring_function, model.params, operator_cache_size=2)
+        for relation in range(tiny_graph.num_relations):
+            engine.query_batch([("tail", 0, relation)])
+        assert len(engine._operators) <= 2
+
+    def test_stats_counters(self, family_models):
+        model = family_models["complex"]
+        engine = InferenceEngine(model.scoring_function, model.params)
+        engine.query_batch([("tail", 0, 0), ("head", 1, 0)])
+        stats = engine.stats()
+        assert stats["queries_served"] == 2
+        assert stats["scoring_function"] == model.scoring_function.name
+        assert "score" in stats["timings"]
+
+    def test_out_of_range_rejected(self, family_models):
+        model = family_models["complex"]
+        engine = InferenceEngine(model.scoring_function, model.params)
+        with pytest.raises(ValueError, match="entity id"):
+            engine.query_batch([("tail", 10**6, 0)])
+        with pytest.raises(ValueError, match="relation id"):
+            engine.query_batch([("tail", 0, 10**6)])
+        with pytest.raises(ValueError, match="direction"):
+            engine.query_batch([("sideways", 0, 0)])
