@@ -9,13 +9,19 @@ The package is organized in four layers:
 * :mod:`repro.core` — the AutoSF contribution: the block-structure search
   space, expressiveness/invariance machinery, SRF predictor and the
   progressive greedy search, plus AutoML baselines;
+* :mod:`repro.experiments` — the unified experiment API: declarative
+  :class:`~repro.experiments.ExperimentSpec`, the ``SearchStrategy``
+  protocol + registry, the single ``SearchLoop`` driver and the versioned
+  run-directory contract;
+* :mod:`repro.serving` — versioned artifacts, the batched inference engine
+  and the HTTP query service;
 * :mod:`repro.analysis` — case studies, transfer experiments and report
   formatting used by the benchmark harness.
 """
 
 from repro.datasets import KnowledgeGraph, load_benchmark
 from repro.kge import KGEModel, train_model
-from repro.utils.config import PredictorConfig, SearchConfig, TrainingConfig
+from repro.utils.config import ConfigError, PredictorConfig, SearchConfig, TrainingConfig
 
 __version__ = "1.0.0"
 
@@ -24,6 +30,7 @@ __all__ = [
     "load_benchmark",
     "KGEModel",
     "train_model",
+    "ConfigError",
     "PredictorConfig",
     "SearchConfig",
     "TrainingConfig",

@@ -2,7 +2,7 @@
 
 from repro.analysis.case_study import CaseStudy, describe_structure
 from repro.analysis.transfer import TransferResult, transfer_matrix
-from repro.analysis.reporting import format_table, format_series
+from repro.analysis.reporting import format_run_comparison, format_series, format_table
 
 __all__ = [
     "CaseStudy",
@@ -11,4 +11,5 @@ __all__ = [
     "transfer_matrix",
     "format_table",
     "format_series",
+    "format_run_comparison",
 ]

@@ -83,6 +83,41 @@ def format_series(
     return format_table(rows, title=title, precision=precision)
 
 
+def format_run_comparison(runs: Sequence, precision: int = 3) -> str:
+    """Render a comparison of experiment run directories (``compare`` CLI).
+
+    ``runs`` are :class:`repro.experiments.runner.RunRecord` objects (or any
+    duck-typed equivalent exposing ``name``/``strategy``/``best_mrr``/
+    ``anytime_curve()`` and a ``report`` mapping).  The output is a summary
+    table — one row per run — followed by the overlaid any-time best curves
+    at a common budget, the comparison the paper's Fig. 6 makes.
+    """
+    rows: List[Dict[str, Cell]] = []
+    curves: Dict[str, List[Number]] = {}
+    for run in runs:
+        report = getattr(run, "report", {})
+        rows.append(
+            {
+                "run": run.name,
+                "strategy": run.strategy,
+                "dataset": report.get("dataset"),
+                "evaluations": report.get("num_evaluations"),
+                "trained": report.get("num_trained"),
+                "best_mrr": run.best_mrr,
+            }
+        )
+        label = run.name if run.name not in curves else f"{run.name}#{len(curves)}"
+        curves[label] = run.anytime_curve()
+    summary = format_table(rows, title="Experiment comparison", precision=precision)
+    series = format_series(
+        curves,
+        title="Any-time best validation MRR vs. #models trained",
+        precision=precision,
+        index_label="model#",
+    )
+    return summary + "\n\n" + series
+
+
 def format_paper_comparison(
     rows: Sequence[Mapping[str, Cell]],
     metric_columns: Sequence[str],

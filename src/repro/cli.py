@@ -1,6 +1,15 @@
 """Command-line interface for the AutoSF reproduction.
 
-Six subcommands cover the common workflows without writing any Python:
+The subcommands cover the common workflows without writing any Python:
+
+* ``repro-autosf run``    — execute a declarative experiment spec
+  (``spec.json``) end to end through the unified search loop: any
+  registered strategy (greedy / random / bayes / plug-ins), optional HPO,
+  a versioned run directory (``spec.json`` / ``history.jsonl`` /
+  ``report.json`` / ``best/``), and optional serving-artifact export.
+  Re-running an existing run directory resumes from its evaluation store;
+* ``repro-autosf compare`` — summary table + overlaid any-time curves for
+  several run directories (the paper's Fig. 6 comparison);
 
 * ``repro-autosf stats``  — print the Table III-style relation-pattern
   statistics of a built-in miniature benchmark or a TSV dataset directory;
@@ -16,7 +25,8 @@ Six subcommands cover the common workflows without writing any Python:
   checkpointed to a persistent evaluation store (``--cache-dir DIR``); an
   interrupted or finished run restarts deterministically from its store with
   ``--resume DIR``, retraining nothing that already completed;
-* ``repro-autosf export`` — package a saved model as a versioned serving
+* ``repro-autosf export`` — package a saved model (``--model DIR``) or the
+  best model of an experiment run (``--run DIR``) as a versioned serving
   artifact (manifest + params + vocab, optionally with eval metrics);
 * ``repro-autosf query``  — answer a TSV batch of link-prediction queries
   through the batched inference engine (``--filter`` removes known
@@ -40,16 +50,19 @@ import argparse
 from pathlib import Path
 from typing import Optional
 
-from repro.analysis import CaseStudy, format_table
+from repro.analysis import CaseStudy, format_run_comparison, format_table
 from repro.core import AutoSFSearch
 from repro.core.execution import BACKEND_NAMES
-from repro.datasets import (
-    available_benchmarks,
-    dataset_statistics,
-    load_benchmark,
-    load_tsv_dataset,
-)
+from repro.datasets import available_benchmarks, dataset_statistics
 from repro.datasets.knowledge_graph import KnowledgeGraph
+from repro.experiments import (
+    DatasetSpec,
+    ExperimentRunner,
+    ExperimentSpec,
+    RunDirectoryError,
+    load_run,
+)
+from repro.experiments.runner import BEST_DIRNAME
 from repro.kge import (
     KGEModel,
     ModelLoadError,
@@ -68,7 +81,12 @@ from repro.serving import (
     read_query_file,
     serve_forever,
 )
-from repro.utils.config import TRAIN_ENGINES, SearchConfig, TrainingConfig
+from repro.utils.config import (
+    TRAIN_ENGINES,
+    ConfigError,
+    SearchConfig,
+    TrainingConfig,
+)
 from repro.utils.serialization import from_json_file, to_json_file
 
 #: Name of the checkpoint manifest written into a search cache directory.
@@ -89,33 +107,44 @@ def _non_negative_int(value: str) -> int:
     return number
 
 
+# ----------------------------------------------------------------------
+# Shared argument groups
+#
+# Each group is declared exactly once and serializes straight into the
+# matching ExperimentSpec section, so CLI flags and spec fields cannot
+# drift: a flag without a section field (or vice versa) shows up here.
+# ----------------------------------------------------------------------
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
-    group = parser.add_mutually_exclusive_group()
-    group.add_argument(
+    """Flags mirroring :class:`repro.experiments.DatasetSpec`."""
+    group = parser.add_argument_group("dataset (ExperimentSpec.dataset)")
+    source = group.add_mutually_exclusive_group()
+    source.add_argument(
         "--benchmark",
         default="wn18rr",
         choices=available_benchmarks(),
         help="built-in miniature benchmark to use (default: wn18rr)",
     )
-    group.add_argument("--data", help="directory with train.txt/valid.txt/test.txt")
-    parser.add_argument("--scale", type=float, default=0.5, help="miniature scale factor")
-    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    source.add_argument("--data", help="directory with train.txt/valid.txt/test.txt")
+    group.add_argument("--scale", type=float, default=0.5, help="miniature scale factor")
+    group.add_argument("--seed", type=int, default=0, help="random seed")
 
 
 def _add_training_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--dimension", type=int, default=32, help="embedding dimension")
-    parser.add_argument("--epochs", type=int, default=30, help="training epochs")
-    parser.add_argument("--batch-size", type=int, default=256, help="mini-batch size")
-    parser.add_argument("--learning-rate", type=float, default=0.5, help="Adagrad learning rate")
-    parser.add_argument("--l2", type=float, default=1e-4, help="L2 penalty")
-    parser.add_argument(
+    """Flags mirroring :class:`repro.utils.config.TrainingConfig`."""
+    group = parser.add_argument_group("training (ExperimentSpec.training)")
+    group.add_argument("--dimension", type=int, default=32, help="embedding dimension")
+    group.add_argument("--epochs", type=int, default=30, help="training epochs")
+    group.add_argument("--batch-size", type=int, default=256, help="mini-batch size")
+    group.add_argument("--learning-rate", type=float, default=0.5, help="Adagrad learning rate")
+    group.add_argument("--l2", type=float, default=1e-4, help="L2 penalty")
+    group.add_argument(
         "--train-engine",
         choices=TRAIN_ENGINES,
         default="batched",
         help="per-batch training engine: 'batched' is the fused fast path, "
         "'reference' the original loop kept as the parity oracle (default: batched)",
     )
-    parser.add_argument(
+    group.add_argument(
         "--score-chunk-size",
         type=_positive_int,
         default=None,
@@ -123,14 +152,14 @@ def _add_training_arguments(parser: argparse.ArgumentParser) -> None:
         "bounds peak training memory at batch-size x chunk scores "
         "(default: score all entities at once)",
     )
-    parser.add_argument(
+    group.add_argument(
         "--eval-every",
         type=_positive_int,
         default=None,
         help="evaluate validation MRR every N epochs during training; enables "
         "early stopping and best-checkpoint restore (default: off)",
     )
-    parser.add_argument(
+    group.add_argument(
         "--patience",
         type=_positive_int,
         default=None,
@@ -139,11 +168,18 @@ def _add_training_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _load_graph(args: argparse.Namespace) -> KnowledgeGraph:
-    return _graph_from_spec(_dataset_spec(args))
+def _dataset_spec_from_args(args: argparse.Namespace) -> DatasetSpec:
+    """The dataset argument group as an ExperimentSpec section."""
+    return DatasetSpec(
+        benchmark=args.benchmark,
+        data=args.data,
+        scale=args.scale,
+        seed=args.seed,
+    )
 
 
-def _training_config(args: argparse.Namespace) -> TrainingConfig:
+def _training_config_from_args(args: argparse.Namespace) -> TrainingConfig:
+    """The training argument group as an ExperimentSpec section."""
     if args.patience is not None and args.eval_every is None:
         raise SystemExit(
             "--patience has no effect without --eval-every "
@@ -163,19 +199,20 @@ def _training_config(args: argparse.Namespace) -> TrainingConfig:
     )
 
 
+def _load_graph(args: argparse.Namespace) -> KnowledgeGraph:
+    return _dataset_spec_from_args(args).load()
+
+
+def _training_config(args: argparse.Namespace) -> TrainingConfig:
+    return _training_config_from_args(args)
+
+
 def _dataset_spec(args: argparse.Namespace) -> dict:
-    return {
-        "benchmark": args.benchmark,
-        "data": args.data,
-        "scale": args.scale,
-        "seed": args.seed,
-    }
+    return _dataset_spec_from_args(args).to_dict()
 
 
 def _graph_from_spec(spec: dict) -> KnowledgeGraph:
-    if spec.get("data"):
-        return load_tsv_dataset(spec["data"], name=str(spec["data"]))
-    return load_benchmark(spec["benchmark"], scale=spec["scale"], seed=spec["seed"])
+    return DatasetSpec.from_dict(spec).load()
 
 
 def command_stats(args: argparse.Namespace) -> int:
@@ -289,6 +326,52 @@ def command_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_run(args: argparse.Namespace) -> int:
+    try:
+        spec = ExperimentSpec.load(args.spec)
+    except ConfigError as error:
+        raise SystemExit(str(error))
+    run_dir = Path(args.run_dir) if args.run_dir else Path("runs") / spec.name
+    print(f"running experiment {spec.name!r} "
+          f"({spec.search.strategy} strategy, {spec.dataset.data or spec.dataset.benchmark}, "
+          f"budget {args.budget or spec.search.budget or 'unbounded'}) -> {run_dir}")
+    runner = ExperimentRunner(spec, run_dir)
+    try:
+        record = runner.run(max_evaluations=args.budget)
+    except ConfigError as error:
+        raise SystemExit(str(error))
+    except KeyboardInterrupt:
+        print(f"\ninterrupted; completed evaluations are checkpointed — "
+              f"re-run: repro-autosf run {args.spec} --run-dir {run_dir}")
+        return 130
+    report = record.report
+    rows = [{
+        "strategy": record.strategy,
+        "dataset": report.get("dataset"),
+        "evaluations": report.get("num_evaluations"),
+        "trained": report.get("num_trained"),
+        "best_mrr": record.best_mrr,
+    }]
+    print(format_table(rows, title=f"experiment {record.name!r} completed"))
+    print("any-time best validation MRR:",
+          " ".join(f"{value:.3f}" for value in record.anytime_curve()))
+    print(f"run directory: {record.path} (best model: {record.path / BEST_DIRNAME})")
+    if "artifact" in report:
+        print(f"serving artifact: {record.path / report['artifact']}")
+    return 0
+
+
+def command_compare(args: argparse.Namespace) -> int:
+    records = []
+    for path in args.runs:
+        try:
+            records.append(load_run(path))
+        except RunDirectoryError as error:
+            raise SystemExit(str(error))
+    print(format_run_comparison(records))
+    return 0
+
+
 def _load_artifact_or_exit(path: str):
     try:
         return load_artifact(path)
@@ -331,8 +414,18 @@ def _build_engine(args: argparse.Namespace, artifact) -> InferenceEngine:
 
 
 def command_export(args: argparse.Namespace) -> int:
+    if (args.model is None) == (args.run is None):
+        raise SystemExit("export needs exactly one of --model DIR or --run DIR")
+    if args.run is not None:
+        try:
+            record = load_run(args.run)
+        except RunDirectoryError as error:
+            raise SystemExit(str(error))
+        model_directory = record.best_model_dir()
+    else:
+        model_directory = args.model
     try:
-        model = KGEModel.load(args.model)
+        model = KGEModel.load(model_directory)
     except ModelLoadError as error:
         raise SystemExit(str(error))
     graph = None
@@ -354,7 +447,7 @@ def command_export(args: argparse.Namespace) -> int:
                 metrics[f"{split}_{key}"] = value
     try:
         path = export_artifact(
-            model, args.output, graph=graph, metrics=metrics, model_directory=args.model
+            model, args.output, graph=graph, metrics=metrics, model_directory=model_directory
         )
     except ArtifactError as error:
         raise SystemExit(str(error))
@@ -437,6 +530,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_arguments(stats_parser)
     stats_parser.set_defaults(handler=command_stats)
 
+    run_parser = subparsers.add_parser(
+        "run",
+        help="execute a declarative experiment spec (spec.json) end to end",
+    )
+    run_parser.add_argument("spec", help="path to an ExperimentSpec JSON file")
+    run_parser.add_argument(
+        "--run-dir",
+        help="run directory to write (default: runs/<spec name>); re-running an "
+        "existing directory resumes from its evaluation store",
+    )
+    run_parser.add_argument(
+        "--budget",
+        type=_positive_int,
+        default=None,
+        help="override the spec's search.budget (cap on recorded evaluations, "
+        "including cache replays)",
+    )
+    run_parser.set_defaults(handler=command_run)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="compare experiment run directories (table + any-time curves)"
+    )
+    compare_parser.add_argument("runs", nargs="+", help="run directories written by 'run'")
+    compare_parser.set_defaults(handler=command_compare)
+
     train_parser = subparsers.add_parser("train", help="train one scoring function")
     _add_dataset_arguments(train_parser)
     _add_training_arguments(train_parser)
@@ -489,8 +607,12 @@ def build_parser() -> argparse.ArgumentParser:
     export_parser = subparsers.add_parser(
         "export", help="package a saved model as a versioned serving artifact"
     )
-    export_parser.add_argument(
-        "--model", required=True, help="model directory written by train --save"
+    export_source = export_parser.add_mutually_exclusive_group()
+    export_source.add_argument(
+        "--model", help="model directory written by train --save"
+    )
+    export_source.add_argument(
+        "--run", help="experiment run directory written by 'run' (exports best/)"
     )
     export_parser.add_argument("--output", required=True, help="artifact output directory")
     export_parser.add_argument(

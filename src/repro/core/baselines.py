@@ -14,25 +14,31 @@ budget are implemented:
 * :func:`general_approximator_baseline` — train the unconstrained MLP
   scoring function once (the Gen-Approx line of Fig. 6).
 
+The sampling/surrogate logic now lives in
+:mod:`repro.experiments.strategies` (``RandomStrategy`` /
+``BayesStrategy``), driven by the unified
+:class:`repro.experiments.loop.SearchLoop`; the classes here are thin
+compatibility shims with seed-identical trajectories.  Routing through the
+loop also fixes a long-standing waste: the baselines used to bypass the
+:class:`~repro.core.store.EvaluationStore`, re-training candidates a
+previous (or greedy) run had already evaluated — pass ``store=`` (or share
+an ``evaluator=``) and warm candidates now replay from cache.
+
 All searchers return the same :class:`~repro.core.greedy_search.SearchResult`
 structure so the benchmark harness can overlay their any-time curves.
 """
 
 from __future__ import annotations
 
-import time
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.core.evaluator import CandidateEvaluator
-from repro.core.filters import CandidateFilter
-from repro.core.greedy_search import SearchRecord, SearchResult
-from repro.core.predictor import get_feature_extractor
-from repro.core.search_space import random_structure
+from repro.core.greedy_search import SearchResult
+from repro.core.store import EvaluationStore
 from repro.datasets.knowledge_graph import KnowledgeGraph
 from repro.kge.evaluation import evaluate_link_prediction
-from repro.kge.scoring.blocks import BlockStructure
 from repro.kge.scoring.neural import MLPScoringFunction
 from repro.kge.trainer import Trainer
 from repro.utils.config import TrainingConfig
@@ -41,7 +47,13 @@ from repro.utils.timing import TimingRecorder
 
 
 class RandomSearch:
-    """Train randomly sampled structures with a fixed block count."""
+    """Train randomly sampled structures with a fixed block count.
+
+    .. deprecated::
+        Shim over :class:`repro.experiments.strategies.RandomStrategy` +
+        :class:`repro.experiments.loop.SearchLoop`; prefer the spec-driven
+        API (``ExperimentSpec(search={"strategy": "random"})``).
+    """
 
     def __init__(
         self,
@@ -51,66 +63,46 @@ class RandomSearch:
         require_c2: bool = True,
         seed: RngLike = 0,
         evaluator: Optional[CandidateEvaluator] = None,
+        store: Optional[EvaluationStore] = None,
     ) -> None:
+        from repro.experiments.loop import SearchLoop
+        from repro.experiments.strategies import RandomStrategy
+
         self.graph = graph
         self.training_config = training_config or TrainingConfig()
         self.num_blocks = num_blocks
         self.require_c2 = require_c2
         self.rng = ensure_rng(seed)
         self.timing = TimingRecorder()
-        self.evaluator = evaluator or CandidateEvaluator(
+        self.strategy = RandomStrategy(num_blocks=num_blocks, require_c2=require_c2)
+        self._loop = SearchLoop(
             graph,
+            self.strategy,
             self.training_config,
-            timing=self.timing,
             # Same per-candidate seeding scheme as AutoSFSearch, so methods
             # compared under one seed train a given structure identically
             # (and can share a persistent evaluation store).
-            base_seed=seed if isinstance(seed, (int, np.integer)) else None,
+            seed=seed if isinstance(seed, (int, np.integer)) else None,
+            store=store,
+            evaluator=evaluator,
+            timing=self.timing,
+            rng=self.rng,
         )
-
-    def _sample(self, exclude: CandidateFilter) -> Optional[BlockStructure]:
-        for _attempt in range(200):
-            candidate = random_structure(self.num_blocks, self.rng, require_c2=self.require_c2)
-            if candidate is None:
-                return None
-            if exclude.accept(candidate):
-                return candidate
-        return None
+        self.evaluator = self._loop.evaluator
 
     def run(self, max_evaluations: int = 32) -> SearchResult:
         """Train up to ``max_evaluations`` random candidates."""
-        start = time.perf_counter()
-        dedup = CandidateFilter(enforce_constraints=self.require_c2, deduplicate=True)
-        records: List[SearchRecord] = []
-        for order in range(1, max_evaluations + 1):
-            candidate = self._sample(dedup)
-            if candidate is None:
-                break
-            evaluation = self.evaluator.evaluate(candidate)
-            records.append(
-                SearchRecord(
-                    structure=candidate,
-                    validation_mrr=evaluation.validation_mrr,
-                    num_blocks=candidate.num_blocks,
-                    stage=candidate.num_blocks,
-                    order=order,
-                    elapsed_seconds=time.perf_counter() - start,
-                )
-            )
-        if not records:
-            raise RuntimeError("random search produced no evaluations")
-        best = max(records, key=lambda record: record.validation_mrr)
-        return SearchResult(
-            best_structure=best.structure,
-            best_mrr=best.validation_mrr,
-            records=records,
-            timing=self.timing,
-            filter_statistics=dedup.statistics.as_dict(),
-        )
+        return self._loop.run(max_evaluations=max_evaluations)
 
 
 class BayesSearch:
-    """Sequential model-based search with a Bayesian linear surrogate."""
+    """Sequential model-based search with a Bayesian linear surrogate.
+
+    .. deprecated::
+        Shim over :class:`repro.experiments.strategies.BayesStrategy` +
+        :class:`repro.experiments.loop.SearchLoop`; prefer the spec-driven
+        API (``ExperimentSpec(search={"strategy": "bayes"})``).
+    """
 
     def __init__(
         self,
@@ -124,110 +116,41 @@ class BayesSearch:
         noise_precision: float = 25.0,
         seed: RngLike = 0,
         evaluator: Optional[CandidateEvaluator] = None,
+        store: Optional[EvaluationStore] = None,
     ) -> None:
+        from repro.experiments.loop import SearchLoop
+        from repro.experiments.strategies import BayesStrategy
+
         self.graph = graph
         self.training_config = training_config or TrainingConfig()
         self.num_blocks = num_blocks
-        self.extractor, self.feature_dimension = get_feature_extractor(feature_type)
         self.pool_size = pool_size
-        self.exploration_weight = float(exploration_weight)
-        self.prior_precision = float(prior_precision)
-        self.noise_precision = float(noise_precision)
         self.rng = ensure_rng(seed)
         self.timing = TimingRecorder()
-        self.evaluator = evaluator or CandidateEvaluator(
-            graph,
-            self.training_config,
-            timing=self.timing,
-            # Same per-candidate seeding scheme as AutoSFSearch, so methods
-            # compared under one seed train a given structure identically
-            # (and can share a persistent evaluation store).
-            base_seed=seed if isinstance(seed, (int, np.integer)) else None,
+        self.strategy = BayesStrategy(
+            num_blocks=num_blocks,
+            feature_type=feature_type,
+            pool_size=pool_size,
+            exploration_weight=exploration_weight,
+            prior_precision=prior_precision,
+            noise_precision=noise_precision,
         )
+        self._loop = SearchLoop(
+            graph,
+            self.strategy,
+            self.training_config,
+            # Same per-candidate seeding scheme as AutoSFSearch (see above).
+            seed=seed if isinstance(seed, (int, np.integer)) else None,
+            store=store,
+            evaluator=evaluator,
+            timing=self.timing,
+            rng=self.rng,
+        )
+        self.evaluator = self._loop.evaluator
 
-    # ------------------------------------------------------------------
-    # Surrogate
-    # ------------------------------------------------------------------
-    def _posterior(self, features: np.ndarray, targets: np.ndarray):
-        """Bayesian linear regression posterior (mean weights, covariance)."""
-        dimension = features.shape[1]
-        precision = self.prior_precision * np.eye(dimension)
-        precision += self.noise_precision * features.T @ features
-        covariance = np.linalg.inv(precision)
-        mean = self.noise_precision * covariance @ features.T @ targets
-        return mean, covariance
-
-    def _acquisition(
-        self, candidates: List[BlockStructure], features: np.ndarray, targets: np.ndarray
-    ) -> np.ndarray:
-        """Upper-confidence-bound acquisition over the candidate pool."""
-        candidate_features = np.stack([self.extractor(candidate) for candidate in candidates])
-        if features.shape[0] < 2:
-            return self.rng.random(len(candidates))
-        mean, covariance = self._posterior(features, targets)
-        predicted = candidate_features @ mean
-        variance = np.einsum("ij,jk,ik->i", candidate_features, covariance, candidate_features)
-        variance = np.maximum(variance, 0.0) + 1.0 / self.noise_precision
-        return predicted + self.exploration_weight * np.sqrt(variance)
-
-    # ------------------------------------------------------------------
-    # Search loop
-    # ------------------------------------------------------------------
     def run(self, max_evaluations: int = 32) -> SearchResult:
         """Run the surrogate-guided search for ``max_evaluations`` trainings."""
-        start = time.perf_counter()
-        dedup = CandidateFilter(enforce_constraints=True, deduplicate=True)
-        records: List[SearchRecord] = []
-        observed_features: List[np.ndarray] = []
-        observed_targets: List[float] = []
-
-        for order in range(1, max_evaluations + 1):
-            pool: List[BlockStructure] = []
-            for _attempt in range(20 * self.pool_size):
-                if len(pool) >= self.pool_size:
-                    break
-                candidate = random_structure(self.num_blocks, self.rng, require_c2=True)
-                if candidate is None:
-                    continue
-                if dedup.explain(candidate) is None and all(
-                    candidate.key() != member.key() for member in pool
-                ):
-                    pool.append(candidate)
-            if not pool:
-                break
-
-            features = (
-                np.stack(observed_features) if observed_features else np.zeros((0, self.feature_dimension))
-            )
-            targets = np.asarray(observed_targets, dtype=np.float64)
-            scores = self._acquisition(pool, features, targets)
-            chosen = pool[int(np.argmax(scores))]
-            dedup.accept(chosen)
-
-            evaluation = self.evaluator.evaluate(chosen)
-            observed_features.append(self.extractor(chosen))
-            observed_targets.append(evaluation.validation_mrr)
-            records.append(
-                SearchRecord(
-                    structure=chosen,
-                    validation_mrr=evaluation.validation_mrr,
-                    num_blocks=chosen.num_blocks,
-                    stage=chosen.num_blocks,
-                    order=order,
-                    elapsed_seconds=time.perf_counter() - start,
-                )
-            )
-
-        if not records:
-            raise RuntimeError("Bayes search produced no evaluations")
-        best = max(records, key=lambda record: record.validation_mrr)
-        return SearchResult(
-            best_structure=best.structure,
-            best_mrr=best.validation_mrr,
-            records=records,
-            timing=self.timing,
-            filter_statistics=dedup.statistics.as_dict(),
-        )
+        return self._loop.run(max_evaluations=max_evaluations)
 
 
 def general_approximator_baseline(

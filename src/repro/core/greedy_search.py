@@ -15,29 +15,27 @@ The search grows candidate scoring functions stage by stage:
 4. record the trained structures and their validation MRR in the history
    ``T`` and move to the next stage.
 
-The class exposes ablation switches (disable the filter, the predictor, or
-both — the "Greedy" baseline of Fig. 7) and a timing recorder whose phase
-totals reproduce the running-time breakdown of Table VII.
+The stage logic itself now lives in
+:class:`repro.experiments.strategies.GreedyStrategy`, driven by the unified
+:class:`repro.experiments.loop.SearchLoop` — :class:`AutoSFSearch` is kept
+as a thin compatibility shim with a seed-identical trajectory, plus the
+result containers (:class:`SearchRecord` / :class:`SearchResult`) every
+search strategy shares.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core.evaluator import CandidateEvaluation, CandidateEvaluator
+from repro.core.evaluator import CandidateEvaluator
 from repro.core.execution import ExecutionBackend, create_backend
-from repro.core.filters import CandidateFilter
-from repro.core.predictor import PerformancePredictor
-from repro.core.search_space import enumerate_f4_structures, extend_structure
 from repro.core.store import EvaluationStore
 from repro.datasets.knowledge_graph import KnowledgeGraph
 from repro.kge.scoring.blocks import BlockStructure
 from repro.utils.config import SearchConfig, TrainingConfig
-from repro.utils.rng import ensure_rng
 from repro.utils.timing import TimingRecorder
 
 
@@ -91,7 +89,17 @@ class SearchResult:
 
 
 class AutoSFSearch:
-    """Progressive greedy search over block-structured scoring functions."""
+    """Progressive greedy search over block-structured scoring functions.
+
+    .. deprecated::
+        This class is a compatibility shim over the unified experiment API —
+        :class:`repro.experiments.loop.SearchLoop` driving
+        :class:`repro.experiments.strategies.GreedyStrategy`.  New code
+        should build an :class:`repro.experiments.ExperimentSpec` (or the
+        loop directly); this wrapper is kept because its trajectory is
+        seed-identical and a large surface (CLI, benchmarks) already speaks
+        it.
+    """
 
     def __init__(
         self,
@@ -102,6 +110,9 @@ class AutoSFSearch:
         backend: Optional[ExecutionBackend] = None,
         store: Optional[EvaluationStore] = None,
     ) -> None:
+        from repro.experiments.loop import SearchLoop
+        from repro.experiments.strategies import GreedyStrategy
+
         self.graph = graph
         self.training_config = training_config or TrainingConfig()
         self.search_config = search_config or SearchConfig()
@@ -112,127 +123,37 @@ class AutoSFSearch:
         if store is None and self.search_config.cache_dir:
             store = EvaluationStore(self.search_config.cache_dir)
         self.store = store
-        self.evaluator = evaluator or CandidateEvaluator(
+        self.strategy = GreedyStrategy(
+            max_blocks=self.search_config.max_blocks,
+            candidates_per_step=self.search_config.candidates_per_step,
+            top_parents=self.search_config.top_parents,
+            train_per_step=self.search_config.train_per_step,
+            use_filter=self.search_config.use_filter,
+            use_predictor=self.search_config.use_predictor,
+            predictor_config=self.search_config.predictor,
+        )
+        self._loop = SearchLoop(
             graph,
+            self.strategy,
             self.training_config,
+            seed=self.search_config.seed,
+            backend=self.backend,
+            store=store,
+            evaluator=evaluator,
             timing=self.timing,
-            store=self.store,
-            base_seed=self.search_config.seed,
         )
-        self.rng = ensure_rng(self.search_config.seed)
-        self.candidate_filter = CandidateFilter(
-            enforce_constraints=self.search_config.use_filter,
-            deduplicate=self.search_config.use_filter,
-        )
-        self.predictor: Optional[PerformancePredictor] = (
-            PerformancePredictor(self.search_config.predictor)
-            if self.search_config.use_predictor
-            else None
-        )
-        self._history: List[CandidateEvaluation] = []
-        self._records: List[SearchRecord] = []
-        self._order = 0
-        self._start_time: Optional[float] = None
+        self.evaluator = self._loop.evaluator
 
-    # ------------------------------------------------------------------
-    # History helpers
-    # ------------------------------------------------------------------
-    def _history_for_blocks(self, num_blocks: int) -> List[CandidateEvaluation]:
-        return [item for item in self._history if item.structure.num_blocks == num_blocks]
+    @property
+    def candidate_filter(self):
+        """The strategy's filter Q (exposed for ablation inspection)."""
+        return self.strategy.candidate_filter
 
-    def _top_parents(self, num_blocks: int, count: int) -> List[BlockStructure]:
-        stage_history = self._history_for_blocks(num_blocks)
-        stage_history.sort(key=lambda item: -item.validation_mrr)
-        return [item.structure for item in stage_history[:count]]
+    @property
+    def predictor(self):
+        """The strategy's performance predictor P (``None`` when ablated)."""
+        return self.strategy.predictor
 
-    def _record(self, evaluation: CandidateEvaluation, stage: int) -> None:
-        self._history.append(evaluation)
-        self._order += 1
-        elapsed = time.perf_counter() - self._start_time if self._start_time else 0.0
-        self._records.append(
-            SearchRecord(
-                structure=evaluation.structure,
-                validation_mrr=evaluation.validation_mrr,
-                num_blocks=evaluation.structure.num_blocks,
-                stage=stage,
-                order=self._order,
-                elapsed_seconds=elapsed,
-            )
-        )
-
-    # ------------------------------------------------------------------
-    # Stage logic
-    # ------------------------------------------------------------------
-    def _evaluate_batch(self, structures: Sequence[BlockStructure], stage: int) -> None:
-        """Dispatch the whole stage batch through the execution backend."""
-        evaluations = self.evaluator.evaluate_many(list(structures), backend=self.backend)
-        for structure, evaluation in zip(structures, evaluations):
-            self.candidate_filter.record_history(structure)
-            self._record(evaluation, stage)
-
-    def _seed_stage(self) -> None:
-        """Stage b = 4: evaluate every distinct seed structure."""
-        with self.timing.measure("filter"):
-            seeds = enumerate_f4_structures(deduplicate=True)
-            accepted = [seed for seed in seeds if self.candidate_filter.accept(seed)]
-        if not accepted:
-            # With the filter disabled the seeds are still the deduplicated
-            # f4 structures; acceptance can only fail on duplicates.
-            accepted = seeds
-        self._evaluate_batch(accepted, stage=4)
-
-    def _generate_pool(self, stage: int) -> List[BlockStructure]:
-        """Steps 2–6 of Alg. 2: collect up to N filtered candidates."""
-        config = self.search_config
-        parents = self._top_parents(stage - 2, config.top_parents)
-        if not parents:
-            return []
-        pool: List[BlockStructure] = []
-        pool_keys = set()
-        max_attempts = 200 * config.candidates_per_step
-        attempts = 0
-        with self.timing.measure("filter"):
-            while len(pool) < config.candidates_per_step and attempts < max_attempts:
-                attempts += 1
-                parent = parents[int(self.rng.integers(0, len(parents)))]
-                candidate = extend_structure(parent, num_new_blocks=2, rng=self.rng)
-                if candidate is None:
-                    continue
-                if config.use_filter:
-                    if not self.candidate_filter.accept(candidate):
-                        continue
-                else:
-                    # Without the filter only exact duplicates inside the pool
-                    # are skipped, mirroring the "no filter" ablation.
-                    if candidate.key() in pool_keys:
-                        continue
-                pool_keys.add(candidate.key())
-                pool.append(candidate)
-        return pool
-
-    def _select_candidates(self, pool: List[BlockStructure]) -> List[BlockStructure]:
-        """Step 7 of Alg. 2: keep the K2 most promising candidates."""
-        config = self.search_config
-        if len(pool) <= config.train_per_step:
-            return pool
-        if self.predictor is not None and self.predictor.is_trained:
-            with self.timing.measure("predictor"):
-                return self.predictor.select_top(pool, config.train_per_step)
-        selection = self.rng.choice(len(pool), size=config.train_per_step, replace=False)
-        return [pool[int(index)] for index in selection]
-
-    def _update_predictor(self) -> None:
-        """Steps 10–11 of Alg. 2: refit the predictor on the full history."""
-        if self.predictor is None or not self._history:
-            return
-        with self.timing.measure("predictor"):
-            structures = [item.structure for item in self._history]
-            scores = [item.validation_mrr for item in self._history]
-            self.predictor.fit(structures, scores)
-
-    # ------------------------------------------------------------------
-    # Main entry point
-    # ------------------------------------------------------------------
     def run(self, max_evaluations: Optional[int] = None) -> SearchResult:
         """Run the full progressive search and return the result.
 
@@ -245,37 +166,16 @@ class AutoSFSearch:
             toward the cap — that is what lets an interrupted run resume to
             exactly the same budget instead of training ``max_evaluations``
             models on top of the cached ones.
+
+            One deliberate fix relative to the pre-unification implementation:
+            the cap now also applies to the ``b = 4`` seed stage.  Previously
+            a budget smaller than the number of f4 seed structures was
+            silently exceeded (all seeds were trained and recorded); the
+            unified loop records exactly ``max_evaluations`` results.  For
+            any budget >= the seed count (every documented configuration)
+            trajectories are bit-identical to earlier releases.
         """
-        self._start_time = time.perf_counter()
-        self._seed_stage()
-        self._update_predictor()
-
-        for stage in range(6, self.search_config.max_blocks + 1, 2):
-            if max_evaluations is not None and len(self._records) >= max_evaluations:
-                break
-            pool = self._generate_pool(stage)
-            if not pool:
-                break
-            selected = self._select_candidates(pool)
-            if max_evaluations is not None:
-                remaining = max_evaluations - len(self._records)
-                selected = selected[: max(remaining, 0)]
-            self._evaluate_batch(selected, stage=stage)
-            self._update_predictor()
-
-        return self._build_result()
-
-    def _build_result(self) -> SearchResult:
-        if not self._records:
-            raise RuntimeError("search produced no evaluations")
-        best = max(self._records, key=lambda record: record.validation_mrr)
-        return SearchResult(
-            best_structure=best.structure,
-            best_mrr=best.validation_mrr,
-            records=list(self._records),
-            timing=self.timing,
-            filter_statistics=self.candidate_filter.statistics.as_dict(),
-        )
+        return self._loop.run(max_evaluations=max_evaluations)
 
 
 def search_scoring_function(
@@ -284,6 +184,12 @@ def search_scoring_function(
     search_config: Optional[SearchConfig] = None,
     max_evaluations: Optional[int] = None,
 ) -> SearchResult:
-    """Convenience wrapper: run AutoSF on ``graph`` with the given configs."""
+    """Convenience wrapper: run AutoSF on ``graph`` with the given configs.
+
+    .. deprecated::
+        Prefer ``repro.experiments.run_experiment`` (spec-driven, writes a
+        run directory) or :class:`repro.experiments.loop.SearchLoop`.  Kept
+        as a shim with a seed-identical trajectory.
+    """
     search = AutoSFSearch(graph, training_config, search_config)
     return search.run(max_evaluations=max_evaluations)

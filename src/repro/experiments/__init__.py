@@ -1,0 +1,84 @@
+"""Unified experiment API: declarative specs, pluggable strategies, run dirs.
+
+This package is the stable seam between "what experiment to run" and "how it
+runs":
+
+* :mod:`repro.experiments.spec` — :class:`ExperimentSpec`, a declarative
+  JSON-serializable description (dataset, training, search, predictor, HPO,
+  backend, export) that fully determines a run;
+* :mod:`repro.experiments.strategies` — the :class:`SearchStrategy`
+  protocol (``propose`` / ``observe`` / ``finished``), the ported
+  ``greedy`` / ``random`` / ``bayes`` policies of the paper's Sec. V
+  comparison, and the :func:`register_strategy` plug-in registry;
+* :mod:`repro.experiments.loop` — the single :class:`SearchLoop` driver
+  owning seeding, the execution backend, the shared evaluation store,
+  budgets and resume;
+* :mod:`repro.experiments.runner` — :class:`ExperimentRunner` and the
+  versioned run-directory contract (``spec.json`` / ``history.jsonl`` /
+  ``report.json`` / ``best/`` / ``manifest.json``) consumed by the CLI's
+  ``run`` / ``compare`` / ``export --run`` and the analysis helpers.
+
+The legacy entry points (``AutoSFSearch``, ``RandomSearch``,
+``BayesSearch``, ``search_scoring_function``) remain as thin shims over
+this API with seed-identical trajectories.
+"""
+
+from repro.experiments.loop import SearchLoop
+from repro.experiments.runner import (
+    RUN_SCHEMA_VERSION,
+    ExperimentRunner,
+    RunDirectoryError,
+    RunRecord,
+    load_run,
+    run_experiment,
+    spec_digest,
+    validate_run_directory,
+)
+from repro.experiments.spec import (
+    SPEC_SCHEMA_VERSION,
+    BackendSpec,
+    DatasetSpec,
+    ExperimentSpec,
+    ExportSpec,
+    HPOSpec,
+    SearchSpec,
+    load_spec,
+)
+from repro.experiments.strategies import (
+    BayesStrategy,
+    GreedyStrategy,
+    RandomStrategy,
+    SearchState,
+    SearchStrategy,
+    available_strategies,
+    create_strategy,
+    register_strategy,
+)
+
+__all__ = [
+    "SPEC_SCHEMA_VERSION",
+    "RUN_SCHEMA_VERSION",
+    "BackendSpec",
+    "DatasetSpec",
+    "ExperimentSpec",
+    "ExportSpec",
+    "HPOSpec",
+    "SearchSpec",
+    "load_spec",
+    "SearchLoop",
+    "SearchState",
+    "SearchStrategy",
+    "GreedyStrategy",
+    "RandomStrategy",
+    "BayesStrategy",
+    "available_strategies",
+    "create_strategy",
+    "register_strategy",
+    "ExperimentRunner",
+    "RunRecord",
+    "RunDirectoryError",
+    "load_run",
+    "run_experiment",
+    "spec_digest",
+    "validate_run_directory",
+]

@@ -1,0 +1,183 @@
+"""The single search driver behind every strategy.
+
+:class:`SearchLoop` owns the mechanics that used to be re-implemented (or
+forgotten) by each searcher: deterministic seeding, the execution backend,
+the shared in-memory/persistent evaluation cache, budget accounting and
+timing.  A strategy only decides *which* structures to train next; the loop
+decides how they are trained, cached and recorded:
+
+.. code-block:: text
+
+    while budget remains and not strategy.finished(state):
+        candidates = strategy.propose(state)        # policy
+        evaluations = evaluator.evaluate_many(...)  # backend + cache
+        record(evaluations)                         # history / anytime curve
+        strategy.observe(state, evaluations)        # policy update
+
+Because the loop routes *every* strategy through one
+:class:`~repro.core.evaluator.CandidateEvaluator` (and, when given, one
+:class:`~repro.core.store.EvaluationStore`), baseline runs now reuse
+evaluations the greedy search already paid for — the legacy ``RandomSearch``
+/ ``BayesSearch`` bypassed the store entirely and re-trained warm
+candidates from scratch.  Re-running an interrupted loop against the same
+store fast-forwards through completed evaluations (resume).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.core.evaluator import CandidateEvaluation, CandidateEvaluator
+from repro.core.execution import ExecutionBackend, create_backend
+from repro.core.greedy_search import SearchRecord, SearchResult
+from repro.core.store import EvaluationStore
+from repro.datasets.knowledge_graph import KnowledgeGraph
+from repro.experiments.strategies import SearchState, SearchStrategy
+from repro.utils.config import TrainingConfig
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.timing import TimingRecorder
+
+
+class SearchLoop:
+    """Drive one :class:`SearchStrategy` under one evaluation protocol.
+
+    Parameters
+    ----------
+    graph / training_config:
+        The dataset and the per-candidate training recipe (shared by every
+        strategy so budgets are directly comparable).
+    strategy:
+        The candidate-selection policy (see
+        :mod:`repro.experiments.strategies`).
+    seed:
+        Master seed: seeds the strategy's RNG and (when an integer) derives
+        a deterministic per-candidate training seed, making results
+        independent of evaluation order and backend.
+    backend / num_workers:
+        Where candidate training runs; a backend instance wins over a name.
+    store / cache_dir:
+        Optional persistent evaluation cache shared across strategies and
+        runs; ``cache_dir`` builds a store when none is passed.
+    evaluator:
+        Injectable for sharing one cache across several loops in-process;
+        when given, ``store`` is ignored in favour of the evaluator's own.
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        strategy: SearchStrategy,
+        training_config: Optional[TrainingConfig] = None,
+        *,
+        seed: RngLike = 0,
+        backend: Union[ExecutionBackend, str, None] = None,
+        num_workers: int = 1,
+        store: Optional[EvaluationStore] = None,
+        cache_dir: Optional[str] = None,
+        evaluator: Optional[CandidateEvaluator] = None,
+        timing: Optional[TimingRecorder] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.graph = graph
+        self.strategy = strategy
+        self.training_config = training_config or TrainingConfig()
+        self.seed = seed
+        self._rng = rng
+        self.timing = timing if timing is not None else TimingRecorder()
+        if isinstance(backend, str):
+            backend = create_backend(backend, num_workers)
+        self.backend = backend
+        if store is None and cache_dir:
+            store = EvaluationStore(cache_dir)
+        if evaluator is not None:
+            self.evaluator = evaluator
+            self.store = evaluator.store
+        else:
+            self.store = store
+            self.evaluator = CandidateEvaluator(
+                graph,
+                self.training_config,
+                timing=self.timing,
+                store=store,
+                # Per-candidate seeding keeps a structure's training identical
+                # across strategies, backends and evaluation order.
+                base_seed=seed if isinstance(seed, (int, np.integer)) else None,
+            )
+        self._records: List[SearchRecord] = []
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+    def run(self, max_evaluations: Optional[int] = None) -> SearchResult:
+        """Run the strategy to completion (or budget) and return the result.
+
+        ``max_evaluations`` caps *recorded* evaluations, including replays
+        from a persistent store — that is what lets an interrupted run
+        resume to exactly the same budget instead of training
+        ``max_evaluations`` fresh models on top of the cached ones.  Unlike
+        the pre-unification greedy search, the cap also applies to the seed
+        stage: a budget below the number of f4 seeds records exactly
+        ``max_evaluations`` results instead of overshooting.
+
+        Each call starts a fresh record list and budget; note however that
+        stateful strategies (greedy stages, dedup filters, surrogates) carry
+        their accumulated state across calls, so re-running usually wants a
+        freshly built strategy.
+        """
+        self._records = []
+        state = SearchState(
+            rng=self._rng if self._rng is not None else ensure_rng(self.seed),
+            budget=max_evaluations,
+            timing=self.timing,
+        )
+        start_time = time.perf_counter()
+        order = 0
+
+        while True:
+            remaining = state.remaining_budget()
+            if remaining == 0:
+                break
+            if self.strategy.finished(state):
+                break
+            candidates = self.strategy.propose(state)
+            if not candidates:
+                break
+            if remaining is not None:
+                candidates = candidates[:remaining]
+            evaluations = self.evaluator.evaluate_many(candidates, backend=self.backend)
+            for evaluation in evaluations:
+                order += 1
+                self._records.append(
+                    SearchRecord(
+                        structure=evaluation.structure,
+                        validation_mrr=evaluation.validation_mrr,
+                        num_blocks=evaluation.structure.num_blocks,
+                        stage=evaluation.structure.num_blocks,
+                        order=order,
+                        elapsed_seconds=time.perf_counter() - start_time,
+                    )
+                )
+                state.evaluations.append(evaluation)
+            self.strategy.observe(state, evaluations)
+
+        return self._build_result()
+
+    def _build_result(self) -> SearchResult:
+        if not self._records:
+            raise RuntimeError(
+                f"{getattr(self.strategy, 'name', 'search')} strategy produced no evaluations"
+            )
+        best = max(self._records, key=lambda record: record.validation_mrr)
+        statistics = {}
+        if hasattr(self.strategy, "statistics"):
+            statistics = dict(self.strategy.statistics())
+        return SearchResult(
+            best_structure=best.structure,
+            best_mrr=best.validation_mrr,
+            records=list(self._records),
+            timing=self.timing,
+            filter_statistics=statistics,
+        )

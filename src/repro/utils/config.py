@@ -10,7 +10,9 @@ serialized next to its results.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+import typing
+import warnings
+from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Dict, Optional, Tuple
 
 #: Execution backends the search engine knows how to build (the single
@@ -22,6 +24,79 @@ EXECUTION_BACKENDS: Tuple[str, ...] = ("serial", "process")
 #: is the original per-direction Python loop, kept as the parity oracle;
 #: ``"batched"`` is the fused engine with entity-chunked candidate scoring.
 TRAIN_ENGINES: Tuple[str, ...] = ("reference", "batched")
+
+
+class ConfigError(ValueError):
+    """A configuration value has the wrong type or is out of range.
+
+    Raised by every ``from_dict`` with a message naming the offending field,
+    so a bad spec file fails with ``TrainingConfig.dimension: ...`` instead
+    of a bare ``TypeError`` deep inside a dataclass constructor.
+    """
+
+
+def _hint_allows(hint: Any, value: Any) -> bool:
+    """Whether ``value`` is acceptable for the (simple) type ``hint``.
+
+    Only the scalar types configuration fields actually use are checked
+    (``int``/``float``/``str``/``bool`` and ``Optional`` of those); anything
+    more complex is left to the dataclass's own ``__post_init__`` validation.
+    """
+    origin = typing.get_origin(hint)
+    if origin is typing.Union:
+        return any(_hint_allows(member, value) for member in typing.get_args(hint))
+    if hint is type(None):
+        return value is None
+    if hint is bool:
+        return isinstance(value, bool)
+    if hint is int:
+        return isinstance(value, int) and not isinstance(value, bool)
+    if hint is float:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if hint is str:
+        return isinstance(value, str)
+    return True  # nested/complex fields are validated by the target class
+
+
+def config_from_dict(cls: type, data: Dict[str, Any]) -> Any:
+    """Shared tolerant ``from_dict``: skip unknown keys, name bad fields.
+
+    * Unknown keys (e.g. from a forward-versioned run directory written by a
+      newer release) are dropped with a :class:`UserWarning` instead of
+      crashing with ``TypeError: unexpected keyword argument``.
+    * Type violations raise :class:`ConfigError` naming the field.
+    * Range violations from the dataclass's ``__post_init__`` are re-raised
+      as a single :class:`ConfigError` carrying the class name.
+    """
+    if not isinstance(data, dict):
+        raise ConfigError(f"{cls.__name__}: expected a mapping, got {type(data).__name__}")
+    known = {item.name for item in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        warnings.warn(
+            f"{cls.__name__}: ignoring unknown field(s) {', '.join(unknown)} "
+            f"(written by a newer version?)",
+            stacklevel=3,
+        )
+    hints = typing.get_type_hints(cls)
+    filtered: Dict[str, Any] = {}
+    for name in known:
+        if name not in data:
+            continue
+        value = data[name]
+        hint = hints.get(name)
+        if hint is not None and not _hint_allows(hint, value):
+            raise ConfigError(
+                f"{cls.__name__}.{name}: invalid value {value!r} "
+                f"of type {type(value).__name__}"
+            )
+        filtered[name] = value
+    try:
+        return cls(**filtered)
+    except ConfigError:
+        raise
+    except (TypeError, ValueError) as error:
+        raise ConfigError(f"{cls.__name__}: {error}") from error
 
 
 @dataclass
@@ -130,7 +205,8 @@ class TrainingConfig:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "TrainingConfig":
-        return cls(**data)
+        """Build from a dict, skipping unknown keys (see :func:`config_from_dict`)."""
+        return config_from_dict(cls, data)
 
 
 @dataclass
@@ -163,7 +239,8 @@ class PredictorConfig:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "PredictorConfig":
-        return cls(**data)
+        """Build from a dict, skipping unknown keys (see :func:`config_from_dict`)."""
+        return config_from_dict(cls, data)
 
 
 @dataclass
@@ -227,4 +304,13 @@ class SearchConfig:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SearchConfig":
-        return cls(**data)
+        """Build from a dict, skipping unknown keys (see :func:`config_from_dict`).
+
+        The nested ``predictor`` section goes through
+        :meth:`PredictorConfig.from_dict` first, so unknown keys inside it
+        are also skipped with a warning instead of raising ``TypeError``.
+        """
+        if isinstance(data, dict) and isinstance(data.get("predictor"), dict):
+            data = dict(data)
+            data["predictor"] = PredictorConfig.from_dict(data["predictor"])
+        return config_from_dict(cls, data)

@@ -4,6 +4,8 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.datasets import write_tsv_dataset
+from repro.experiments import DatasetSpec, ExperimentSpec, SearchSpec
+from repro.utils.config import PredictorConfig, TrainingConfig
 
 
 class TestParser:
@@ -132,6 +134,92 @@ class TestCommands:
     def test_resume_without_manifest_fails(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["search", "--resume", str(tmp_path / "nowhere")])
+
+
+def _write_spec(tmp_path, name, strategy, budget=4):
+    spec = ExperimentSpec(
+        name=name,
+        seed=0,
+        dataset=DatasetSpec(benchmark="wn18rr", scale=0.2, seed=0),
+        training=TrainingConfig(dimension=8, epochs=3, batch_size=128, learning_rate=0.5),
+        search=SearchSpec(
+            strategy=strategy, budget=budget, candidates_per_step=6,
+            top_parents=3, train_per_step=2, num_blocks=6,
+        ),
+        predictor=PredictorConfig(epochs=50),
+    )
+    return spec.save(tmp_path / f"{name}.json")
+
+
+class TestExperimentCommands:
+    def test_run_then_compare_then_export(self, tmp_path, capsys):
+        greedy_spec = _write_spec(tmp_path, "cli-greedy", "greedy")
+        random_spec = _write_spec(tmp_path, "cli-random", "random")
+        greedy_dir = tmp_path / "run-greedy"
+        random_dir = tmp_path / "run-random"
+
+        assert main(["run", str(greedy_spec), "--run-dir", str(greedy_dir)]) == 0
+        first = capsys.readouterr().out
+        assert "cli-greedy" in first
+        assert "any-time best validation MRR" in first
+        assert (greedy_dir / "spec.json").exists()
+        assert (greedy_dir / "report.json").exists()
+        assert (greedy_dir / "history.jsonl").exists()
+        assert (greedy_dir / "best" / "params.npz").exists()
+
+        assert main(["run", str(random_spec), "--run-dir", str(random_dir)]) == 0
+        capsys.readouterr()
+
+        assert main(["compare", str(greedy_dir), str(random_dir)]) == 0
+        compared = capsys.readouterr().out
+        assert "Experiment comparison" in compared
+        assert "cli-greedy" in compared and "cli-random" in compared
+        assert "model#" in compared
+
+        artifact = tmp_path / "artifact"
+        assert main(["export", "--run", str(greedy_dir), "--output", str(artifact)]) == 0
+        exported = capsys.readouterr().out
+        assert "artifact exported" in exported
+        assert (artifact / "manifest.json").exists()
+
+    def test_run_resumes_existing_directory(self, tmp_path, capsys):
+        spec = _write_spec(tmp_path, "cli-resume", "random", budget=3)
+        run_dir = tmp_path / "run"
+        main(["run", str(spec), "--run-dir", str(run_dir)])
+        capsys.readouterr()
+        assert main(["run", str(spec), "--run-dir", str(run_dir)]) == 0
+        resumed = capsys.readouterr().out
+        trained_column = [
+            line for line in resumed.splitlines() if line.startswith("random")
+        ][0].split()
+        assert trained_column[3] == "0"  # strategy dataset evaluations trained ...
+
+    def test_run_budget_override(self, tmp_path, capsys):
+        spec = _write_spec(tmp_path, "cli-budget", "random", budget=4)
+        run_dir = tmp_path / "run"
+        assert main(["run", str(spec), "--run-dir", str(run_dir), "--budget", "2"]) == 0
+        out = capsys.readouterr().out
+        assert [line for line in out.splitlines() if line.startswith("random")][0].split()[2] == "2"
+
+    def test_run_missing_spec_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["run", str(tmp_path / "nowhere.json")])
+
+    def test_run_unknown_strategy_fails(self, tmp_path):
+        path = _write_spec(tmp_path, "cli-bad", "random")
+        data = path.read_text().replace('"random"', '"quantum"')
+        path.write_text(data)
+        with pytest.raises(SystemExit, match="quantum"):
+            main(["run", str(path), "--run-dir", str(tmp_path / "run")])
+
+    def test_compare_rejects_non_run_directory(self, tmp_path):
+        (tmp_path / "junk").mkdir()
+        with pytest.raises(SystemExit, match="missing manifest.json"):
+            main(["compare", str(tmp_path / "junk")])
+
+    def test_export_requires_exactly_one_source(self, tmp_path):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["export", "--output", str(tmp_path / "out")])
 
 
 class TestServingCommands:

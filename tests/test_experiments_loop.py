@@ -1,0 +1,235 @@
+"""Tests for the SearchStrategy protocol, the unified SearchLoop, and the
+legacy-shim parity guarantees."""
+
+import pytest
+
+from repro.core import AutoSFSearch, BayesSearch, RandomSearch
+from repro.core.store import EvaluationStore
+from repro.experiments import (
+    ExperimentSpec,
+    SearchLoop,
+    SearchSpec,
+    available_strategies,
+    create_strategy,
+    register_strategy,
+)
+from repro.experiments.strategies import _STRATEGIES
+from repro.kge.scoring import classical_structure
+from repro.utils.config import ConfigError, PredictorConfig, SearchConfig, TrainingConfig
+
+
+@pytest.fixture(scope="module")
+def loop_training_config():
+    return TrainingConfig(dimension=8, epochs=4, batch_size=64, learning_rate=0.5, seed=0)
+
+
+def _greedy_spec(seed=0, **search_overrides):
+    search = dict(
+        strategy="greedy", max_blocks=6, candidates_per_step=8, top_parents=3, train_per_step=2
+    )
+    search.update(search_overrides)
+    return ExperimentSpec(
+        seed=seed, search=SearchSpec(**search), predictor=PredictorConfig(epochs=50)
+    )
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"greedy", "random", "bayes"} <= set(available_strategies())
+
+    def test_unknown_strategy_raises(self):
+        spec = ExperimentSpec(search=SearchSpec(strategy="simulated-annealing"))
+        with pytest.raises(ConfigError, match="simulated-annealing"):
+            create_strategy(spec)
+
+    def test_plugin_strategy_runs_through_loop(self, tiny_graph, loop_training_config):
+        """A one-file plug-in: register, select by spec, drive with the loop."""
+
+        class FixedMenuStrategy:
+            name = "fixed-menu"
+
+            def __init__(self):
+                self._menu = [classical_structure("distmult"), classical_structure("simple")]
+
+            def propose(self, state):
+                return [self._menu.pop(0)] if self._menu else []
+
+            def observe(self, state, evaluations):
+                return None
+
+            def finished(self, state):
+                return not self._menu
+
+            def statistics(self):
+                return {"accepted": 2}
+
+        register_strategy("fixed-menu")(lambda spec: FixedMenuStrategy())
+        try:
+            spec = ExperimentSpec(search=SearchSpec(strategy="fixed-menu"))
+            strategy = create_strategy(spec)
+            result = SearchLoop(tiny_graph, strategy, loop_training_config, seed=0).run()
+            assert result.num_evaluations == 2
+            assert result.filter_statistics == {"accepted": 2}
+        finally:
+            _STRATEGIES.pop("fixed-menu", None)
+
+
+class TestLegacyParity:
+    """Same seeds => identical trajectories through either API (satellite)."""
+
+    def test_greedy_parity(self, tiny_graph, loop_training_config):
+        spec = _greedy_spec(seed=0)
+        new = SearchLoop(
+            tiny_graph, create_strategy(spec), loop_training_config, seed=spec.seed
+        ).run(max_evaluations=8)
+        legacy = AutoSFSearch(
+            tiny_graph,
+            loop_training_config,
+            SearchConfig(
+                max_blocks=6,
+                candidates_per_step=8,
+                top_parents=3,
+                train_per_step=2,
+                predictor=PredictorConfig(epochs=50),
+                seed=0,
+            ),
+        ).run(max_evaluations=8)
+        assert new.anytime_curve() == legacy.anytime_curve()
+        assert [r.structure.key() for r in new.records] == [
+            r.structure.key() for r in legacy.records
+        ]
+        assert [(r.stage, r.order) for r in new.records] == [
+            (r.stage, r.order) for r in legacy.records
+        ]
+
+    def test_random_parity(self, tiny_graph, loop_training_config):
+        spec = ExperimentSpec(seed=5, search=SearchSpec(strategy="random", num_blocks=6))
+        new = SearchLoop(
+            tiny_graph, create_strategy(spec), loop_training_config, seed=5
+        ).run(max_evaluations=5)
+        legacy = RandomSearch(tiny_graph, loop_training_config, num_blocks=6, seed=5).run(
+            max_evaluations=5
+        )
+        assert new.anytime_curve() == legacy.anytime_curve()
+        assert [r.structure.key() for r in new.records] == [
+            r.structure.key() for r in legacy.records
+        ]
+
+    def test_bayes_parity(self, tiny_graph, loop_training_config):
+        spec = ExperimentSpec(
+            seed=5, search=SearchSpec(strategy="bayes", num_blocks=6, pool_size=8)
+        )
+        new = SearchLoop(
+            tiny_graph, create_strategy(spec), loop_training_config, seed=5
+        ).run(max_evaluations=4)
+        legacy = BayesSearch(
+            tiny_graph, loop_training_config, num_blocks=6, pool_size=8, seed=5
+        ).run(max_evaluations=4)
+        assert new.anytime_curve() == legacy.anytime_curve()
+        assert [r.structure.key() for r in new.records] == [
+            r.structure.key() for r in legacy.records
+        ]
+
+
+class TestLoopMechanics:
+    def test_budget_cap_strict(self, tiny_graph, loop_training_config):
+        spec = _greedy_spec(seed=0)
+        result = SearchLoop(
+            tiny_graph, create_strategy(spec), loop_training_config, seed=0
+        ).run(max_evaluations=3)
+        assert result.num_evaluations == 3
+
+    def test_second_run_starts_fresh_records(self, tiny_graph, loop_training_config):
+        spec = ExperimentSpec(seed=4, search=SearchSpec(strategy="random", num_blocks=6))
+        loop = SearchLoop(tiny_graph, create_strategy(spec), loop_training_config, seed=4)
+        first = loop.run(max_evaluations=2)
+        second = loop.run(max_evaluations=2)
+        assert first.num_evaluations == 2
+        assert second.num_evaluations == 2
+        assert [r.order for r in second.records] == [1, 2]
+
+    def test_timing_phases_recorded(self, tiny_graph, loop_training_config):
+        spec = _greedy_spec(seed=0)
+        loop = SearchLoop(tiny_graph, create_strategy(spec), loop_training_config, seed=0)
+        loop.run(max_evaluations=6)
+        summary = loop.timing.summary()
+        assert "train" in summary and "filter" in summary
+
+    def test_no_evaluations_raises(self, tiny_graph, loop_training_config):
+        class BarrenStrategy:
+            name = "barren"
+
+            def propose(self, state):
+                return []
+
+            def observe(self, state, evaluations):
+                return None
+
+            def finished(self, state):
+                return False
+
+            def statistics(self):
+                return {}
+
+        with pytest.raises(RuntimeError, match="barren"):
+            SearchLoop(tiny_graph, BarrenStrategy(), loop_training_config, seed=0).run()
+
+
+class TestSharedStore:
+    """Satellite regression: baselines route through the shared cache."""
+
+    def test_warm_store_random_zero_retraining(self, tiny_graph, loop_training_config, tmp_path):
+        spec = ExperimentSpec(seed=3, search=SearchSpec(strategy="random", num_blocks=6))
+        cold = SearchLoop(
+            tiny_graph,
+            create_strategy(spec),
+            loop_training_config,
+            seed=3,
+            store=EvaluationStore(tmp_path),
+        )
+        first = cold.run(max_evaluations=4)
+        assert cold.evaluator.num_trained == 4
+
+        warm = SearchLoop(
+            tiny_graph,
+            create_strategy(spec),
+            loop_training_config,
+            seed=3,
+            store=EvaluationStore(tmp_path),
+        )
+        second = warm.run(max_evaluations=4)
+        assert warm.evaluator.num_trained == 0
+        assert second.anytime_curve() == first.anytime_curve()
+
+    def test_warm_store_bayes_zero_retraining(self, tiny_graph, loop_training_config, tmp_path):
+        spec = ExperimentSpec(
+            seed=3, search=SearchSpec(strategy="bayes", num_blocks=6, pool_size=8)
+        )
+
+        def run_once():
+            loop = SearchLoop(
+                tiny_graph,
+                create_strategy(spec),
+                loop_training_config,
+                seed=3,
+                store=EvaluationStore(tmp_path),
+            )
+            return loop, loop.run(max_evaluations=3)
+
+        cold, first = run_once()
+        assert cold.evaluator.num_trained == 3
+        warm, second = run_once()
+        assert warm.evaluator.num_trained == 0
+        assert second.anytime_curve() == first.anytime_curve()
+
+    def test_legacy_baseline_accepts_store(self, tiny_graph, loop_training_config, tmp_path):
+        """The shimmed RandomSearch can now reuse a persistent store too."""
+        store = EvaluationStore(tmp_path)
+        first = RandomSearch(tiny_graph, loop_training_config, num_blocks=6, seed=2, store=store)
+        first.run(max_evaluations=3)
+        assert first.evaluator.num_trained == 3
+        second = RandomSearch(
+            tiny_graph, loop_training_config, num_blocks=6, seed=2, store=EvaluationStore(tmp_path)
+        )
+        second.run(max_evaluations=3)
+        assert second.evaluator.num_trained == 0
