@@ -11,7 +11,10 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
-import pytest
+try:  # CI benchmark jobs install only numpy; the fixture below is optional.
+    import pytest
+except ImportError:  # pragma: no cover - exercised on minimal installs
+    pytest = None
 
 from repro.utils.config import PredictorConfig, SearchConfig, TrainingConfig
 
@@ -61,7 +64,9 @@ def publish(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
 
 
-@pytest.fixture(scope="session")
-def results_dir() -> Path:
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    return RESULTS_DIR
+if pytest is not None:
+
+    @pytest.fixture(scope="session")
+    def results_dir() -> Path:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        return RESULTS_DIR

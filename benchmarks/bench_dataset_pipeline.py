@@ -1,0 +1,294 @@
+"""Dataset-pipeline benchmark: sharded store + TripleStream vs the seed loader.
+
+Three measurements, each with a hard assertion so CI catches regressions:
+
+* **ingestion**: a synthetic TSV benchmark parsed by the seed line-by-line
+  loader (``load_tsv_dataset``) vs the chunked bytes-level shard ingester
+  (``ingest_tsv``), with exact vocabulary/triple parity asserted and the
+  speedup required to stay above :data:`MIN_INGEST_SPEEDUP`;
+* **epoch iteration**: shuffled mini-batches over a generated multi-shard
+  store — the seed in-memory pattern (global permutation + per-batch fancy
+  indexing, exactly what ``Trainer.fit`` does on an array) vs
+  ``TripleStream`` (shard-order shuffle + per-shard ``np.take``).  Exact
+  batch-level parity is asserted against the in-memory oracle
+  ``stream_epoch_reference`` and the throughput speedup must reach
+  :data:`MIN_EPOCH_SPEEDUP`;
+* **bounded memory**: the same ≥1M-triple synthetic store is generated
+  shard by shard and streamed for one epoch under ``tracemalloc``; the
+  traced peak must stay under a quarter of the materialized split size.
+
+Runs standalone (CI calls it with ``--quick`` and uploads the JSON timings
+as an artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_dataset_pipeline.py --quick
+
+Results are printed as a table and written to
+``benchmarks/results/dataset_pipeline.json`` / ``.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import tempfile
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from _helpers import publish, RESULTS_DIR
+
+from repro.analysis import format_table
+from repro.datasets import (
+    TripleStream,
+    generate_streaming_store,
+    ingest_tsv,
+    load_tsv_dataset,
+    stream_epoch_reference,
+)
+from repro.utils.serialization import to_json_file
+
+#: Required ingestion speedup of ingest_tsv over the seed TSV loader.
+#: Typically 1.4-1.7x; the floor is deliberately loose because a few
+#: hundred ms of parsing on a shared CI runner is noisy even at min-of-two.
+MIN_INGEST_SPEEDUP = 1.05
+
+#: Required epoch-iteration speedup of TripleStream over the seed pattern.
+MIN_EPOCH_SPEEDUP = 2.0
+
+#: The streamed epoch must stay under this fraction of the split's bytes.
+MAX_MEMORY_FRACTION = 0.25
+
+#: Mini-batch size for the epoch-iteration measurements.
+BATCH_SIZE = 512
+
+
+def _write_synthetic_tsv(base: Path, num_train: int, rng: np.random.Generator) -> None:
+    """Write a duplicate-free synthetic benchmark in the standard TSV layout."""
+    num_entities, num_relations = 8000, 40
+
+    def unique_codes(count: int) -> np.ndarray:
+        codes = np.unique(
+            rng.integers(0, num_entities * num_relations * num_entities, size=int(count * 1.3))
+        )
+        rng.shuffle(codes)
+        return codes[:count]
+
+    for file_name, count in (
+        ("train.txt", num_train),
+        ("valid.txt", num_train // 10),
+        ("test.txt", num_train // 10),
+    ):
+        codes = unique_codes(count)
+        tails = codes % num_entities
+        relations = (codes // num_entities) % num_relations
+        heads = codes // (num_entities * num_relations)
+        lines = [
+            f"/m/entity_{h:05d}\t/rel/relation_{r:02d}\t/m/entity_{t:05d}"
+            for h, r, t in zip(heads, relations, tails)
+        ]
+        (base / file_name).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def bench_ingestion(work: Path, num_train: int) -> dict:
+    tsv_dir = work / "tsv"
+    tsv_dir.mkdir()
+    _write_synthetic_tsv(tsv_dir, num_train, np.random.default_rng(0))
+
+    # Best of two passes each: parse times in the hundreds of ms are at the
+    # mercy of CI scheduler noise, and the min is the honest parse cost.
+    seed_seconds = float("inf")
+    for _attempt in range(2):
+        start = time.perf_counter()
+        oracle = load_tsv_dataset(tsv_dir)
+        seed_seconds = min(seed_seconds, time.perf_counter() - start)
+
+    ingest_seconds = float("inf")
+    for attempt in range(2):
+        shutil.rmtree(work / "store-ingest", ignore_errors=True)
+        start = time.perf_counter()
+        store = ingest_tsv(tsv_dir, work / "store-ingest")
+        ingest_seconds = min(ingest_seconds, time.perf_counter() - start)
+
+    loaded = store.to_graph()
+    for split in ("train", "valid", "test"):
+        np.testing.assert_array_equal(loaded.split(split), oracle.split(split))
+    assert loaded.entity_names == oracle.entity_names, "ingest vocabulary diverged"
+    assert loaded.relation_names == oracle.relation_names, "ingest vocabulary diverged"
+
+    speedup = seed_seconds / ingest_seconds
+    assert speedup >= MIN_INGEST_SPEEDUP, (
+        f"ingest_tsv speedup {speedup:.2f}x is below the required "
+        f"{MIN_INGEST_SPEEDUP:.1f}x (seed {seed_seconds:.2f}s, ingest {ingest_seconds:.2f}s)"
+    )
+    return {
+        "triples": int(sum(loaded.split(s).shape[0] for s in ("train", "valid", "test"))),
+        "seed_loader_seconds": round(seed_seconds, 4),
+        "ingest_seconds": round(ingest_seconds, 4),
+        "speedup": round(speedup, 2),
+    }
+
+
+def _seed_epoch(train: np.ndarray, rng: np.random.Generator) -> int:
+    """The seed in-memory pattern: global permutation + per-batch gather."""
+    order = rng.permutation(train.shape[0])
+    batches = 0
+    for begin in range(0, train.shape[0], BATCH_SIZE):
+        batch = train[order[begin : begin + BATCH_SIZE]]
+        batches += batch.shape[0] > 0
+    return batches
+
+
+def bench_epoch_iteration(store, epochs: int) -> dict:
+    train = store.load_split("train")
+    stream = TripleStream(store, "train", batch_size=BATCH_SIZE, seed=0)
+
+    # Exact batch-level parity against the in-memory oracle first.
+    reference = stream_epoch_reference(
+        train, store.shard_counts("train"), BATCH_SIZE, 0, epoch=0
+    )
+    streamed = list(stream.epoch(0))
+    assert len(streamed) == len(reference), "stream produced a different batch count"
+    for got, expected in zip(streamed, reference):
+        np.testing.assert_array_equal(got, expected)
+
+    rng = np.random.default_rng(0)
+    seed_times, stream_times = [], []
+    for epoch in range(epochs):
+        start = time.perf_counter()
+        _seed_epoch(train, rng)
+        seed_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        for _batch in stream.epoch(epoch):
+            pass
+        stream_times.append(time.perf_counter() - start)
+
+    seed_best = min(seed_times)
+    stream_best = min(stream_times)
+    speedup = seed_best / stream_best
+    assert speedup >= MIN_EPOCH_SPEEDUP, (
+        f"TripleStream epoch speedup {speedup:.2f}x is below the required "
+        f"{MIN_EPOCH_SPEEDUP:.1f}x (seed {seed_best:.3f}s, stream {stream_best:.3f}s)"
+    )
+    return {
+        "train_triples": int(train.shape[0]),
+        "shards": store.num_shards("train"),
+        "batch_size": BATCH_SIZE,
+        "seed_epoch_seconds": round(seed_best, 4),
+        "stream_epoch_seconds": round(stream_best, 4),
+        "seed_triples_per_second": int(train.shape[0] / seed_best),
+        "stream_triples_per_second": int(train.shape[0] / stream_best),
+        "speedup": round(speedup, 2),
+    }
+
+
+def bench_bounded_memory(store) -> dict:
+    split_bytes = store.split_count("train") * 3 * 8
+    stream = TripleStream(store, "train", batch_size=BATCH_SIZE, seed=1)
+
+    tracemalloc.start()
+    batches = 0
+    for _batch in stream.epoch(0):
+        batches += 1
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    fraction = peak / split_bytes
+    assert fraction <= MAX_MEMORY_FRACTION, (
+        f"streamed epoch peak {peak / 2**20:.1f} MiB is {fraction:.2f} of the "
+        f"materialized split ({split_bytes / 2**20:.1f} MiB); the stream must "
+        f"stay under {MAX_MEMORY_FRACTION:.2f}"
+    )
+    return {
+        "train_triples": store.split_count("train"),
+        "batches": batches,
+        "split_mib": round(split_bytes / 2**20, 2),
+        "stream_peak_mib": round(peak / 2**20, 2),
+        "peak_fraction_of_split": round(fraction, 4),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--triples",
+        type=int,
+        default=None,
+        help="synthetic store size (default: 2M; the acceptance floor is 1M)",
+    )
+    args = parser.parse_args()
+
+    tsv_train = 150_000 if args.quick else 400_000
+    store_triples = args.triples if args.triples is not None else 2_000_000
+    epochs = 5 if args.quick else 8
+
+    work = Path(tempfile.mkdtemp(prefix="bench-dataset-pipeline-"))
+    try:
+        print(f"[1/3] ingestion: seed loader vs chunked shard ingest ({tsv_train} train triples)")
+        ingestion = bench_ingestion(work, tsv_train)
+
+        print(f"[2/3] generating a {store_triples}-triple multi-shard synthetic store")
+        start = time.perf_counter()
+        store = generate_streaming_store(
+            work / "store-synthetic",
+            num_entities=20_000,
+            num_relations=48,
+            num_triples=store_triples,
+            valid_fraction=0.01,
+            test_fraction=0.01,
+            seed=0,
+        )
+        generation_seconds = time.perf_counter() - start
+        print(f"      generated in {generation_seconds:.2f}s "
+              f"({store.num_shards('train')} train shards)")
+
+        print(f"      epoch iteration: seed in-memory pattern vs TripleStream ({epochs} epochs)")
+        iteration = bench_epoch_iteration(store, epochs)
+
+        print("[3/3] bounded-memory streamed epoch (tracemalloc)")
+        memory = bench_bounded_memory(store)
+    finally:
+        shutil.rmtree(work, ignore_errors=True)
+
+    results = {
+        "quick": bool(args.quick),
+        "ingestion": ingestion,
+        "store_generation_seconds": round(generation_seconds, 2),
+        "epoch_iteration": iteration,
+        "bounded_memory": memory,
+    }
+    rows = [
+        {
+            "measurement": "ingestion (TSV -> triples)",
+            "seed": f"{ingestion['seed_loader_seconds']:.2f}s",
+            "pipeline": f"{ingestion['ingest_seconds']:.2f}s",
+            "speedup": f"{ingestion['speedup']:.2f}x",
+        },
+        {
+            "measurement": f"epoch iteration ({iteration['train_triples']} triples)",
+            "seed": f"{iteration['seed_epoch_seconds']:.3f}s",
+            "pipeline": f"{iteration['stream_epoch_seconds']:.3f}s",
+            "speedup": f"{iteration['speedup']:.2f}x",
+        },
+        {
+            "measurement": "streamed-epoch peak memory",
+            "seed": f"{memory['split_mib']:.1f} MiB split",
+            "pipeline": f"{memory['stream_peak_mib']:.1f} MiB peak",
+            "speedup": f"{memory['peak_fraction_of_split']:.3f} of split",
+        },
+    ]
+    publish(
+        "dataset_pipeline",
+        format_table(rows, title="Dataset pipeline: sharded store vs seed loader"),
+    )
+    to_json_file(results, RESULTS_DIR / "dataset_pipeline.json")
+    print("all pipeline assertions passed "
+          f"(ingest >= {MIN_INGEST_SPEEDUP}x, epoch >= {MIN_EPOCH_SPEEDUP}x, "
+          f"exact batch parity, peak <= {MAX_MEMORY_FRACTION} of split)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,11 @@ The subcommands cover the common workflows without writing any Python:
 * ``repro-autosf compare`` — summary table + overlaid any-time curves for
   several run directories (the paper's Fig. 6 comparison);
 
+* ``repro-autosf ingest`` — convert a TSV benchmark directory into a
+  sharded on-disk triple store (fixed-size ``.npy`` shards + manifest);
+  every dataset-taking subcommand then accepts ``--store DIR`` next to
+  ``--benchmark``/``--data``, and ``run`` can override a spec's dataset
+  section with ``--store``;
 * ``repro-autosf stats``  — print the Table III-style relation-pattern
   statistics of a built-in miniature benchmark or a TSV dataset directory;
 * ``repro-autosf train``  — train one named scoring function and report the
@@ -53,8 +58,9 @@ from typing import Optional
 from repro.analysis import CaseStudy, format_run_comparison, format_table
 from repro.core import AutoSFSearch
 from repro.core.execution import BACKEND_NAMES
-from repro.datasets import available_benchmarks, dataset_statistics
+from repro.datasets import DatasetError, available_benchmarks, dataset_statistics
 from repro.datasets.knowledge_graph import KnowledgeGraph
+from repro.datasets.pipeline import DEFAULT_SHARD_SIZE, TripleStore, ingest_tsv
 from repro.experiments import (
     DatasetSpec,
     ExperimentRunner,
@@ -125,6 +131,11 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
         help="built-in miniature benchmark to use (default: wn18rr)",
     )
     source.add_argument("--data", help="directory with train.txt/valid.txt/test.txt")
+    source.add_argument(
+        "--store",
+        help="sharded triple-store directory written by 'ingest' or "
+        "KnowledgeGraph.to_store (ExperimentSpec dataset.store section)",
+    )
     group.add_argument("--scale", type=float, default=0.5, help="miniature scale factor")
     group.add_argument("--seed", type=int, default=0, help="random seed")
 
@@ -170,11 +181,13 @@ def _add_training_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _dataset_spec_from_args(args: argparse.Namespace) -> DatasetSpec:
     """The dataset argument group as an ExperimentSpec section."""
+    store = getattr(args, "store", None)
     return DatasetSpec(
         benchmark=args.benchmark,
         data=args.data,
         scale=args.scale,
         seed=args.seed,
+        store={"path": store} if store else None,
     )
 
 
@@ -200,7 +213,10 @@ def _training_config_from_args(args: argparse.Namespace) -> TrainingConfig:
 
 
 def _load_graph(args: argparse.Namespace) -> KnowledgeGraph:
-    return _dataset_spec_from_args(args).load()
+    try:
+        return _dataset_spec_from_args(args).load()
+    except DatasetError as error:
+        raise SystemExit(str(error))
 
 
 def _training_config(args: argparse.Namespace) -> TrainingConfig:
@@ -223,6 +239,27 @@ def command_stats(args: argparse.Namespace) -> int:
     print(format_table([row], title="Relation-pattern statistics"))
     if statistics.inverse_pairs:
         print("inverse relation pairs:", statistics.inverse_pairs)
+    return 0
+
+
+def command_ingest(args: argparse.Namespace) -> int:
+    try:
+        store = ingest_tsv(
+            args.tsv_dir,
+            args.store_dir,
+            name=args.name,
+            shard_size=args.shard_size,
+            check_duplicates=not args.allow_duplicates,
+        )
+    except DatasetError as error:
+        raise SystemExit(str(error))
+    summary = store.summary()
+    print(f"ingested {args.tsv_dir} -> {store.directory}")
+    row = {"store": store.name}
+    row.update(summary)
+    print(format_table([row], title="Sharded triple store"))
+    print(f"use it with: repro-autosf train --store {store.directory}  "
+          f"(or a dataset.store spec section)")
     return 0
 
 
@@ -331,14 +368,24 @@ def command_run(args: argparse.Namespace) -> int:
         spec = ExperimentSpec.load(args.spec)
     except ConfigError as error:
         raise SystemExit(str(error))
+    if args.store:
+        # Override the dataset section: read from a sharded store instead.
+        try:
+            spec.dataset = DatasetSpec(store={"path": args.store})
+        except ConfigError as error:
+            raise SystemExit(str(error))
     run_dir = Path(args.run_dir) if args.run_dir else Path("runs") / spec.name
+    dataset_label = (
+        spec.dataset.store.path if spec.dataset.store is not None
+        else spec.dataset.data or spec.dataset.benchmark
+    )
     print(f"running experiment {spec.name!r} "
-          f"({spec.search.strategy} strategy, {spec.dataset.data or spec.dataset.benchmark}, "
+          f"({spec.search.strategy} strategy, {dataset_label}, "
           f"budget {args.budget or spec.search.budget or 'unbounded'}) -> {run_dir}")
     runner = ExperimentRunner(spec, run_dir)
     try:
         record = runner.run(max_evaluations=args.budget)
-    except ConfigError as error:
+    except (ConfigError, DatasetError) as error:
         raise SystemExit(str(error))
     except KeyboardInterrupt:
         print(f"\ninterrupted; completed evaluations are checkpointed — "
@@ -388,6 +435,24 @@ def _serving_filter_index(args: argparse.Namespace, artifact):
     """
     if not args.filter:
         return None
+    if getattr(args, "store", None):
+        # Shard-aware path: build the index straight from the store, never
+        # materializing the splits.
+        try:
+            store = TripleStore.open(args.store)
+        except DatasetError as error:
+            raise SystemExit(str(error))
+        if (
+            store.num_entities != artifact.num_entities
+            or store.num_relations != artifact.num_relations
+        ):
+            raise SystemExit(
+                f"--filter store {store.name} ({store.num_entities} entities, "
+                f"{store.num_relations} relations) does not match the artifact "
+                f"({artifact.num_entities} entities, {artifact.num_relations} "
+                f"relations); pass the store the model was trained on"
+            )
+        return known_positive_index(store)
     graph = _load_graph(args)
     if (
         graph.num_entities != artifact.num_entities
@@ -547,7 +612,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the spec's search.budget (cap on recorded evaluations, "
         "including cache replays)",
     )
+    run_parser.add_argument(
+        "--store",
+        help="override the spec's dataset section with a sharded triple-store "
+        "directory (sets dataset.store.path)",
+    )
     run_parser.set_defaults(handler=command_run)
+
+    ingest_parser = subparsers.add_parser(
+        "ingest",
+        help="convert a TSV benchmark directory into a sharded triple store",
+    )
+    ingest_parser.add_argument("tsv_dir", help="directory with train.txt/valid.txt/test.txt")
+    ingest_parser.add_argument("store_dir", help="output store directory")
+    ingest_parser.add_argument(
+        "--shard-size",
+        type=_positive_int,
+        default=DEFAULT_SHARD_SIZE,
+        help=f"triples per shard (default: {DEFAULT_SHARD_SIZE})",
+    )
+    ingest_parser.add_argument("--name", help="store label (default: the TSV directory name)")
+    ingest_parser.add_argument(
+        "--allow-duplicates",
+        action="store_true",
+        help="skip the duplicate-triple check (needed for dumps that "
+        "legitimately repeat triples within a split)",
+    )
+    ingest_parser.set_defaults(handler=command_ingest)
 
     compare_parser = subparsers.add_parser(
         "compare", help="compare experiment run directories (table + any-time curves)"

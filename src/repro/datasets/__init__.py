@@ -13,13 +13,30 @@ This subpackage provides:
 * A registry mapping benchmark names to generator profiles.
 * TSV loaders/writers compatible with the common ``head\trelation\ttail``
   benchmark format, so real dumps can be substituted in when available.
+* A streaming sharded pipeline (:mod:`repro.datasets.pipeline`):
+  fixed-size ``.npy`` triple shards + JSON manifest, a chunked TSV→shard
+  ingester, and :class:`~repro.datasets.pipeline.TripleStream`
+  deterministic shuffled mini-batches for million-triple workloads.
 """
 
+from repro.datasets.errors import DatasetError, UnknownBenchmarkError, UnseenSymbolError
 from repro.datasets.knowledge_graph import FilterIndex, KnowledgeGraph, Triple
 from repro.datasets.generators import (
     GeneratorProfile,
     generate_knowledge_graph,
     generate_relation_triples,
+    generate_streaming_store,
+)
+from repro.datasets.pipeline import (
+    DEFAULT_SHARD_SIZE,
+    StoreWriter,
+    TripleStore,
+    TripleStream,
+    build_filter_index,
+    entities_by_relation,
+    ingest_tsv,
+    stream_epoch_reference,
+    write_store,
 )
 from repro.datasets.registry import (
     BENCHMARK_PROFILES,
@@ -35,12 +52,25 @@ from repro.datasets.statistics import (
 from repro.datasets.io import load_tsv_dataset, write_tsv_dataset
 
 __all__ = [
+    "DatasetError",
+    "UnknownBenchmarkError",
+    "UnseenSymbolError",
     "FilterIndex",
     "KnowledgeGraph",
     "Triple",
     "GeneratorProfile",
     "generate_knowledge_graph",
     "generate_relation_triples",
+    "generate_streaming_store",
+    "DEFAULT_SHARD_SIZE",
+    "StoreWriter",
+    "TripleStore",
+    "TripleStream",
+    "build_filter_index",
+    "entities_by_relation",
+    "ingest_tsv",
+    "stream_epoch_reference",
+    "write_store",
     "BENCHMARK_PROFILES",
     "available_benchmarks",
     "load_benchmark",

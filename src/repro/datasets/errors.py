@@ -1,0 +1,44 @@
+"""Dataset-layer error types.
+
+:class:`DatasetError` is the single descriptive failure type raised by the
+TSV loaders (:mod:`repro.datasets.io`), the sharded pipeline
+(:mod:`repro.datasets.pipeline`) and the benchmark registry
+(:mod:`repro.datasets.registry`).  It subclasses :class:`ValueError` so
+pre-existing ``except ValueError`` call sites keep working.
+"""
+
+from __future__ import annotations
+
+
+class DatasetError(ValueError):
+    """A dataset input is malformed, inconsistent, or missing.
+
+    Messages always name the offending file (and line, when there is one),
+    so a bad TSV dump or a half-written store directory is diagnosable from
+    the error alone.
+    """
+
+
+class UnknownBenchmarkError(DatasetError, KeyError):
+    """An unregistered benchmark name was requested.
+
+    Subclasses both :class:`DatasetError` and :class:`KeyError`: the
+    registry historically raised ``KeyError``, and callers catching either
+    still work.  The message lists ``available_benchmarks()``.
+    """
+
+    # KeyError.__str__ would repr() the message, double-quoting every
+    # user-facing print of this error.
+    __str__ = BaseException.__str__
+
+
+class UnseenSymbolError(DatasetError, KeyError):
+    """An eval-split symbol is missing from the training vocabulary.
+
+    Raised by the TSV loaders when ``allow_unseen_in_eval`` is off.  Dual
+    inheritance for the same compatibility reason as
+    :class:`UnknownBenchmarkError` — this condition historically raised
+    ``KeyError``.
+    """
+
+    __str__ = BaseException.__str__

@@ -29,13 +29,16 @@ exactly the signal the AutoSF search consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.datasets.knowledge_graph import KnowledgeGraph
 from repro.datasets.statistics import RelationPattern
 from repro.utils.rng import RngLike, ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from repro.datasets.pipeline import TripleStore
 
 
 @dataclass
@@ -238,3 +241,62 @@ def generate_knowledge_graph(profile: GeneratorProfile, seed: Optional[int] = No
         name=profile.name,
         relation_names=relation_names,
     )
+
+
+def generate_streaming_store(
+    directory,
+    num_entities: int = 10_000,
+    num_relations: int = 32,
+    num_triples: int = 1_000_000,
+    shard_size: Optional[int] = None,
+    valid_fraction: float = 0.01,
+    test_fraction: float = 0.01,
+    seed: int = 0,
+    name: str = "synthetic-stream",
+    chunk_size: int = 1 << 18,
+) -> "TripleStore":
+    """Generate a large synthetic store directly on disk, in bounded memory.
+
+    The miniature generators above build pattern-controlled graphs entirely
+    in memory — right for search-quality experiments, a wall for
+    million-triple stress workloads.  This generator draws uniform random
+    triples in ``chunk_size`` blocks, assigns each row to train/valid/test
+    with the requested fractions, and appends straight into a sharded
+    :class:`~repro.datasets.pipeline.TripleStore`; peak memory is one chunk
+    plus one shard buffer regardless of ``num_triples``.  Fully
+    deterministic given ``seed``.
+    """
+    from repro.datasets.errors import DatasetError
+    from repro.datasets.pipeline import DEFAULT_SHARD_SIZE, StoreWriter
+
+    if num_entities < 2 or num_relations < 1:
+        raise DatasetError("need at least two entities and one relation")
+    if num_triples <= 0:
+        raise DatasetError("num_triples must be positive")
+    if not 0 <= valid_fraction < 1 or not 0 <= test_fraction < 1:
+        raise DatasetError("split fractions must be in [0, 1)")
+    if valid_fraction + test_fraction >= 1:
+        raise DatasetError("valid_fraction + test_fraction must be < 1")
+
+    rng = np.random.default_rng(seed)
+    writer = StoreWriter(
+        directory,
+        name=name,
+        shard_size=shard_size if shard_size is not None else DEFAULT_SHARD_SIZE,
+    )
+    remaining = int(num_triples)
+    while remaining > 0:
+        block = min(int(chunk_size), remaining)
+        rows = np.empty((block, 3), dtype=np.int64)
+        rows[:, 0] = rng.integers(0, num_entities, size=block)
+        rows[:, 1] = rng.integers(0, num_relations, size=block)
+        rows[:, 2] = rng.integers(0, num_entities, size=block)
+        draw = rng.random(block)
+        valid_mask = draw < valid_fraction
+        test_mask = (~valid_mask) & (draw < valid_fraction + test_fraction)
+        train_mask = ~(valid_mask | test_mask)
+        writer.append("train", rows[train_mask])
+        writer.append("valid", rows[valid_mask])
+        writer.append("test", rows[test_mask])
+        remaining -= block
+    return writer.finalize(num_entities, num_relations)

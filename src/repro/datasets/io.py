@@ -11,18 +11,26 @@ real WN18/FB15k dumps can drop them in place of the synthetic miniatures.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
+from repro.datasets.errors import DatasetError, UnseenSymbolError
 from repro.datasets.knowledge_graph import KnowledgeGraph
 
 PathLike = Union[str, Path]
 
 
-def _read_string_triples(path: Path) -> List[Tuple[str, str, str]]:
-    """Read one split file of string triples, skipping blank lines."""
+def _read_string_triples(path: Path, check_duplicates: bool = True) -> List[Tuple[str, str, str]]:
+    """Read one split file of string triples, skipping blank lines.
+
+    Malformed lines (not exactly three tab-separated fields) and — when
+    ``check_duplicates`` — duplicate triples within the file raise
+    :class:`DatasetError` naming file and line, so a broken dump is
+    diagnosable from the message alone.
+    """
     triples: List[Tuple[str, str, str]] = []
+    seen: Set[Tuple[str, str, str]] = set()
     with path.open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.rstrip("\n")
@@ -30,10 +38,19 @@ def _read_string_triples(path: Path) -> List[Tuple[str, str, str]]:
                 continue
             parts = line.split("\t")
             if len(parts) != 3:
-                raise ValueError(
+                raise DatasetError(
                     f"{path}:{line_number}: expected 3 tab-separated fields, got {len(parts)}"
                 )
-            triples.append((parts[0], parts[1], parts[2]))
+            triple = (parts[0], parts[1], parts[2])
+            if check_duplicates:
+                if triple in seen:
+                    raise DatasetError(
+                        f"{path}:{line_number}: duplicate triple "
+                        f"{parts[0]!r} {parts[1]!r} {parts[2]!r} "
+                        f"(pass check_duplicates=False to accept repeated triples)"
+                    )
+                seen.add(triple)
+            triples.append(triple)
     return triples
 
 
@@ -42,6 +59,7 @@ def _index_triples(
     entity_to_id: Dict[str, int],
     relation_to_id: Dict[str, int],
     grow: bool,
+    source: Optional[Path] = None,
 ) -> np.ndarray:
     """Convert string triples to index triples, optionally growing the vocab."""
     rows: List[Tuple[int, int, int]] = []
@@ -49,7 +67,10 @@ def _index_triples(
         for symbol, table in ((head, entity_to_id), (relation, relation_to_id), (tail, entity_to_id)):
             if symbol not in table:
                 if not grow:
-                    raise KeyError(f"symbol {symbol!r} not present in training vocabulary")
+                    where = f" ({source})" if source is not None else ""
+                    raise UnseenSymbolError(
+                        f"symbol {symbol!r} not present in training vocabulary{where}"
+                    )
                 table[symbol] = len(table)
         rows.append((entity_to_id[head], relation_to_id[relation], entity_to_id[tail]))
     return np.asarray(rows, dtype=np.int64).reshape(-1, 3)
@@ -62,6 +83,7 @@ def load_tsv_dataset(
     valid_file: str = "valid.txt",
     test_file: str = "test.txt",
     allow_unseen_in_eval: bool = True,
+    check_duplicates: bool = True,
 ) -> KnowledgeGraph:
     """Load a benchmark from a directory of TSV split files.
 
@@ -72,19 +94,27 @@ def load_tsv_dataset(
     allow_unseen_in_eval:
         When ``True`` (default), symbols that only appear in valid/test are
         added to the vocabulary; when ``False`` such symbols raise ``KeyError``.
+    check_duplicates:
+        When ``True`` (default), a triple repeated within a split file
+        raises :class:`~repro.datasets.errors.DatasetError` naming file and
+        line; pass ``False`` for dumps that legitimately repeat triples
+        (mirrors ``ingest_tsv(check_duplicates=False)``).
     """
     base = Path(directory)
-    train_strings = _read_string_triples(base / train_file)
-    valid_strings = _read_string_triples(base / valid_file)
-    test_strings = _read_string_triples(base / test_file)
+    train_strings = _read_string_triples(base / train_file, check_duplicates)
+    valid_strings = _read_string_triples(base / valid_file, check_duplicates)
+    test_strings = _read_string_triples(base / test_file, check_duplicates)
     if not train_strings:
-        raise ValueError(f"training split in {base} is empty")
+        raise DatasetError(f"training split in {base} is empty")
 
     entity_to_id: Dict[str, int] = {}
     relation_to_id: Dict[str, int] = {}
-    train = _index_triples(train_strings, entity_to_id, relation_to_id, grow=True)
-    valid = _index_triples(valid_strings, entity_to_id, relation_to_id, grow=allow_unseen_in_eval)
-    test = _index_triples(test_strings, entity_to_id, relation_to_id, grow=allow_unseen_in_eval)
+    train = _index_triples(train_strings, entity_to_id, relation_to_id, grow=True,
+                           source=base / train_file)
+    valid = _index_triples(valid_strings, entity_to_id, relation_to_id,
+                           grow=allow_unseen_in_eval, source=base / valid_file)
+    test = _index_triples(test_strings, entity_to_id, relation_to_id,
+                          grow=allow_unseen_in_eval, source=base / test_file)
 
     entity_names = tuple(sorted(entity_to_id, key=entity_to_id.get))
     relation_names = tuple(sorted(relation_to_id, key=relation_to_id.get))

@@ -111,8 +111,21 @@ class FilterIndex:
 
 
 def _as_triple_array(triples: Iterable[Sequence[int]]) -> np.ndarray:
-    """Normalize any iterable of (h, r, t) into an ``(n, 3) int64`` array."""
-    array = np.asarray(list(triples), dtype=np.int64)
+    """Normalize any iterable of (h, r, t) into an ``(n, 3) int64`` array.
+
+    A *read-only* int64 ndarray (a memmap from a sharded store, or a split
+    the store loader froze) passes through as a zero-copy view —
+    listifying a million-row memmap would defeat memory-mapped storage.
+    Writable inputs are copied, as they always were: the graph is
+    immutable, so it must not alias an array the caller may mutate.
+    """
+    if isinstance(triples, np.ndarray):
+        if triples.dtype == np.int64 and not triples.flags.writeable:
+            array = np.asarray(triples)
+        else:
+            array = np.array(triples, dtype=np.int64)
+    else:
+        array = np.asarray(list(triples), dtype=np.int64)
     if array.size == 0:
         return array.reshape(0, 3)
     if array.ndim != 2 or array.shape[1] != 3:
@@ -332,6 +345,33 @@ class KnowledgeGraph:
             entity_names=tuple(entity_names) if entity_names is not None else None,
             relation_names=tuple(relation_names) if relation_names is not None else None,
             name=name,
+        )
+
+    # ------------------------------------------------------------------
+    # Sharded-store interop (see repro.datasets.pipeline)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_store(cls, directory, mmap: bool = True) -> "KnowledgeGraph":
+        """Load a graph from a sharded triple store directory.
+
+        Splits are materialized in memory (this is the exact parity path
+        next to which the store exists); use
+        :class:`~repro.datasets.pipeline.TripleStream` for bounded-memory
+        iteration over large splits.  ``mmap`` controls how the shards are
+        read while materializing.
+        """
+        from repro.datasets.pipeline import TripleStore
+
+        return TripleStore.open(directory, mmap=mmap).to_graph()
+
+    def to_store(self, directory, shard_size: Optional[int] = None):
+        """Write this graph as a sharded on-disk store; returns the store."""
+        from repro.datasets.pipeline import DEFAULT_SHARD_SIZE, write_store
+
+        return write_store(
+            self,
+            directory,
+            shard_size=shard_size if shard_size is not None else DEFAULT_SHARD_SIZE,
         )
 
     def summary(self) -> Mapping[str, int]:

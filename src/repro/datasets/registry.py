@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.datasets.errors import UnknownBenchmarkError
 from repro.datasets.generators import GeneratorProfile, generate_knowledge_graph
 from repro.datasets.knowledge_graph import KnowledgeGraph
 from repro.datasets.statistics import RelationPattern
@@ -148,7 +149,7 @@ def load_benchmark(
     """
     key = name.lower().replace("-", "").replace("_", "")
     if key not in BENCHMARK_PROFILES:
-        raise KeyError(
+        raise UnknownBenchmarkError(
             f"unknown benchmark {name!r}; available: {', '.join(available_benchmarks())}"
         )
     profile = BENCHMARK_PROFILES[key]

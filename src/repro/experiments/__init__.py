@@ -42,6 +42,7 @@ from repro.experiments.spec import (
     ExportSpec,
     HPOSpec,
     SearchSpec,
+    StoreSpec,
     load_spec,
 )
 from repro.experiments.strategies import (
@@ -64,6 +65,7 @@ __all__ = [
     "ExportSpec",
     "HPOSpec",
     "SearchSpec",
+    "StoreSpec",
     "load_spec",
     "SearchLoop",
     "SearchState",

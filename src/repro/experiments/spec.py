@@ -35,6 +35,7 @@ from typing import Any, Dict, Optional, Union
 
 from repro.datasets import available_benchmarks, load_benchmark, load_tsv_dataset
 from repro.datasets.knowledge_graph import KnowledgeGraph
+from repro.datasets.pipeline import DEFAULT_SHARD_SIZE
 from repro.utils.config import (
     EXECUTION_BACKENDS,
     ConfigError,
@@ -55,21 +56,64 @@ HPO_METHODS = ("random", "tpe")
 
 
 @dataclass
+class StoreSpec:
+    """A sharded on-disk triple store as the experiment's dataset source.
+
+    ``path`` names a store directory written by ``repro-autosf ingest`` /
+    :meth:`~repro.datasets.knowledge_graph.KnowledgeGraph.to_store`;
+    ``mmap`` controls whether shards are memory-mapped while reading and
+    ``shard_size`` is the shard granularity used when the spec *writes* a
+    store (e.g. materializing a benchmark into one).
+    """
+
+    path: str = ""
+    shard_size: int = DEFAULT_SHARD_SIZE
+    mmap: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.path or not isinstance(self.path, str):
+            raise ConfigError("StoreSpec.path: must be a non-empty string")
+        if self.shard_size <= 0:
+            raise ConfigError("StoreSpec.shard_size: must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"path": self.path, "shard_size": self.shard_size, "mmap": self.mmap}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StoreSpec":
+        return config_from_dict(cls, data)
+
+
+@dataclass
 class DatasetSpec:
     """Which knowledge graph the experiment runs on.
 
-    Either a built-in miniature ``benchmark`` (scaled by ``scale`` and
-    sub-sampled with ``seed``) or a ``data`` directory holding
-    ``train.txt``/``valid.txt``/``test.txt`` in the standard TSV format.
+    One of: a built-in miniature ``benchmark`` (scaled by ``scale`` and
+    sub-sampled with ``seed``), a ``data`` directory holding
+    ``train.txt``/``valid.txt``/``test.txt`` in the standard TSV format, or
+    a sharded on-disk ``store`` section (see :class:`StoreSpec`).  When
+    ``store`` is given it wins over the other two sources.
     """
 
     benchmark: str = "wn18rr"
     data: Optional[str] = None
     scale: float = 0.5
     seed: int = 0
+    store: Optional[StoreSpec] = None
 
     def __post_init__(self) -> None:
-        if self.data is None and self.benchmark not in available_benchmarks():
+        if isinstance(self.store, dict):
+            self.store = StoreSpec.from_dict(self.store)
+        elif self.store is not None and not isinstance(self.store, StoreSpec):
+            raise ConfigError(
+                f"DatasetSpec.store: expected a mapping or StoreSpec, "
+                f"got {type(self.store).__name__} ({self.store!r})"
+            )
+        if (
+            self.store is None
+            and self.data is None
+            and self.benchmark not in available_benchmarks()
+        ):
             raise ConfigError(
                 f"DatasetSpec.benchmark: unknown benchmark {self.benchmark!r} "
                 f"(available: {', '.join(available_benchmarks())})"
@@ -79,6 +123,8 @@ class DatasetSpec:
 
     def load(self) -> KnowledgeGraph:
         """Materialize the graph this section describes."""
+        if self.store is not None:
+            return KnowledgeGraph.from_store(self.store.path, mmap=self.store.mmap)
         if self.data:
             return load_tsv_dataset(self.data, name=str(self.data))
         return load_benchmark(self.benchmark, scale=self.scale, seed=self.seed)
@@ -89,10 +135,13 @@ class DatasetSpec:
             "data": self.data,
             "scale": self.scale,
             "seed": self.seed,
+            "store": self.store.to_dict() if self.store is not None else None,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "DatasetSpec":
+        # __post_init__ coerces a plain-dict store section via
+        # StoreSpec.from_dict, so no pre-conversion is needed here.
         return config_from_dict(cls, data)
 
 

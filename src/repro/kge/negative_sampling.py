@@ -122,6 +122,32 @@ class BernoulliNegativeSampler(NegativeSampler):
                 observed = np.arange(graph.num_entities)
             self._entities_by_relation[relation] = observed
 
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        num_negatives: int,
+        rng: RngLike = None,
+        consistent_fraction: float = 0.5,
+    ) -> "BernoulliNegativeSampler":
+        """Build the sampler from a sharded triple store, shard by shard.
+
+        Produces exactly the per-relation pools the in-memory constructor
+        computes (sorted unique train entities, full-range fallback for
+        relations with no triples) without materializing the training
+        split — the pools come from
+        :func:`repro.datasets.pipeline.entities_by_relation`.
+        """
+        from repro.datasets.pipeline import entities_by_relation
+
+        if not 0 <= consistent_fraction <= 1:
+            raise ValueError("consistent_fraction must be in [0, 1]")
+        sampler = cls.__new__(cls)
+        NegativeSampler.__init__(sampler, store.num_entities, num_negatives, rng)
+        sampler.consistent_fraction = float(consistent_fraction)
+        sampler._entities_by_relation = entities_by_relation(store, splits=("train",))
+        return sampler
+
     def sample(self, positives: np.ndarray, relations: Optional[np.ndarray] = None) -> np.ndarray:
         positives = np.asarray(positives, dtype=np.int64)
         negatives = self.rng.integers(

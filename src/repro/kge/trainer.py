@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 import numpy as np
 
@@ -39,6 +39,9 @@ from repro.kge.regularizers import L2Regularizer, Regularizer
 from repro.kge.scoring.base import HEAD, TAIL, ParamDict, ScoringFunction
 from repro.utils.config import TrainingConfig
 from repro.utils.rng import ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from repro.datasets.pipeline import TripleStream as TripleStreamLike
 
 
 @dataclass
@@ -111,8 +114,13 @@ class Trainer:
     # ------------------------------------------------------------------
     # Parameter initialization
     # ------------------------------------------------------------------
-    def initialize(self, graph: KnowledgeGraph) -> ParamDict:
-        """Initialize the parameter dict for ``graph``."""
+    def initialize(self, graph) -> ParamDict:
+        """Initialize the parameter dict for ``graph``.
+
+        Duck-typed: anything exposing ``num_entities``/``num_relations``
+        works — a :class:`KnowledgeGraph` or a
+        :class:`repro.datasets.pipeline.TripleStream`.
+        """
         return self.scoring_function.init_params(
             num_entities=graph.num_entities,
             num_relations=graph.num_relations,
@@ -175,20 +183,34 @@ class Trainer:
     # ------------------------------------------------------------------
     def fit(
         self,
-        graph: KnowledgeGraph,
+        graph: Optional[KnowledgeGraph],
         params: Optional[ParamDict] = None,
         validation_callback: Optional[Callable[[ParamDict], float]] = None,
+        stream: Optional["TripleStreamLike"] = None,
     ) -> tuple:
-        """Train on ``graph.train``.
+        """Train on ``graph.train`` (or on a streaming mini-batch source).
 
         Parameters
         ----------
+        graph:
+            The training graph.  May be ``None`` when ``stream`` is given:
+            the stream then supplies the vocabulary sizes too
+            (``num_entities``/``num_relations``), so a large store never
+            needs materializing into a graph just to train on it.
         params:
             Optional pre-initialized parameters (e.g. to continue training).
         validation_callback:
             Called with the current parameters whenever validation is due
             (every ``config.eval_every`` epochs); must return a scalar score
             where higher is better (normally the filtered validation MRR).
+        stream:
+            Optional :class:`repro.datasets.pipeline.TripleStream` (or any
+            object with ``epoch(i)`` yielding ``(n, 3)`` batches and
+            ``num_triples``/``num_entities``/``num_relations`` attributes).
+            When given, mini-batches come from the stream's deterministic
+            two-level shuffle instead of a global permutation of
+            ``graph.train``, so the training split is never materialized —
+            the engine only ever sees one batch at a time.
 
         Returns
         -------
@@ -208,11 +230,16 @@ class Trainer:
         ``eval_every=e`` and ``early_stopping_patience=p`` training stops
         ``e * p`` epochs after the best evaluation at the earliest.
         """
+        if graph is None and stream is None:
+            raise ValueError("fit needs a graph, a stream, or both")
         if params is None:
-            params = self.initialize(graph)
+            # A TripleStream carries the vocabulary sizes, so it can stand
+            # in for the graph during parameter initialization.
+            params = self.initialize(graph if graph is not None else stream)
         history = TrainingHistory()
-        train = graph.train
-        if train.shape[0] == 0:
+        train = graph.train if graph is not None else None
+        num_train = stream.num_triples if stream is not None else train.shape[0]
+        if num_train == 0:
             raise ValueError("cannot train on an empty training split")
 
         best_score = -np.inf
@@ -222,13 +249,18 @@ class Trainer:
         start_time = time.perf_counter()
 
         for epoch in range(1, self.config.epochs + 1):
-            order = self.rng.permutation(train.shape[0])
             epoch_loss = 0.0
             num_batches = 0
-            for begin in range(0, train.shape[0], self.config.batch_size):
-                batch = train[order[begin : begin + self.config.batch_size]]
-                epoch_loss += self.train_step(params, batch)
-                num_batches += 1
+            if stream is not None:
+                for batch in stream.epoch(epoch - 1):
+                    epoch_loss += self.train_step(params, np.asarray(batch))
+                    num_batches += 1
+            else:
+                order = self.rng.permutation(train.shape[0])
+                for begin in range(0, train.shape[0], self.config.batch_size):
+                    batch = train[order[begin : begin + self.config.batch_size]]
+                    epoch_loss += self.train_step(params, batch)
+                    num_batches += 1
             self.optimizer.decay()
             mean_loss = epoch_loss / max(num_batches, 1)
 

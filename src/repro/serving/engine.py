@@ -58,8 +58,15 @@ def known_positive_index(
 
     Defaults to train+valid: those are the triples the deployment already
     knows, while test stands in for the unseen future the engine should be
-    free to predict.
+    free to predict.  Accepts either an in-memory
+    :class:`~repro.datasets.knowledge_graph.KnowledgeGraph` or a sharded
+    :class:`~repro.datasets.pipeline.TripleStore`; the store path streams
+    shard by shard instead of concatenating the splits.
     """
+    if hasattr(graph, "iter_shards"):  # a sharded TripleStore
+        from repro.datasets.pipeline import build_filter_index
+
+        return build_filter_index(graph, splits=splits)
     triples = np.concatenate([graph.split(split) for split in splits], axis=0)
     return FilterIndex.build(triples, graph.num_relations)
 

@@ -1,4 +1,13 @@
-"""Shared fixtures: small graphs and configurations sized for fast tests."""
+"""Shared fixtures and the tiered-test harness.
+
+Fixtures: small graphs and configurations sized for fast tests.
+
+Tiers: tests carrying one of the markers registered in ``pyproject.toml``
+(``slow`` — long integration runs, ``property`` — hypothesis suites,
+``bench`` — timing tests) form tier 2 and are skipped by the default
+``pytest -x -q`` run (tier 1).  Pass ``--runslow`` to run them; CI has a
+dedicated tier-2 job.  See TESTING.md.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +17,32 @@ import pytest
 from repro.datasets import GeneratorProfile, KnowledgeGraph, generate_knowledge_graph
 from repro.datasets.statistics import RelationPattern
 from repro.utils.config import PredictorConfig, SearchConfig, TrainingConfig
+
+#: Markers whose tests are tier 2 (skipped unless --runslow is given).
+TIER2_MARKERS = ("slow", "property", "bench")
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tier-2 tests (marked slow / property / bench)",
+    )
+
+
+def pytest_collection_modifyitems(config: pytest.Config, items) -> None:
+    if config.getoption("--runslow"):
+        return
+    skips = {
+        marker: pytest.mark.skip(reason=f"tier-2 ({marker}) test: pass --runslow to run")
+        for marker in TIER2_MARKERS
+    }
+    for item in items:
+        for marker in TIER2_MARKERS:
+            if marker in item.keywords:
+                item.add_marker(skips[marker])
+                break
 
 
 @pytest.fixture(scope="session")

@@ -74,6 +74,7 @@ class TestRegistry:
             _STRATEGIES.pop("fixed-menu", None)
 
 
+@pytest.mark.slow  # tier 2: three full searches per strategy
 class TestLegacyParity:
     """Same seeds => identical trajectories through either API (satellite)."""
 

@@ -1,0 +1,92 @@
+"""Golden-run regression suite.
+
+``tests/golden/run/`` holds the four contract files of a miniature
+completed run produced by :class:`repro.experiments.ExperimentRunner`
+(``spec.json`` / ``manifest.json`` / ``history.jsonl`` / ``report.json``).
+Re-running the committed spec must reproduce the recorded metrics within a
+tight numeric tolerance — searching and training are deterministic given
+the spec's seeds, so any drift here means a refactor changed search or
+training behavior, not just its implementation.
+
+To refresh the golden run after an *intentional* behavior change, re-run
+the spec and copy the four files (see TESTING.md, "Refreshing the golden
+run").
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    ExperimentSpec,
+    load_run,
+    spec_digest,
+    validate_run_directory,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "run"
+
+#: Metric tolerance: runs are bit-deterministic on one platform; the small
+#: slack absorbs float summation differences across numpy builds.
+TOLERANCE = 1e-9
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return load_run(GOLDEN_DIR)
+
+
+@pytest.fixture(scope="module")
+def rerun(golden, tmp_path_factory):
+    spec = ExperimentSpec.load(GOLDEN_DIR / "spec.json")
+    return ExperimentRunner(spec, tmp_path_factory.mktemp("golden-rerun") / "run").run()
+
+
+class TestGoldenDirectory:
+    def test_is_a_valid_completed_run(self):
+        manifest = validate_run_directory(GOLDEN_DIR)
+        assert manifest["status"] == "completed"
+
+    def test_spec_digest_matches_manifest(self, golden):
+        assert golden.manifest["spec_digest"] == spec_digest(golden.spec)
+
+    def test_history_is_complete(self, golden):
+        assert len(golden.history) == golden.report["num_evaluations"]
+        orders = [record["order"] for record in golden.history]
+        assert orders == list(range(orders[0], orders[0] + len(orders)))
+
+
+class TestGoldenRegression:
+    def test_best_mrr_reproduces(self, golden, rerun):
+        assert rerun.best_mrr == pytest.approx(golden.best_mrr, abs=TOLERANCE)
+
+    def test_best_structure_reproduces(self, golden, rerun):
+        assert (
+            rerun.report["best_structure"]["blocks"]
+            == golden.report["best_structure"]["blocks"]
+        )
+
+    def test_anytime_curve_reproduces(self, golden, rerun):
+        np.testing.assert_allclose(
+            rerun.anytime_curve(), golden.anytime_curve(), atol=TOLERANCE
+        )
+
+    def test_history_reproduces_evaluation_by_evaluation(self, golden, rerun):
+        assert len(rerun.history) == len(golden.history)
+        for got, expected in zip(rerun.history, golden.history):
+            assert got["structure"]["blocks"] == expected["structure"]["blocks"]
+            assert got["validation_mrr"] == pytest.approx(
+                expected["validation_mrr"], abs=TOLERANCE
+            )
+
+    def test_rerun_is_itself_a_valid_run_directory(self, rerun):
+        manifest = validate_run_directory(rerun.path)
+        assert manifest["status"] == "completed"
+        # the best model retrained from the winning structure is loadable
+        model = rerun.load_best_model()
+        assert model.params is not None

@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow  # tier 2: run with --runslow
+
 from repro.analysis import CaseStudy, transfer_matrix
 from repro.core import AutoSFSearch, CandidateEvaluator, RandomSearch
 from repro.datasets import dataset_statistics, load_benchmark

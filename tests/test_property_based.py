@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
+
+pytestmark = pytest.mark.property  # tier 2: run with --runslow
 from hypothesis import strategies as st
 
 from repro.core.constraints import satisfies_c2
