@@ -9,7 +9,9 @@ set the environment variable ``REPRO_BENCH_SCALE`` (default 0.3) and
 from __future__ import annotations
 
 import os
+import subprocess
 from pathlib import Path
+from typing import Any, Dict
 
 try:  # CI benchmark jobs install only numpy; the fixture below is optional.
     import pytest
@@ -17,6 +19,7 @@ except ImportError:  # pragma: no cover - exercised on minimal installs
     pytest = None
 
 from repro.utils.config import PredictorConfig, SearchConfig, TrainingConfig
+from repro.utils.serialization import to_json_file
 
 #: Fraction of the miniature-profile size used by default in benches.
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
@@ -27,6 +30,53 @@ BENCH_DIMENSION = int(os.environ.get("REPRO_BENCH_DIMENSION", "16"))
 
 #: Where the printed tables are also written as text files.
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Repository root — ``BENCH_<area>.json`` trajectory files land here so the
+#: perf history of a checkout is visible at a glance (and easy for CI to
+#: upload as artifacts).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Version of the ``BENCH_<area>.json`` payload layout.
+BENCH_SCHEMA_VERSION = 1
+
+
+def git_revision() -> str:
+    """The current git commit hash, or ``"unknown"`` outside a checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return completed.stdout.strip() or "unknown"
+
+
+def write_bench_summary(area: str, config: Dict[str, Any], metrics: Dict[str, Any]) -> Path:
+    """Write the machine-readable ``BENCH_<area>.json`` trajectory file.
+
+    Every ``bench_*.py --quick`` run records its headline numbers here
+    (see ``run_all.py``), one file per benchmark area at the repo root::
+
+        {"schema_version": 1, "area": ..., "revision": <git hash>,
+         "config": {...knobs that shaped the run...},
+         "metrics": {...headline numbers...}}
+
+    Comparing the same area's file across revisions gives the perf
+    trajectory of the project without re-running old checkouts.
+    """
+    payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "area": area,
+        "revision": git_revision(),
+        "config": config,
+        "metrics": metrics,
+    }
+    return to_json_file(payload, REPO_ROOT / f"BENCH_{area}.json")
 
 
 def bench_training_config(**overrides) -> TrainingConfig:

@@ -37,7 +37,7 @@ from pathlib import Path
 
 import numpy as np
 
-from _helpers import publish, RESULTS_DIR
+from _helpers import publish, write_bench_summary, RESULTS_DIR
 
 from repro.analysis import format_table
 from repro.datasets import (
@@ -284,6 +284,22 @@ def main() -> int:
         format_table(rows, title="Dataset pipeline: sharded store vs seed loader"),
     )
     to_json_file(results, RESULTS_DIR / "dataset_pipeline.json")
+    write_bench_summary(
+        "dataset",
+        config={
+            "quick": bool(args.quick),
+            "tsv_train": tsv_train,
+            "store_triples": store_triples,
+            "epochs": epochs,
+        },
+        metrics={
+            "ingest_speedup": ingestion["speedup"],
+            "epoch_speedup": iteration["speedup"],
+            "store_generation_seconds": round(generation_seconds, 2),
+            "stream_peak_mib": memory["stream_peak_mib"],
+            "peak_fraction_of_split": memory["peak_fraction_of_split"],
+        },
+    )
     print("all pipeline assertions passed "
           f"(ingest >= {MIN_INGEST_SPEEDUP}x, epoch >= {MIN_EPOCH_SPEEDUP}x, "
           f"exact batch parity, peak <= {MAX_MEMORY_FRACTION} of split)")

@@ -30,7 +30,7 @@ import time
 
 import numpy as np
 
-from _helpers import bench_training_config, publish, RESULTS_DIR
+from _helpers import bench_training_config, publish, write_bench_summary, RESULTS_DIR
 
 from repro.analysis import format_table
 from repro.datasets import load_benchmark
@@ -175,6 +175,22 @@ def main(argv=None) -> int:
     text, data = build_report(quick=args.quick)
     publish("query_throughput", text)
     to_json_file(data, RESULTS_DIR / "query_throughput.json")
+    write_bench_summary(
+        "query",
+        config={
+            "quick": args.quick,
+            "benchmark": data["benchmark"],
+            "entities": data["entities"],
+            "queries": data["queries"],
+        },
+        metrics={
+            "speedup_min": min(row["speedup"] for row in data["throughput"]),
+            "batched_qps": {
+                row["structure"]: row["batched_qps"] for row in data["throughput"]
+            },
+            "worst_score_delta": data["worst_score_delta"],
+        },
+    )
 
     if data["worst_score_delta"] > 1e-9:
         print(f"FAIL: engine/oracle score delta {data['worst_score_delta']:.2e} > 1e-9")

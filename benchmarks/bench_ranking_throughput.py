@@ -10,15 +10,28 @@ Two measurements back the execution-engine work:
   backend vs the process-pool backend (1 vs N workers).
 
 Results are published as a table *and* as ``results/ranking_throughput.json``
-so the speedup can be tracked across revisions.
+so the speedup can be tracked across revisions.  Runs either under pytest
+(``pytest bench_ranking_throughput.py --runslow``) or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_ranking_throughput.py --quick
+
+The standalone entry point also records the headline numbers in
+``BENCH_ranking.json`` at the repo root (see ``run_all.py``).
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import time
 
-from _helpers import bench_search_config, bench_training_config, publish, RESULTS_DIR
+from _helpers import (
+    bench_search_config,
+    bench_training_config,
+    publish,
+    write_bench_summary,
+    RESULTS_DIR,
+)
 
 from repro.analysis import format_table
 from repro.core import AutoSFSearch, ProcessPoolBackend, SerialBackend
@@ -50,14 +63,18 @@ def _time(function, repeats: int = 3) -> float:
     return best
 
 
-def measure_ranking() -> dict:
+def measure_ranking(repeats: int = 3) -> dict:
     graph = load_benchmark(LARGEST_BENCHMARK, scale=1.0)
     scoring_function = BlockScoringFunction(classical_structure("simple"))
     config = bench_training_config(epochs=2)
     params, _history = Trainer(scoring_function, config).fit(graph)
 
-    vectorized_seconds = _time(lambda: compute_ranks(scoring_function, params, graph))
-    reference_seconds = _time(lambda: compute_ranks_reference(scoring_function, params, graph))
+    vectorized_seconds = _time(
+        lambda: compute_ranks(scoring_function, params, graph), repeats=repeats
+    )
+    reference_seconds = _time(
+        lambda: compute_ranks_reference(scoring_function, params, graph), repeats=repeats
+    )
     num_queries = 2 * graph.num_test  # tail + head query per test triple
     return {
         "benchmark": graph.name,
@@ -69,21 +86,21 @@ def measure_ranking() -> dict:
     }
 
 
-def measure_search_wall_clock() -> dict:
+def measure_search_wall_clock(budget: int = SEARCH_BUDGET) -> dict:
     graph = load_benchmark(LARGEST_BENCHMARK)
     training_config = bench_training_config(epochs=4)
     search_config = bench_search_config()
 
     start = time.perf_counter()
     serial = AutoSFSearch(graph, training_config, search_config, backend=SerialBackend()).run(
-        max_evaluations=SEARCH_BUDGET
+        max_evaluations=budget
     )
     serial_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
     parallel = AutoSFSearch(
         graph, training_config, search_config, backend=ProcessPoolBackend(NUM_WORKERS)
-    ).run(max_evaluations=SEARCH_BUDGET)
+    ).run(max_evaluations=budget)
     parallel_seconds = time.perf_counter() - start
 
     assert serial.best_mrr == parallel.best_mrr, "backends must agree bitwise"
@@ -96,9 +113,9 @@ def measure_search_wall_clock() -> dict:
     }
 
 
-def build_report() -> tuple:
-    ranking = measure_ranking()
-    search = measure_search_wall_clock()
+def build_report(quick: bool = False) -> tuple:
+    ranking = measure_ranking(repeats=1 if quick else 3)
+    search = measure_search_wall_clock(budget=4 if quick else SEARCH_BUDGET)
     table = format_table(
         [ranking], title="Filtered-ranking throughput (vectorized vs scalar reference)"
     ) + "\n" + format_table([search], title="Search wall-clock, 1 vs N workers")
@@ -116,3 +133,41 @@ def test_ranking_throughput(benchmark):
     # Acceptance: the vectorized path is at least 3x the scalar reference on
     # the largest built-in benchmark (in practice it is far beyond that).
     assert data["ranking"]["speedup"] >= 3.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: single repeat, smaller search budget",
+    )
+    args = parser.parse_args(argv)
+
+    text, data = build_report(quick=args.quick)
+    publish("ranking_throughput", text)
+    to_json_file(data, RESULTS_DIR / "ranking_throughput.json")
+    write_bench_summary(
+        "ranking",
+        config={
+            "quick": args.quick,
+            "benchmark": data["ranking"]["benchmark"],
+            "entities": data["ranking"]["entities"],
+            "workers": data["search"]["workers"],
+        },
+        metrics={
+            "vectorized_qps": data["ranking"]["vectorized_qps"],
+            "scalar_qps": data["ranking"]["scalar_qps"],
+            "ranking_speedup": data["ranking"]["speedup"],
+            "search_serial_seconds": data["search"]["serial_seconds"],
+        },
+    )
+    if data["ranking"]["speedup"] < 3.0:
+        print(f"FAIL: ranking speedup {data['ranking']['speedup']:.2f}x below the 3x floor")
+        return 1
+    print(f"OK: vectorized ranking {data['ranking']['speedup']:.2f}x over the scalar reference")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

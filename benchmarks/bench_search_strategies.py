@@ -29,7 +29,14 @@ import argparse
 import tempfile
 import time
 
-from _helpers import BENCH_EPOCHS, BENCH_SCALE, RESULTS_DIR, bench_training_config, publish
+from _helpers import (
+    BENCH_EPOCHS,
+    BENCH_SCALE,
+    RESULTS_DIR,
+    bench_training_config,
+    publish,
+    write_bench_summary,
+)
 
 from repro.analysis import format_series, format_table
 from repro.core.store import EvaluationStore
@@ -147,6 +154,18 @@ def main(argv=None) -> int:
     text, data = build_report(quick=args.quick)
     publish("search_strategies", text)
     to_json_file(data, RESULTS_DIR / "search_strategies.json")
+    write_bench_summary(
+        "search",
+        config={"quick": args.quick, "budget": data["budget"]},
+        metrics={
+            strategy: {
+                "best_mrr": outcome["best_mrr"],
+                "cold_wall_seconds": outcome["wall_seconds"],
+                "warm_wall_seconds": outcome["warm_wall_seconds"],
+            }
+            for strategy, outcome in data["strategies"].items()
+        },
+    )
     return 0
 
 

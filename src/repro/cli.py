@@ -43,7 +43,8 @@ The subcommands cover the common workflows without writing any Python:
 the built-in miniatures) or ``--data <dir>`` (a directory with ``train.txt``
 / ``valid.txt`` / ``test.txt`` in the standard tab-separated format).
 ``train`` and ``search`` additionally take ``--train-engine
-{batched,reference}`` (the fused fast path vs the parity-oracle loop) and
+{batched,reference,sparse}`` (the fused fast path, the parity-oracle loop,
+or the touched-rows-only engine for pairwise losses) and
 ``--score-chunk-size N`` (bound training memory by scoring candidates in
 entity chunks); both travel inside the training config, so worker processes
 use the same engine as in-process runs.
@@ -153,7 +154,9 @@ def _add_training_arguments(parser: argparse.ArgumentParser) -> None:
         choices=TRAIN_ENGINES,
         default="batched",
         help="per-batch training engine: 'batched' is the fused fast path, "
-        "'reference' the original loop kept as the parity oracle (default: batched)",
+        "'reference' the original loop kept as the parity oracle, 'sparse' "
+        "updates only the rows each batch touches (pairwise losses) "
+        "(default: batched)",
     )
     group.add_argument(
         "--score-chunk-size",

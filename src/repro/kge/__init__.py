@@ -14,8 +14,9 @@ training and evaluation pipeline of Alg. 1 of the AutoSF paper:
 * :mod:`repro.kge.trainer` — the stochastic training loop (epochs,
   validation, early stopping with best-checkpoint restore).
 * :mod:`repro.kge.engine` — pluggable per-batch training engines: the
-  fused, entity-chunked ``"batched"`` fast path and the ``"reference"``
-  loop kept as the parity oracle.
+  fused, entity-chunked ``"batched"`` fast path, the touched-rows-only
+  ``"sparse"`` engine for pairwise losses and the ``"reference"`` loop kept
+  as the parity oracle.
 * :mod:`repro.kge.evaluation` — filtered link-prediction metrics (MRR,
   Hits@k) and triplet classification.
 """
@@ -23,6 +24,7 @@ training and evaluation pipeline of Alg. 1 of the AutoSF paper:
 from repro.kge.engine import (
     BatchedTrainEngine,
     ReferenceTrainEngine,
+    SparseTrainEngine,
     TrainEngine,
     get_train_engine,
 )
@@ -58,6 +60,7 @@ from repro.kge.scoring import (
 __all__ = [
     "BatchedTrainEngine",
     "ReferenceTrainEngine",
+    "SparseTrainEngine",
     "TrainEngine",
     "get_train_engine",
     "KGEModel",

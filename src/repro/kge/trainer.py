@@ -12,7 +12,8 @@ figure (Fig. 4) and the early-stopping logic consume.
 
 The per-batch loss/gradient computation is delegated to a
 :class:`repro.kge.engine.TrainEngine` (``TrainingConfig.train_engine``):
-``"batched"`` is the fused, entity-chunked fast path and ``"reference"`` the
+``"batched"`` is the fused, entity-chunked fast path, ``"sparse"`` the
+touched-rows-only path for pairwise losses, and ``"reference"`` the
 original loop kept as the parity oracle.  Whenever validation runs during
 ``fit`` the trainer snapshots the best-validation parameters (and optimizer
 state) and restores them before returning, so the returned parameters are
@@ -168,15 +169,13 @@ class Trainer:
     def train_step(self, params: ParamDict, batch: np.ndarray) -> float:
         """Run one mini-batch update; return the batch loss.
 
-        The loss/gradient computation is delegated to the configured
-        :class:`~repro.kge.engine.TrainEngine`; regularization and the
-        optimizer step are engine-independent.
+        Fully delegated to the configured
+        :class:`~repro.kge.engine.TrainEngine`: dense engines allocate a
+        full gradient dict, add the regularizer gradient and call
+        :meth:`Optimizer.step`, while the sparse engine routes compact
+        per-row gradients through :meth:`Optimizer.step_sparse`.
         """
-        grads = self.scoring_function.zero_grads(params)
-        value = self.engine.accumulate_batch(self, params, batch, grads)
-        self.regularizer.add_gradients(params, grads)
-        self.optimizer.step(params, grads)
-        return value
+        return self.engine.train_step(self, params, batch)
 
     # ------------------------------------------------------------------
     # Full training loop

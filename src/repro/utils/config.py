@@ -22,8 +22,11 @@ EXECUTION_BACKENDS: Tuple[str, ...] = ("serial", "process")
 #: Training engines the trainer knows how to build (the single source of
 #: truth — the engine layer and the CLI both import this).  ``"reference"``
 #: is the original per-direction Python loop, kept as the parity oracle;
-#: ``"batched"`` is the fused engine with entity-chunked candidate scoring.
-TRAIN_ENGINES: Tuple[str, ...] = ("reference", "batched")
+#: ``"batched"`` is the fused engine with entity-chunked candidate scoring;
+#: ``"sparse"`` computes gradients only for the entity/relation rows a batch
+#: touches and applies O(touched rows) per-row optimizer updates (pairwise
+#: losses; multi-class batches fall back to the batched engine).
+TRAIN_ENGINES: Tuple[str, ...] = ("reference", "batched", "sparse")
 
 
 class ConfigError(ValueError):
@@ -134,13 +137,20 @@ class TrainingConfig:
         Which training engine computes the per-batch loss and gradients:
         ``"batched"`` (the default) fuses candidate scoring over block
         structures and entity chunks, ``"reference"`` is the original
-        per-direction loop kept as the parity oracle.  Both produce the same
-        losses and parameters up to floating-point round-off (~1e-12).
+        per-direction loop kept as the parity oracle, and ``"sparse"``
+        scores/updates only the entity and relation rows each batch touches
+        (the fast path for pairwise losses at large vocabularies; with the
+        multi-class loss it behaves like ``"batched"``).  All engines
+        produce the same losses and parameters up to floating-point
+        round-off (~1e-12); the sparse engine additionally applies
+        regularization lazily to touched rows only, so exact parity there
+        requires ``l2_penalty=0``.
     score_chunk_size:
-        Entity-chunk size for the batched engine's candidate scoring.
-        ``0`` (the default) scores all entities at once; a positive value
-        bounds peak memory to ``O(batch_size * score_chunk_size)`` scores
-        via a two-pass streaming softmax.  Ignored by the reference engine.
+        Entity-chunk size for the batched engine's candidate scoring (also
+        used by the sparse engine's multi-class fallback).  ``0`` (the
+        default) scores all entities at once; a positive value bounds peak
+        memory to ``O(batch_size * score_chunk_size)`` scores via a two-pass
+        streaming softmax.  Ignored by the reference engine.
     """
 
     dimension: int = 32

@@ -5,7 +5,14 @@ import pytest
 
 from repro.datasets import GeneratorProfile, generate_knowledge_graph
 from repro.kge.negative_sampling import BernoulliNegativeSampler, UniformNegativeSampler
-from repro.kge.optimizers import SGD, Adagrad, Adam, get_optimizer
+from repro.kge.optimizers import (
+    SGD,
+    Adagrad,
+    Adam,
+    Optimizer,
+    densify_sparse_grads,
+    get_optimizer,
+)
 from repro.kge.regularizers import (
     L2Regularizer,
     N3Regularizer,
@@ -97,6 +104,126 @@ class TestOptimizerBasics:
         assert isinstance(get_optimizer("sgd", 0.1), SGD)
         with pytest.raises(KeyError):
             get_optimizer("lbfgs", 0.1)
+
+
+def sparse_problem(seed=0, rows=12, dim=4, touched=5):
+    """(params, sparse grads, dense-equivalent grads) for one step."""
+    rng = np.random.default_rng(seed)
+    params = {
+        "entities": rng.normal(size=(rows, dim)),
+        "nn1_w1": rng.normal(size=(dim, dim)),  # globally-shared: stays dense
+    }
+    indices = np.sort(rng.choice(rows, size=touched, replace=False))
+    block = rng.normal(size=(touched, dim))
+    dense_w = rng.normal(size=(dim, dim))
+    sparse = {"entities": (indices, block), "nn1_w1": dense_w}
+    dense = densify_sparse_grads(params, sparse)
+    return params, sparse, dense
+
+
+class TestSparseSteps:
+    """step_sparse == step with the zero-padded dense gradient (SGD/Adagrad)."""
+
+    @pytest.mark.parametrize("factory", [lambda: SGD(0.1), lambda: Adagrad(0.5)])
+    def test_matches_dense_step_over_many_steps(self, factory):
+        sparse_optimizer, dense_optimizer = factory(), factory()
+        params_sparse, _, _ = sparse_problem()
+        params_dense = {key: value.copy() for key, value in params_sparse.items()}
+        for step in range(5):
+            _, sparse, dense = sparse_problem(seed=step + 1)
+            sparse_optimizer.step_sparse(params_sparse, sparse)
+            dense_optimizer.step(params_dense, dense)
+            for key in params_dense:
+                np.testing.assert_array_equal(params_sparse[key], params_dense[key])
+
+    def test_adam_first_touch_matches_dense(self):
+        """Lazy Adam: a row's first sparse update equals the dense update."""
+        sparse_optimizer, dense_optimizer = Adam(0.2), Adam(0.2)
+        params_sparse, sparse, dense = sparse_problem()
+        params_dense = {key: value.copy() for key, value in params_sparse.items()}
+        sparse_optimizer.step_sparse(params_sparse, sparse)
+        dense_optimizer.step(params_dense, dense)
+        for key in params_dense:
+            np.testing.assert_array_equal(params_sparse[key], params_dense[key])
+
+    def test_adam_is_lazy_on_untouched_rows(self):
+        """Documented deviation: no pure-decay drift for untouched rows."""
+        optimizer = Adam(0.2)
+        params, sparse, _ = sparse_problem()
+        indices = sparse["entities"][0]
+        untouched = np.setdiff1d(np.arange(params["entities"].shape[0]), indices)
+        optimizer.step_sparse(params, sparse)
+        before = params["entities"][untouched].copy()
+        # Second step touching the same rows: dense Adam would now drift the
+        # untouched rows through momentum decay; lazy Adam must not.
+        optimizer.step_sparse(params, sparse)
+        np.testing.assert_array_equal(params["entities"][untouched], before)
+
+    def test_only_addressed_rows_move(self):
+        for factory in (lambda: SGD(0.1), lambda: Adagrad(0.5), lambda: Adam(0.2)):
+            optimizer = factory()
+            params, sparse, _ = sparse_problem()
+            indices = sparse["entities"][0]
+            untouched = np.setdiff1d(np.arange(params["entities"].shape[0]), indices)
+            before = params["entities"][untouched].copy()
+            optimizer.step_sparse(params, sparse)
+            np.testing.assert_array_equal(params["entities"][untouched], before)
+
+    def test_base_class_fallback_densifies(self):
+        """An optimizer without its own step_sparse still gets sparse support."""
+
+        class ScaledSGD(Optimizer):
+            def step(self, params, grads):
+                self._check(params, grads)
+                for key, grad in grads.items():
+                    params[key] -= 0.5 * self.learning_rate * grad
+
+        fallback, dense_optimizer = ScaledSGD(0.1), ScaledSGD(0.1)
+        params_sparse, sparse, dense = sparse_problem()
+        params_dense = {key: value.copy() for key, value in params_sparse.items()}
+        fallback.step_sparse(params_sparse, sparse)
+        dense_optimizer.step(params_dense, dense)
+        for key in params_dense:
+            np.testing.assert_array_equal(params_sparse[key], params_dense[key])
+
+    def test_densify_scatters_exactly(self):
+        params, sparse, dense = sparse_problem()
+        indices, block = sparse["entities"]
+        np.testing.assert_array_equal(dense["entities"][indices], block)
+        untouched = np.setdiff1d(np.arange(params["entities"].shape[0]), indices)
+        assert not dense["entities"][untouched].any()
+
+    def test_non_increasing_indices_rejected(self):
+        optimizer = SGD(0.1)
+        params = {"entities": np.zeros((6, 2))}
+        block = np.ones((2, 2))
+        for bad in ([3, 1], [2, 2]):  # unsorted, duplicate
+            with pytest.raises(ValueError, match="strictly increasing"):
+                optimizer.step_sparse(params, {"entities": (np.array(bad), block)})
+
+    def test_out_of_range_indices_rejected(self):
+        optimizer = SGD(0.1)
+        params = {"entities": np.zeros((6, 2))}
+        with pytest.raises(ValueError, match="out of range"):
+            optimizer.step_sparse(
+                params, {"entities": (np.array([0, 6]), np.ones((2, 2)))}
+            )
+
+    def test_block_shape_mismatch_rejected(self):
+        optimizer = SGD(0.1)
+        params = {"entities": np.zeros((6, 2))}
+        with pytest.raises(ValueError, match="block shape"):
+            optimizer.step_sparse(
+                params, {"entities": (np.array([0, 1]), np.ones((2, 3)))}
+            )
+
+    def test_unknown_key_rejected(self):
+        optimizer = SGD(0.1)
+        with pytest.raises(KeyError):
+            optimizer.step_sparse(
+                {"entities": np.zeros((6, 2))},
+                {"relations": (np.array([0]), np.ones((1, 2)))},
+            )
 
 
 class TestRegularizers:
@@ -192,6 +319,45 @@ class TestOptimizerSnapshot:
         for key in params:
             np.testing.assert_array_equal(params[key], replayed_once[key])
             assert not np.array_equal(diverged[key], replayed_once[key])
+
+    @pytest.mark.parametrize("factory", [lambda: Adagrad(0.5), lambda: Adam(0.2)])
+    def test_snapshot_survives_in_place_sparse_mutation(self, factory):
+        """Regression: sparse steps mutate state rows in place.
+
+        Dense Adam rebinds its state arrays every step, which masked shallow
+        copies; ``step_sparse`` writes into existing rows, so a snapshot that
+        aliased live state would drift as training continues past the
+        checkpoint.  The snapshot (and anything restored from it) must stay
+        bitwise identical to the moment it was taken.
+        """
+        optimizer = factory()
+        params, sparse, _ = sparse_problem()
+        optimizer.step_sparse(params, sparse)
+        snapshot = optimizer.snapshot()
+        frozen = {
+            key: {name: value.copy() for name, value in state.items()}
+            for key, state in snapshot["state"].items()
+        }
+
+        for seed in range(1, 4):  # keep training: rows mutate in place
+            _, more_grads, _ = sparse_problem(seed=seed)
+            optimizer.step_sparse(params, more_grads)
+
+        for key, state in frozen.items():
+            for name, value in state.items():
+                np.testing.assert_array_equal(snapshot["state"][key][name], value)
+        restored = factory()
+        restored.restore(snapshot)
+        for key, state in frozen.items():
+            for name, value in state.items():
+                np.testing.assert_array_equal(restored._state[key][name], value)
+        # restore() copied too: mutating the restored optimizer must not
+        # write back into the snapshot the trainer may restore again later.
+        _, more_grads, _ = sparse_problem(seed=9)
+        restored.step_sparse(params, more_grads)
+        for key, state in frozen.items():
+            for name, value in state.items():
+                np.testing.assert_array_equal(snapshot["state"][key][name], value)
 
     def test_snapshot_is_a_deep_copy(self):
         optimizer = Adagrad(0.5)

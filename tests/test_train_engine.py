@@ -48,6 +48,7 @@ class TestEngineFactory:
         engine = get_train_engine(TrainingConfig(train_engine="batched", score_chunk_size=32))
         assert engine.name == "batched"
         assert engine.score_chunk_size == 32
+        assert get_train_engine(TrainingConfig(train_engine="sparse")).name == "sparse"
 
     def test_config_rejects_unknown_engine(self):
         with pytest.raises(ValueError):
