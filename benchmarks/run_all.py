@@ -38,6 +38,7 @@ AREAS = {
     "query": "bench_query_throughput.py",
     "search": "bench_search_strategies.py",
     "dataset": "bench_dataset_pipeline.py",
+    "serving": "bench_serving_load.py",
 }
 
 

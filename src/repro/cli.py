@@ -80,6 +80,7 @@ from repro.kge.scoring import available_scoring_functions
 from repro.serving import (
     ArtifactError,
     InferenceEngine,
+    ServingFleet,
     answer_queries,
     export_artifact,
     format_response_rows,
@@ -87,6 +88,7 @@ from repro.serving import (
     load_artifact,
     read_query_file,
     serve_forever,
+    validate_serve_options,
 )
 from repro.utils.config import (
     TRAIN_ENGINES,
@@ -552,14 +554,40 @@ def command_query(args: argparse.Namespace) -> int:
     return 0
 
 
-def command_serve(args: argparse.Namespace) -> int:  # pragma: no cover - blocking loop
+def command_serve(args: argparse.Namespace) -> int:
+    window_ms = args.micro_batch_window
+    if window_ms is None:
+        window_ms = 2.0 if args.workers > 1 else 0.0
+    try:
+        validate_serve_options(args.port, args.workers, window_ms)
+    except ConfigError as error:
+        raise SystemExit(str(error))
     artifact = _load_artifact_or_exit(args.artifact)
+    if args.workers > 1:
+        try:
+            fleet = ServingFleet(
+                args.artifact,
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                batch_size=args.batch_size,
+                entity_chunk_size=args.entity_chunk_size,
+                micro_batch_window_ms=window_ms,
+                filter_index=_serving_filter_index(args, artifact),
+                quiet=False,
+            )
+        except (ArtifactError, ConfigError) as error:
+            raise SystemExit(str(error))
+        return fleet.run()  # pragma: no cover - blocking loop
     engine = _build_engine(args, artifact)
     print(f"serving {artifact.scoring_function.name} "
           f"({artifact.num_entities} entities, {artifact.num_relations} relations) "
           f"on http://{args.host}:{args.port} — POST /query, GET /stats, GET /healthz")
-    serve_forever(engine, artifact, host=args.host, port=args.port)
-    return 0
+    serve_forever(  # pragma: no cover - blocking loop
+        engine, artifact, host=args.host, port=args.port,
+        micro_batch_window_s=window_ms / 1000.0,
+    )
+    return 0  # pragma: no cover
 
 
 def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
@@ -740,7 +768,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_serving_arguments(serve_parser)
     serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
-    serve_parser.add_argument("--port", type=int, default=8080, help="bind port")
+    serve_parser.add_argument("--port", type=int, default=8080, help="bind port (0 picks a free port)")
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="pre-forked worker processes sharing the memmap'd artifact "
+        "through one inherited listener (default: 1 = single process)",
+    )
+    serve_parser.add_argument(
+        "--micro-batch-window",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="coalesce concurrent queries arriving within this many "
+        "milliseconds into one engine call (0 disables; default: 2 ms "
+        "when --workers > 1, else 0)",
+    )
     _add_dataset_arguments(serve_parser)
     serve_parser.set_defaults(handler=command_serve)
     return parser

@@ -12,7 +12,10 @@ AutoSF search — into something deployable, in three layers:
   ``KGEModel.predict_*`` path kept as the exact parity oracle;
 * :mod:`repro.serving.service` — ``QueryRequest``/``QueryResponse``, TSV
   batch mode, and a dependency-free ``http.server`` JSON endpoint with
-  latency/throughput counters.
+  latency/throughput counters and graceful SIGTERM/SIGINT drain;
+* :mod:`repro.serving.fleet` — a pre-forked N-worker server sharing the
+  memmap'd artifact (and a precomputed known-positive index) through the
+  OS page cache, one inherited listener load-balancing across workers.
 """
 
 from repro.serving.artifact import (
@@ -22,7 +25,19 @@ from repro.serving.artifact import (
     export_artifact,
     load_artifact,
 )
-from repro.serving.engine import InferenceEngine, known_positive_index
+from repro.serving.engine import (
+    HotRelationCache,
+    InferenceEngine,
+    MicroBatcher,
+    known_positive_index,
+    load_filter_index,
+    save_filter_index,
+)
+from repro.serving.fleet import (
+    ServingFleet,
+    validate_serve_options,
+    wait_until_healthy,
+)
 from repro.serving.service import (
     QueryRequest,
     QueryResponse,
@@ -41,12 +56,19 @@ __all__ = [
     "ModelArtifact",
     "export_artifact",
     "load_artifact",
+    "HotRelationCache",
     "InferenceEngine",
+    "MicroBatcher",
     "known_positive_index",
+    "load_filter_index",
+    "save_filter_index",
     "QueryRequest",
     "QueryResponse",
     "QueryServer",
+    "ServingFleet",
     "answer_queries",
+    "validate_serve_options",
+    "wait_until_healthy",
     "create_server",
     "format_response_rows",
     "parse_query_line",

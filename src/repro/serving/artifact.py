@@ -4,8 +4,14 @@ An artifact directory is everything inference needs, with nothing implicit:
 
 * ``manifest.json`` — schema version, scoring-function name (+ block
   structure for searched models), entity/relation counts, the training
-  configuration, and the evaluation metrics recorded at export time;
-* ``params.npz`` — the trained parameter arrays;
+  configuration, the parameter file map, and the evaluation metrics recorded
+  at export time;
+* ``params/<key>.npy`` — one raw ``.npy`` file per parameter array
+  (schema v2).  Raw ``.npy`` is the point of the layout: every array loads
+  with ``np.load(..., mmap_mode="r")``, so a fleet of serving workers maps
+  the same embedding bytes once through the page cache instead of each
+  holding a private copy (the ``datasets.pipeline`` shard+manifest pattern,
+  applied to model parameters);
 * ``vocab.json`` — optional entity/relation labels, so queries can be posed
   (and answers returned) symbolically.
 
@@ -13,11 +19,15 @@ An artifact directory is everything inference needs, with nothing implicit:
 :func:`load_artifact` validates every piece and raises a descriptive
 :class:`ArtifactError` naming the artifact path on anything missing or
 mismatched, so a half-copied artifact fails loudly at load time rather than
-mysteriously at query time.
+mysteriously at query time.  ``load_artifact(path, mmap=True)`` returns
+read-only memmap-backed parameter views; schema-v1 artifacts (a single
+``params.npz``) still load through a compatibility shim, falling back to
+read-only in-memory arrays because zipped archives cannot be memory-mapped.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Tuple, Union
@@ -28,7 +38,7 @@ from repro.datasets.knowledge_graph import KnowledgeGraph
 from repro.kge.model import (
     MODEL_VOCAB_FILENAME,
     KGEModel,
-    read_model_directory,
+    check_declared_counts,
     require_graph_matches_params,
     scoring_function_from_metadata,
     scoring_function_metadata,
@@ -36,15 +46,21 @@ from repro.kge.model import (
 )
 from repro.kge.scoring.base import ParamDict, ScoringFunction
 from repro.utils.config import TrainingConfig
-from repro.utils.serialization import from_json_file, save_params_npz, to_json_file
+from repro.utils.serialization import from_json_file, load_params_npz, to_json_file
 
 PathLike = Union[str, Path]
 
 #: Current artifact schema version; bumped on incompatible layout changes.
-ARTIFACT_SCHEMA_VERSION = 1
+#: v1: all parameters in one ``params.npz`` archive (not memory-mappable).
+#: v2: one raw ``params/<key>.npy`` file per array, mmap-loadable.
+ARTIFACT_SCHEMA_VERSION = 2
 
 MANIFEST_FILENAME = "manifest.json"
-PARAMS_FILENAME = "params.npz"
+PARAMS_DIRNAME = "params"
+#: Schema-v1 parameter archive, still read by the compatibility shim.
+LEGACY_PARAMS_FILENAME = "params.npz"
+#: Kept under its historical name for callers that import it.
+PARAMS_FILENAME = LEGACY_PARAMS_FILENAME
 VOCAB_FILENAME = "vocab.json"
 
 #: Manifest keys every artifact must carry.
@@ -55,6 +71,9 @@ _REQUIRED_MANIFEST_KEYS = (
     "num_relations",
     "config",
 )
+
+#: Parameter keys double as filenames in the v2 layout, so they must be safe.
+_PARAM_KEY_PATTERN = re.compile(r"[A-Za-z0-9_.-]+\Z")
 
 
 class ArtifactError(RuntimeError):
@@ -75,6 +94,13 @@ class ModelArtifact:
     relation_names: Optional[Tuple[str, ...]] = None
     schema_version: int = ARTIFACT_SCHEMA_VERSION
     path: Optional[Path] = None
+    #: Whether the parameter arrays are memmap-backed views of the artifact
+    #: files (True only for ``load_artifact(mmap=True)`` on a v2 artifact).
+    params_memmap: bool = False
+
+    def params_nbytes(self) -> int:
+        """Total size of the parameter arrays in bytes (embeddings dominate)."""
+        return int(sum(array.nbytes for array in self.params.values()))
 
     # ------------------------------------------------------------------
     # Conversion
@@ -147,6 +173,8 @@ class ModelArtifact:
             "num_entities": self.num_entities,
             "num_relations": self.num_relations,
             "has_vocabulary": self.entity_names is not None or self.relation_names is not None,
+            "params_memmap": self.params_memmap,
+            "params_bytes": self.params_nbytes(),
             "metrics": dict(self.metrics),
         }
 
@@ -203,10 +231,10 @@ def export_artifact(
             "num_relations": int(params["relations"].shape[0]),
             "config": model.config.to_dict(),
             "metrics": dict(metrics or {}),
+            "params": _write_params_dir(params, base),
         }
     )
     to_json_file(manifest, base / MANIFEST_FILENAME)
-    save_params_npz(params, base / PARAMS_FILENAME)
 
     entity_names, relation_names = _vocab_from_sources(
         graph, Path(model_directory) if model_directory is not None else None
@@ -215,26 +243,146 @@ def export_artifact(
     return base
 
 
-def load_artifact(directory: PathLike) -> ModelArtifact:
-    """Load and validate a serving artifact written by :func:`export_artifact`."""
+def _write_params_dir(params: ParamDict, base: Path) -> Dict[str, str]:
+    """Write each parameter array as a raw ``params/<key>.npy`` file.
+
+    Returns the manifest's parameter map (key → relative file path).  Raw
+    ``.npy`` (not ``.npz``) is deliberate: zipped archives cannot be
+    memory-mapped, per-array files can.
+    """
+    params_dir = base / PARAMS_DIRNAME
+    params_dir.mkdir(parents=True, exist_ok=True)
+    param_files: Dict[str, str] = {}
+    for key, array in params.items():
+        if not _PARAM_KEY_PATTERN.match(key):
+            raise ArtifactError(
+                f"parameter key {key!r} is not a safe filename "
+                f"(allowed: letters, digits, '_', '.', '-')"
+            )
+        np.save(params_dir / f"{key}.npy", np.ascontiguousarray(array))
+        param_files[key] = f"{PARAMS_DIRNAME}/{key}.npy"
+    return param_files
+
+
+def _read_manifest(base: Path) -> Dict[str, object]:
+    """Read and structurally validate the artifact manifest."""
+    prefix = f"cannot load artifact from {base}"
+    manifest_path = base / MANIFEST_FILENAME
+    if not manifest_path.exists():
+        raise ArtifactError(
+            f"{prefix}: missing {MANIFEST_FILENAME} "
+            f"(expected a directory written by export_artifact)"
+        )
+    try:
+        manifest = from_json_file(manifest_path)
+    except ValueError as error:
+        raise ArtifactError(
+            f"{prefix}: {MANIFEST_FILENAME} is not valid JSON ({error})"
+        ) from error
+    missing_keys = [key for key in _REQUIRED_MANIFEST_KEYS if key not in manifest]
+    if missing_keys:
+        raise ArtifactError(
+            f"{prefix}: {MANIFEST_FILENAME} is missing required keys: "
+            f"{', '.join(missing_keys)}"
+        )
+    return manifest
+
+
+def _load_params_v1(base: Path) -> ParamDict:
+    """Compatibility shim for schema-v1 artifacts (a single ``params.npz``)."""
+    prefix = f"cannot load artifact from {base}"
+    params_path = base / LEGACY_PARAMS_FILENAME
+    if not params_path.exists():
+        raise ArtifactError(
+            f"{prefix}: missing {LEGACY_PARAMS_FILENAME} "
+            f"(expected a directory written by export_artifact)"
+        )
+    try:
+        return load_params_npz(params_path, required_keys=("entities", "relations"))
+    except (ValueError, OSError) as error:
+        raise ArtifactError(f"{prefix}: {error}") from error
+
+
+def _load_params_v2(base: Path, manifest: Dict[str, object], mmap: bool) -> ParamDict:
+    """Load the raw ``params/<key>.npy`` files of a schema-v2 artifact."""
+    prefix = f"cannot load artifact from {base}"
+    param_files = manifest.get("params")
+    if not isinstance(param_files, dict) or not param_files:
+        raise ArtifactError(
+            f"{prefix}: {MANIFEST_FILENAME} has no 'params' file map "
+            f"(expected a schema-v2 directory written by export_artifact)"
+        )
+    missing = [name for name in ("entities", "relations") if name not in param_files]
+    if missing:
+        raise ArtifactError(
+            f"{prefix}: {MANIFEST_FILENAME} params map is missing required "
+            f"arrays: {', '.join(missing)}"
+        )
+    params: ParamDict = {}
+    for key, relative in param_files.items():
+        path = base / str(relative)
+        if not path.exists():
+            raise ArtifactError(
+                f"{prefix}: missing parameter file {relative} "
+                f"(declared in {MANIFEST_FILENAME})"
+            )
+        try:
+            if mmap:
+                # mmap_mode="r" pages are file-backed and read-only: every
+                # worker process that opens the same artifact shares them.
+                array = np.load(path, mmap_mode="r")
+            else:
+                array = np.load(path)
+                array.flags.writeable = False
+        except ValueError as error:
+            raise ArtifactError(f"{prefix}: {relative} is not a valid .npy file ({error})") from error
+        params[key] = array
+    return params
+
+
+def load_artifact(directory: PathLike, mmap: bool = False) -> ModelArtifact:
+    """Load and validate a serving artifact written by :func:`export_artifact`.
+
+    Parameters
+    ----------
+    mmap:
+        With ``True``, schema-v2 parameter arrays are returned as read-only
+        ``np.memmap`` views — the OS page cache then holds one shared copy
+        of the embeddings no matter how many worker processes load the same
+        artifact.  Schema-v1 artifacts cannot be memory-mapped (``.npz`` is
+        a zip archive) and fall back to read-only in-memory arrays; check
+        :attr:`ModelArtifact.params_memmap` for what actually happened.
+        In both modes the arrays are immutable: serving never trains.
+    """
     base = Path(directory)
     if not base.is_dir():
         raise ArtifactError(f"artifact directory {base} does not exist")
-    manifest, params = read_model_directory(
-        base,
-        MANIFEST_FILENAME,
-        PARAMS_FILENAME,
-        ArtifactError,
-        label="artifact",
-        writer_hint="export_artifact",
-        required_metadata_keys=_REQUIRED_MANIFEST_KEYS,
-    )
+    manifest = _read_manifest(base)
     schema_version = int(manifest["schema_version"])
-    if schema_version != ARTIFACT_SCHEMA_VERSION:
+    if schema_version > ARTIFACT_SCHEMA_VERSION or schema_version < 1:
         raise ArtifactError(
             f"artifact {base} has schema version {schema_version}, but this "
-            f"build reads version {ARTIFACT_SCHEMA_VERSION}; re-export the model"
+            f"build reads versions 1..{ARTIFACT_SCHEMA_VERSION}; re-export the model"
         )
+    params_memmap = False
+    if schema_version == 1:
+        params = _load_params_v1(base)
+        if mmap:
+            # .npz archives decompress on read; share-by-page is impossible,
+            # so the shim serves read-only in-memory arrays instead.
+            for array in params.values():
+                array.flags.writeable = False
+    else:
+        params = _load_params_v2(base, manifest, mmap)
+        params_memmap = mmap
+    check_declared_counts(
+        manifest,
+        params,
+        ArtifactError,
+        f"cannot load artifact from {base}",
+        MANIFEST_FILENAME,
+        PARAMS_DIRNAME if schema_version >= 2 else LEGACY_PARAMS_FILENAME,
+    )
 
     try:
         scoring_function = scoring_function_from_metadata(manifest)
@@ -276,4 +424,5 @@ def load_artifact(directory: PathLike) -> ModelArtifact:
         relation_names=tuple(relation_names) if relation_names else None,
         schema_version=schema_version,
         path=base,
+        params_memmap=params_memmap,
     )

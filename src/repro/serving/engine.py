@@ -21,8 +21,21 @@ bulk:
 * known positives can be **filtered** through the same CSR-style
   :class:`~repro.datasets.knowledge_graph.FilterIndex` that filtered
   evaluation uses, so served predictions are unseen triples;
-* materialized operators and finished (entity, relation) answers live in
-  bounded **LRU caches**, so repeated queries cost a dictionary hit.
+* finished (entity, relation) answers live in a bounded **LRU cache**, and
+  materialized operators live in a :class:`HotRelationCache` — size-bounded
+  with *frequency-gated admission*: a relation's operator is only cached
+  once the relation has proven hot, so one-off scans cannot evict the head
+  of a skewed (Zipfian) relation distribution;
+* concurrent callers (the serving fleet's handler threads) can go through a
+  :class:`MicroBatcher`, which coalesces query batches arriving within a
+  small window into one ``query_batch`` call — amortizing operator
+  materialization and slab-vectorized top-k across requests exactly like
+  the train engine amortizes per-batch work.
+
+The engine never writes to its parameter arrays, so it is safe over the
+read-only memmap views a multi-worker fleet shares
+(``load_artifact(mmap=True)``); all mutable state (caches, counters) is
+process-local and lock-protected.
 
 The engine's results are *exactly* those of the naive path — same entities,
 same order, same tie-breaking — which the parity tests pin per scoring
@@ -33,16 +46,21 @@ training engines.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.datasets.knowledge_graph import FilterIndex, KnowledgeGraph
+from repro.datasets.knowledge_graph import FilterIndex, KnowledgeGraph, _DirectionIndex
 from repro.kge.scoring.base import HEAD, TAIL, ParamDict, ScoringFunction, validate_direction
 from repro.kge.topk import mask_known_scores, select_predictions_batch
 from repro.serving.artifact import ModelArtifact
+from repro.utils.serialization import from_json_file, to_json_file
 from repro.utils.timing import TimingRecorder
+
+PathLike = Union[str, Path]
 
 #: One prediction: (entity index, score).
 Prediction = Tuple[int, float]
@@ -71,6 +89,143 @@ def known_positive_index(
     return FilterIndex.build(triples, graph.num_relations)
 
 
+#: Metadata file of a saved known-positive index directory.
+FILTER_INDEX_META_FILENAME = "filter_index.json"
+
+#: The six CSR arrays a FilterIndex is made of, as (direction, field) pairs.
+_FILTER_INDEX_ARRAYS = tuple(
+    (direction, name)
+    for direction in ("tails", "heads")
+    for name in ("codes", "indptr", "entities")
+)
+
+
+def save_filter_index(index: FilterIndex, directory: PathLike) -> Path:
+    """Persist a known-positive :class:`FilterIndex` as raw ``.npy`` files.
+
+    The fleet's parent process builds the index once and saves it here; every
+    worker then loads it with ``mmap=True``, so the CSR arrays — like the
+    embedding tables — are one shared page-cache copy instead of N private
+    ones.
+    """
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    for direction, name in _FILTER_INDEX_ARRAYS:
+        np.save(base / f"{direction}_{name}.npy",
+                np.ascontiguousarray(getattr(getattr(index, direction), name)))
+    to_json_file({"num_relations": int(index.num_relations)},
+                 base / FILTER_INDEX_META_FILENAME)
+    return base
+
+
+def load_filter_index(directory: PathLike, mmap: bool = True) -> FilterIndex:
+    """Load a :class:`FilterIndex` saved by :func:`save_filter_index`.
+
+    With ``mmap=True`` (the default — this is the sharing path) the arrays
+    are read-only memmap views.  Raises ``ValueError`` naming the directory
+    on anything missing.
+    """
+    base = Path(directory)
+    meta_path = base / FILTER_INDEX_META_FILENAME
+    if not meta_path.exists():
+        raise ValueError(
+            f"filter-index directory {base} is missing {FILTER_INDEX_META_FILENAME} "
+            f"(expected a directory written by save_filter_index)"
+        )
+    meta = from_json_file(meta_path)
+    arrays: Dict[str, Dict[str, np.ndarray]] = {"tails": {}, "heads": {}}
+    for direction, name in _FILTER_INDEX_ARRAYS:
+        path = base / f"{direction}_{name}.npy"
+        if not path.exists():
+            raise ValueError(f"filter-index directory {base} is missing {path.name}")
+        arrays[direction][name] = np.load(path, mmap_mode="r" if mmap else None)
+    return FilterIndex(
+        num_relations=int(meta["num_relations"]),
+        tails=_DirectionIndex(**arrays["tails"]),
+        heads=_DirectionIndex(**arrays["heads"]),
+    )
+
+
+class HotRelationCache:
+    """A size-bounded operator cache with frequency-gated admission.
+
+    The plain LRU it replaces admits every materialized operator, so a scan
+    over many cold relations evicts the hot head of a skewed workload.  Here
+    an operator is only *admitted* once its key has been requested
+    ``admission_threshold`` times (the DGL ``frame_cache`` admission idea);
+    until then the operator is built, used, and discarded.  Eviction among
+    admitted entries is LRU.  ``admission_threshold=1`` recovers the old
+    always-admit LRU behavior.
+
+    Not thread-safe by itself — the engine serializes access under its lock.
+    """
+
+    def __init__(self, capacity: int, admission_threshold: int = 2) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if admission_threshold < 1:
+            raise ValueError("admission_threshold must be at least 1")
+        self.capacity = int(capacity)
+        self.admission_threshold = int(admission_threshold)
+        self._entries: "OrderedDict[tuple, object]" = OrderedDict()
+        self._counts: Dict[tuple, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.admissions = 0
+        self.rejections = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple):
+        """The cached value, bumping recency; ``None`` on a miss."""
+        value = self._entries.get(key)
+        if value is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+        else:
+            self.misses += 1
+        return value
+
+    def offer(self, key: tuple, value: object) -> bool:
+        """Offer a freshly built value; admit it once the key is hot enough."""
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        self._age_counts()
+        if count < self.admission_threshold:
+            self.rejections += 1
+            return False
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        self.admissions += 1
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return True
+
+    def _age_counts(self) -> None:
+        # Bound the frequency sketch: when it outgrows the cache by far,
+        # halve every count (dropping zeros) so stale one-hit wonders decay
+        # instead of accumulating forever.
+        if len(self._counts) > max(64, 8 * self.capacity):
+            self._counts = {
+                key: count // 2 for key, count in self._counts.items() if count >= 2
+            }
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "capacity": self.capacity,
+            "admission_threshold": self.admission_threshold,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "admissions": self.admissions,
+            "rejections": self.rejections,
+            "evictions": self.evictions,
+        }
+
+
 class InferenceEngine:
     """Batched, relation-materialized link-prediction inference.
 
@@ -93,8 +248,12 @@ class InferenceEngine:
         entity_chunk_size x dimension`` — the serving-side analogue of the
         training engine's ``score_chunk_size``.
     operator_cache_size / result_cache_size:
-        LRU capacities for materialized relation operators and for finished
-        (direction, entity, relation, top_k, filtered) answers.
+        Capacities of the hot-relation operator cache and of the LRU of
+        finished (direction, entity, relation, top_k, filtered) answers.
+    operator_admission_threshold:
+        How many times a (relation, direction) pair must be requested before
+        its materialized operator is admitted to the cache (see
+        :class:`HotRelationCache`); ``1`` recovers the old always-admit LRU.
     recorder:
         Optional :class:`TimingRecorder`; the engine attributes time to the
         ``project`` / ``score`` / ``select`` phases and counts queries and
@@ -110,6 +269,7 @@ class InferenceEngine:
         entity_chunk_size: int = 0,
         operator_cache_size: int = 256,
         result_cache_size: int = 4096,
+        operator_admission_threshold: int = 2,
         recorder: Optional[TimingRecorder] = None,
     ) -> None:
         if batch_size <= 0:
@@ -128,9 +288,11 @@ class InferenceEngine:
         self.num_entities = int(params["entities"].shape[0])
         self.num_relations = int(params["relations"].shape[0])
         self.recorder = recorder if recorder is not None else TimingRecorder()
-        self._operator_cache_size = int(operator_cache_size)
         self._result_cache_size = int(result_cache_size)
-        self._operators: "OrderedDict[Tuple[int, str], object]" = OrderedDict()
+        self._operators = HotRelationCache(
+            capacity=int(operator_cache_size),
+            admission_threshold=int(operator_admission_threshold),
+        )
         self._results: "OrderedDict[tuple, Tuple[Prediction, ...]]" = OrderedDict()
         # The caches are mutated on every query; one lock makes the engine
         # safe under the threading HTTP server (batching, not concurrency,
@@ -159,11 +321,7 @@ class InferenceEngine:
             operator = self.scoring_function.relation_operator(
                 self.params, relation, direction
             )
-            self._operators[key] = operator
-            if len(self._operators) > self._operator_cache_size:
-                self._operators.popitem(last=False)
-        else:
-            self._operators.move_to_end(key)
+            self._operators.offer(key, operator)
         return operator
 
     def _cached_result(self, key: tuple) -> Optional[Tuple[Prediction, ...]]:
@@ -333,6 +491,11 @@ class InferenceEngine:
             "cache_hits": self.cache_hits,
             "cached_operators": len(self._operators),
             "cached_results": len(self._results),
+            "operator_cache": self._operators.stats(),
+            "params_bytes": int(
+                sum(array.nbytes for array in self.params.values())
+            ),
+            "params_memmap": isinstance(self.params.get("entities"), np.memmap),
             "timings": self.recorder.summary(),
         }
 
@@ -342,3 +505,142 @@ class InferenceEngine:
             f"entities={self.num_entities}, relations={self.num_relations}, "
             f"filtered={'yes' if self.filter_index is not None else 'no'})"
         )
+
+
+class _PendingCall:
+    """One caller's queries waiting inside a :class:`MicroBatcher` window."""
+
+    __slots__ = ("queries", "top_k", "filtered", "done", "results", "error")
+
+    def __init__(self, queries: List[Query], top_k: int, filtered: bool) -> None:
+        self.queries = queries
+        self.top_k = top_k
+        self.filtered = filtered
+        self.done = threading.Event()
+        self.results: Optional[List[List[Prediction]]] = None
+        self.error: Optional[BaseException] = None
+
+
+class MicroBatcher:
+    """Dynamic micro-batching over an :class:`InferenceEngine`.
+
+    Concurrent callers (one HTTP handler thread per in-flight request)
+    submit through :meth:`query_batch`; calls arriving within ``window_s``
+    of each other are coalesced into one engine call, where the engine's
+    per-(relation, direction) grouping amortizes operator materialization
+    and slab top-k across all of them.  The first caller of a round becomes
+    the *leader*: it sleeps out the window, flushes every pending call, and
+    distributes the answers; followers just wait on their event.
+
+    Exposes the same ``query_batch(queries, top_k, filtered)`` signature as
+    the engine, so :func:`repro.serving.service.answer_queries` works with
+    either.  Single-caller latency cost is exactly the window (default 2 ms)
+    — the throughput/latency knob of the serving fleet.  A combined call
+    that fails is retried per caller, so one request with an out-of-range
+    entity cannot poison the answers of the calls it was coalesced with.
+    """
+
+    #: Safety net for followers; a leader never takes remotely this long.
+    _WAIT_TIMEOUT_S = 120.0
+
+    def __init__(self, engine: InferenceEngine, window_s: float = 0.002) -> None:
+        if window_s < 0:
+            raise ValueError("window_s must be non-negative (0 disables batching)")
+        self.engine = engine
+        self.window_s = float(window_s)
+        self._lock = threading.Lock()
+        self._pending: List[_PendingCall] = []
+        self._leader_active = False
+        self.calls = 0
+        self.batches = 0
+        self.coalesced_calls = 0
+        self.largest_batch = 0
+
+    def query_batch(
+        self,
+        queries: Sequence[Union[Query, Sequence[object]]],
+        top_k: int = 10,
+        filtered: bool = False,
+    ) -> List[List[Prediction]]:
+        """Answer queries, coalescing with concurrent callers (blocking)."""
+        if self.window_s == 0:
+            with self._lock:
+                self.calls += 1
+                self.batches += 1
+            return self.engine.query_batch(queries, top_k=top_k, filtered=filtered)
+        call = _PendingCall(list(queries), int(top_k), bool(filtered))
+        with self._lock:
+            self.calls += 1
+            self._pending.append(call)
+            is_leader = not self._leader_active
+            if is_leader:
+                self._leader_active = True
+        if is_leader:
+            time.sleep(self.window_s)
+            self._flush()
+        if not call.done.wait(timeout=self._WAIT_TIMEOUT_S):  # pragma: no cover
+            raise RuntimeError("micro-batch leader failed to flush in time")
+        if call.error is not None:
+            raise call.error
+        assert call.results is not None
+        return call.results
+
+    def _flush(self) -> None:
+        with self._lock:
+            batch = self._pending
+            self._pending = []
+            self._leader_active = False
+            if batch:
+                self.batches += 1
+                self.coalesced_calls += len(batch) - 1
+                self.largest_batch = max(self.largest_batch, len(batch))
+        try:
+            groups: Dict[Tuple[int, bool], List[_PendingCall]] = {}
+            for call in batch:
+                groups.setdefault((call.top_k, call.filtered), []).append(call)
+            for (top_k, filtered), calls in groups.items():
+                self._answer_group(calls, top_k, filtered)
+        finally:
+            # Never leave a follower hanging, whatever went wrong above.
+            for call in batch:
+                if not call.done.is_set():  # pragma: no cover - defensive
+                    if call.error is None and call.results is None:
+                        call.error = RuntimeError("micro-batch flush failed")
+                    call.done.set()
+
+    def _answer_group(
+        self, calls: List[_PendingCall], top_k: int, filtered: bool
+    ) -> None:
+        combined = [query for call in calls for query in call.queries]
+        try:
+            answers = self.engine.query_batch(combined, top_k=top_k, filtered=filtered)
+        except Exception:
+            # One bad query fails the combined call; isolate the offender by
+            # answering each caller separately.
+            for call in calls:
+                try:
+                    call.results = self.engine.query_batch(
+                        call.queries, top_k=top_k, filtered=filtered
+                    )
+                except Exception as error:
+                    call.error = error
+                finally:
+                    call.done.set()
+            return
+        offset = 0
+        for call in calls:
+            call.results = answers[offset : offset + len(call.queries)]
+            offset += len(call.queries)
+            call.done.set()
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            mean = (self.calls / self.batches) if self.batches else 0.0
+            return {
+                "window_ms": self.window_s * 1000.0,
+                "calls": self.calls,
+                "batches": self.batches,
+                "coalesced_calls": self.coalesced_calls,
+                "largest_batch_calls": self.largest_batch,
+                "mean_calls_per_batch": mean,
+            }

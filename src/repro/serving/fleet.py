@@ -1,0 +1,274 @@
+"""Pre-forked multi-worker serving fleet over a memmap-shared artifact.
+
+The single-process :func:`~repro.serving.service.serve_forever` keeps the
+full embedding arrays private to one Python process; scaling it by running
+N copies multiplies the resident memory N times.  The fleet instead follows
+the shared-store/worker split of DGL's ``contrib/graph_store.py``:
+
+* the **parent** validates the artifact, precomputes the known-positive
+  filter index once (saved beside the artifact as raw ``.npy`` files), binds
+  the listener socket, and forks N workers;
+* each **worker** re-opens the artifact with ``mmap=True`` *after* the fork,
+  so its embedding pages are file-backed and shared through the OS page
+  cache rather than copy-on-write duplicates of the parent heap.  Workers
+  adopt the inherited listener (one kernel accept queue load-balances
+  connections across the fleet), wrap their engine in a
+  :class:`~repro.serving.engine.MicroBatcher`, and report per-worker
+  ``/stats`` including resident/shared/private memory;
+* SIGTERM/SIGINT to the parent is forwarded to every worker, each of which
+  stops accepting, drains in-flight requests, and exits; the parent reaps
+  them and closes the listener.
+
+``repro-autosf serve --workers N`` is the CLI entry point; the
+single-process in-memory engine remains the exact parity oracle (the
+serving load benchmark asserts bit-identical answers).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.serving.artifact import ModelArtifact, load_artifact
+from repro.serving.engine import (
+    FilterIndex,
+    InferenceEngine,
+    MicroBatcher,
+    load_filter_index,
+    save_filter_index,
+)
+from repro.serving.service import create_server
+from repro.utils.config import ConfigError
+
+PathLike = Union[str, Path]
+
+#: Sanity ceiling for ``--workers`` — far above any useful fan-out for a
+#: GIL-bound HTTP worker, low enough to catch typos like ``--workers 1000``.
+MAX_WORKERS = 64
+
+#: Valid TCP port range for ``--port`` (0 asks the OS for a free port).
+PORT_RANGE = (0, 65535)
+
+#: Subdirectory of the artifact holding the precomputed filter index.
+FILTER_INDEX_DIRNAME = "filter_index"
+
+
+def validate_serve_options(
+    port: int, workers: int, micro_batch_window_ms: float = 0.0
+) -> None:
+    """Validate ``serve`` flags, raising :class:`ConfigError` naming the flag.
+
+    The CLI funnels these through before any socket or fork work so a typo
+    surfaces as one readable line instead of a bare ``OSError`` stack trace.
+    """
+    low, high = PORT_RANGE
+    if not low <= int(port) <= high:
+        raise ConfigError(
+            f"--port must be in {low}..{high} (0 picks a free port), got {port}"
+        )
+    if not 1 <= int(workers) <= MAX_WORKERS:
+        raise ConfigError(f"--workers must be in 1..{MAX_WORKERS}, got {workers}")
+    if micro_batch_window_ms < 0:
+        raise ConfigError(
+            f"--micro-batch-window must be non-negative milliseconds "
+            f"(0 disables coalescing), got {micro_batch_window_ms}"
+        )
+
+
+def prepare_filter_index(index: FilterIndex, artifact_dir: PathLike) -> Path:
+    """Save a known-positive index beside the artifact for workers to mmap."""
+    return save_filter_index(index, Path(artifact_dir) / FILTER_INDEX_DIRNAME)
+
+
+class ServingFleet:
+    """Parent-side controller: bind once, fork N workers, drain on SIGTERM."""
+
+    def __init__(
+        self,
+        artifact_dir: PathLike,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        workers: int = 1,
+        batch_size: int = 256,
+        entity_chunk_size: int = 0,
+        micro_batch_window_ms: float = 2.0,
+        operator_cache_size: int = 256,
+        result_cache_size: int = 4096,
+        filter_index: Optional[FilterIndex] = None,
+        quiet: bool = True,
+    ) -> None:
+        validate_serve_options(port, workers, micro_batch_window_ms)
+        if not hasattr(os, "fork"):  # pragma: no cover - Windows guard
+            raise ConfigError("--workers needs os.fork(); this platform has none")
+        self.artifact_dir = Path(artifact_dir)
+        self.host = host
+        self.port = int(port)
+        self.workers = int(workers)
+        self.batch_size = int(batch_size)
+        self.entity_chunk_size = int(entity_chunk_size)
+        self.micro_batch_window_ms = float(micro_batch_window_ms)
+        self.operator_cache_size = int(operator_cache_size)
+        self.result_cache_size = int(result_cache_size)
+        self.quiet = quiet
+        self.listener: Optional[socket.socket] = None
+        self.worker_pids: List[int] = []
+        self._filter_index_path: Optional[Path] = None
+        # Parent-side validation: a broken artifact should fail here, once,
+        # not in N children after the fork.
+        self.artifact: ModelArtifact = load_artifact(self.artifact_dir, mmap=True)
+        if filter_index is not None:
+            self._filter_index_path = prepare_filter_index(filter_index, self.artifact_dir)
+        elif (self.artifact_dir / FILTER_INDEX_DIRNAME).is_dir():
+            self._filter_index_path = self.artifact_dir / FILTER_INDEX_DIRNAME
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> int:
+        """Bind the listener and fork the workers; returns the bound port."""
+        if self.listener is not None:
+            raise RuntimeError("fleet already started")
+        self.listener = socket.create_server(
+            (self.host, self.port), backlog=max(128, self.workers * 32), reuse_port=False
+        )
+        self.port = self.listener.getsockname()[1]
+        for worker_id in range(self.workers):
+            pid = os.fork()
+            if pid == 0:  # pragma: no cover - child process, exits via os._exit
+                status = 1
+                try:
+                    self._run_worker(worker_id)
+                    status = 0
+                except BaseException:
+                    import traceback
+
+                    traceback.print_exc()
+                finally:
+                    # Never fall back into the parent's code (pytest, CLI
+                    # epilogue, atexit handlers) from a forked child.
+                    os._exit(status)
+            self.worker_pids.append(pid)
+        return self.port
+
+    def _run_worker(self, worker_id: int) -> None:  # pragma: no cover - child process
+        # Re-open the artifact *after* the fork: np.load(mmap_mode="r") pages
+        # are file-backed and shared across the fleet via the page cache,
+        # whereas the parent's arrays would be duplicated copy-on-write.
+        artifact = load_artifact(self.artifact_dir, mmap=True)
+        filter_index = None
+        if self._filter_index_path is not None:
+            filter_index = load_filter_index(self._filter_index_path, mmap=True)
+        engine = InferenceEngine.from_artifact(
+            artifact,
+            filter_index=filter_index,
+            batch_size=self.batch_size,
+            entity_chunk_size=self.entity_chunk_size,
+            operator_cache_size=self.operator_cache_size,
+            result_cache_size=self.result_cache_size,
+        )
+        batcher = None
+        if self.micro_batch_window_ms > 0:
+            batcher = MicroBatcher(engine, window_s=self.micro_batch_window_ms / 1000.0)
+        server = create_server(
+            engine,
+            artifact,
+            quiet=self.quiet,
+            listen_socket=self.listener,
+            batcher=batcher,
+            worker_id=worker_id,
+        )
+        server.install_signal_handlers()
+        try:
+            server.serve_forever()
+        finally:
+            server.server_close()
+
+    def terminate(self, signum: int = signal.SIGTERM) -> None:
+        """Forward a shutdown signal to every live worker."""
+        for pid in self.worker_pids:
+            try:
+                os.kill(pid, signum)
+            except ProcessLookupError:
+                pass
+
+    def wait(self) -> int:
+        """Reap all workers; returns the worst exit status."""
+        worst = 0
+        for pid in self.worker_pids:
+            try:
+                _, status = os.waitpid(pid, 0)
+            except ChildProcessError:
+                continue
+            code = os.waitstatus_to_exitcode(status)
+            worst = max(worst, abs(code))
+        self.worker_pids = []
+        return worst
+
+    def close(self) -> None:
+        if self.listener is not None:
+            self.listener.close()
+            self.listener = None
+
+    def run(self) -> int:  # pragma: no cover - blocking loop, CLI entry
+        """Start, forward SIGTERM/SIGINT to the workers, wait, clean up."""
+        port = self.start()
+        if not self.quiet:
+            pids = ", ".join(str(pid) for pid in self.worker_pids)
+            print(
+                f"fleet of {self.workers} worker(s) on http://{self.host}:{port} "
+                f"(pids {pids}) — POST /query, GET /stats, GET /healthz",
+                file=sys.stderr,
+            )
+
+        def forward(signum: int, _frame: object) -> None:
+            self.terminate(signum)
+
+        previous = {
+            signum: signal.signal(signum, forward)
+            for signum in (signal.SIGTERM, signal.SIGINT)
+        }
+        try:
+            while True:
+                try:
+                    status = self.wait()
+                    break
+                except InterruptedError:  # pragma: no cover - signal race
+                    continue
+        except KeyboardInterrupt:  # pragma: no cover - Ctrl-C during wait
+            self.terminate(signal.SIGINT)
+            status = self.wait()
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+            self.close()
+        return status
+
+
+def wait_until_healthy(
+    host: str, port: int, timeout_s: float = 10.0
+) -> None:
+    """Block until ``GET /healthz`` answers (fleet start-up barrier)."""
+    from http.client import HTTPConnection
+
+    deadline = time.monotonic() + timeout_s
+    last_error: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            connection = HTTPConnection(host, port, timeout=2.0)
+            try:
+                connection.request("GET", "/healthz")
+                if connection.getresponse().status == 200:
+                    return
+            finally:
+                connection.close()
+        except OSError as error:
+            last_error = error
+        time.sleep(0.05)
+    raise TimeoutError(
+        f"no healthy worker on {host}:{port} within {timeout_s:.0f}s: {last_error}"
+    )

@@ -13,11 +13,22 @@ Three consumption styles over the same :class:`InferenceEngine`:
   query or a ``{"queries": [...]}`` batch, ``GET /stats`` reports the
   engine's latency/throughput counters (via ``TimingRecorder``), and
   ``GET /healthz`` describes the loaded artifact.
+
+A :class:`QueryServer` can adopt an already-bound listener socket instead
+of binding its own — that is how the pre-forked fleet in
+:mod:`repro.serving.fleet` shares one accept queue across N workers — and
+it shuts down gracefully on SIGTERM/SIGINT: the listener closes first, then
+in-flight handler threads are drained before the process exits.  When built
+with a :class:`~repro.serving.engine.MicroBatcher`, handler threads submit
+through it so concurrent HTTP requests coalesce into shared engine calls.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import signal
+import socket
 import threading
 import time
 from dataclasses import dataclass, field
@@ -27,7 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.kge.scoring.base import HEAD, TAIL, validate_direction
 from repro.serving.artifact import ModelArtifact
-from repro.serving.engine import InferenceEngine
+from repro.serving.engine import InferenceEngine, MicroBatcher
 
 PathLike = Union[str, Path]
 
@@ -100,7 +111,7 @@ class QueryResponse:
 
 
 def answer_queries(
-    engine: InferenceEngine,
+    engine: Union[InferenceEngine, MicroBatcher],
     requests: Sequence[QueryRequest],
     artifact: Optional[ModelArtifact] = None,
 ) -> List[QueryResponse]:
@@ -108,7 +119,9 @@ def answer_queries(
 
     Queries are batched per (top_k, filtered) setting — the common case of a
     homogeneous batch goes through the engine in one call.  Labels are
-    attached from the artifact's vocabulary when available.
+    attached from the artifact's vocabulary when available.  ``engine`` may
+    also be a :class:`MicroBatcher` (same ``query_batch`` signature), in
+    which case concurrent callers coalesce into shared engine calls.
     """
     responses: List[Optional[QueryResponse]] = [None] * len(requests)
     groups: Dict[Tuple[int, bool], List[int]] = {}
@@ -217,10 +230,42 @@ def format_response_rows(responses: Sequence[QueryResponse], artifact: ModelArti
 # ----------------------------------------------------------------------
 # HTTP service
 # ----------------------------------------------------------------------
+def process_memory_info() -> Dict[str, int]:
+    """Resident/shared/private bytes for this process (Linux ``/proc``).
+
+    File-backed memmap pages show up as *shared* resident memory, so the
+    honest per-worker footprint of the fleet is ``private_bytes`` — what the
+    worker allocated itself, excluding the OS page cache it shares with its
+    siblings.  Returns an empty dict on platforms without ``/proc``.
+    """
+    try:
+        fields = Path("/proc/self/statm").read_text(encoding="ascii").split()
+        page_size = os.sysconf("SC_PAGE_SIZE")
+        resident = int(fields[1]) * page_size
+        shared = int(fields[2]) * page_size
+    except (OSError, IndexError, ValueError):  # pragma: no cover - non-Linux
+        return {}
+    return {
+        "resident_bytes": resident,
+        "shared_bytes": shared,
+        "private_bytes": max(0, resident - shared),
+    }
+
+
 class QueryServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one engine + artifact."""
+    """A threading HTTP server bound to one engine + artifact.
+
+    Pass ``listen_socket`` to adopt an already-bound, already-listening
+    socket instead of binding ``address`` — the pre-fork fleet binds once in
+    the parent and every worker adopts the inherited listener, sharing one
+    kernel accept queue.  ``install_signal_handlers()`` arranges a graceful
+    SIGTERM/SIGINT drain: stop accepting, finish in-flight requests
+    (``block_on_close`` joins handler threads), then close the listener.
+    """
 
     daemon_threads = True
+    #: Drain in-flight handler threads in ``server_close()``.
+    block_on_close = True
 
     def __init__(
         self,
@@ -228,16 +273,55 @@ class QueryServer(ThreadingHTTPServer):
         engine: InferenceEngine,
         artifact: Optional[ModelArtifact] = None,
         quiet: bool = True,
+        listen_socket: Optional[socket.socket] = None,
+        batcher: Optional[MicroBatcher] = None,
+        worker_id: int = 0,
     ) -> None:
-        super().__init__(address, QueryHandler)
+        if listen_socket is not None:
+            # Adopt the inherited listener: skip bind/listen entirely.
+            super().__init__(address, QueryHandler, bind_and_activate=False)
+            self.socket.close()
+            self.socket = listen_socket
+            self.server_address = listen_socket.getsockname()
+            self.server_name = self.server_address[0]
+            self.server_port = self.server_address[1]
+        else:
+            super().__init__(address, QueryHandler)
         self.engine = engine
         self.artifact = artifact
         self.quiet = quiet
+        self.batcher = batcher
+        self.worker_id = int(worker_id)
         self.started_at = time.time()
         self.requests_served = 0
         self.errors = 0
         # Handler threads increment the counters concurrently.
         self.counter_lock = threading.Lock()
+        self._shutdown_requested = threading.Event()
+
+    @property
+    def query_target(self) -> Union[InferenceEngine, MicroBatcher]:
+        """What handler threads submit queries through."""
+        return self.batcher if self.batcher is not None else self.engine
+
+    def request_shutdown(self) -> None:
+        """Trigger a graceful stop from any thread or signal handler.
+
+        Idempotent.  ``shutdown()`` blocks until ``serve_forever`` exits, so
+        it must not run inline in a signal handler (which executes on the
+        very thread running ``serve_forever``) — hand it to a helper thread.
+        """
+        if self._shutdown_requested.is_set():
+            return
+        self._shutdown_requested.set()
+        threading.Thread(target=self.shutdown, name="query-server-shutdown", daemon=True).start()
+
+    def install_signal_handlers(
+        self, signals: Sequence[int] = (signal.SIGTERM, signal.SIGINT)
+    ) -> None:
+        """Route SIGTERM/SIGINT into :meth:`request_shutdown` (main thread only)."""
+        for signum in signals:
+            signal.signal(signum, lambda *_args: self.request_shutdown())
 
     def count_request(self, error: bool = False) -> None:
         with self.counter_lock:
@@ -283,6 +367,13 @@ class QueryHandler(BaseHTTPRequestHandler):
             stats["uptime_s"] = time.time() - self.server.started_at
             stats["http_requests"] = self.server.requests_served
             stats["http_errors"] = self.server.errors
+            stats["worker"] = {
+                "worker_id": self.server.worker_id,
+                "pid": os.getpid(),
+                **process_memory_info(),
+            }
+            if self.server.batcher is not None:
+                stats["micro_batcher"] = self.server.batcher.stats()
             self._send_json(200, stats)
         else:
             self._send_error_json(404, f"unknown path {self.path!r}; try /query, /stats, /healthz")
@@ -315,7 +406,7 @@ class QueryHandler(BaseHTTPRequestHandler):
             self._send_error_json(400, str(error))
             return
         try:
-            responses = answer_queries(self.server.engine, requests, self.server.artifact)
+            responses = answer_queries(self.server.query_target, requests, self.server.artifact)
         except ValueError as error:
             self._send_error_json(400, str(error))
             return
@@ -332,9 +423,20 @@ def create_server(
     host: str = "127.0.0.1",
     port: int = 8080,
     quiet: bool = True,
+    listen_socket: Optional[socket.socket] = None,
+    batcher: Optional[MicroBatcher] = None,
+    worker_id: int = 0,
 ) -> QueryServer:
     """Bind a :class:`QueryServer` (port 0 picks a free port, handy in tests)."""
-    return QueryServer((host, port), engine, artifact, quiet=quiet)
+    return QueryServer(
+        (host, port),
+        engine,
+        artifact,
+        quiet=quiet,
+        listen_socket=listen_socket,
+        batcher=batcher,
+        worker_id=worker_id,
+    )
 
 
 def serve_forever(
@@ -342,9 +444,12 @@ def serve_forever(
     artifact: Optional[ModelArtifact] = None,
     host: str = "127.0.0.1",
     port: int = 8080,
+    micro_batch_window_s: float = 0.0,
 ) -> None:  # pragma: no cover - blocking loop, exercised manually via the CLI
-    """Run the query service until interrupted."""
-    server = create_server(engine, artifact, host, port, quiet=False)
+    """Run the single-process query service until SIGTERM/SIGINT, then drain."""
+    batcher = MicroBatcher(engine, window_s=micro_batch_window_s) if micro_batch_window_s > 0 else None
+    server = create_server(engine, artifact, host, port, quiet=False, batcher=batcher)
+    server.install_signal_handlers()
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -249,7 +249,7 @@ class TestServingCommands:
         assert exit_code == 0
         assert "artifact exported" in captured
         assert (artifact / "manifest.json").exists()
-        assert (artifact / "params.npz").exists()
+        assert (artifact / "params" / "entities.npy").exists()
 
         queries = tmp_path / "queries.tsv"
         queries.write_text("0\t0\t?\n?\t1\t2\n", encoding="utf-8")

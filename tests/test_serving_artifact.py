@@ -12,8 +12,29 @@ from repro.serving import (
     export_artifact,
     load_artifact,
 )
+from repro.serving.artifact import LEGACY_PARAMS_FILENAME, PARAMS_DIRNAME
 from repro.utils.config import TrainingConfig
-from repro.utils.serialization import from_json_file, to_json_file
+from repro.utils.serialization import from_json_file, save_params_npz, to_json_file
+
+
+def write_legacy_artifact(directory, model):
+    """Write a schema-v1 artifact (single params.npz) the way PR 3 did."""
+    from repro.kge.model import scoring_function_metadata
+
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = scoring_function_metadata(model.scoring_function)
+    manifest.update(
+        {
+            "schema_version": 1,
+            "num_entities": int(model.params["entities"].shape[0]),
+            "num_relations": int(model.params["relations"].shape[0]),
+            "config": model.config.to_dict(),
+            "metrics": {},
+        }
+    )
+    to_json_file(manifest, directory / "manifest.json")
+    save_params_npz(model.params, directory / LEGACY_PARAMS_FILENAME)
+    return directory
 
 #: One representative per scoring family (block, full-matrix, translational,
 #: rotational, neural), plus a searched block structure below.
@@ -77,6 +98,78 @@ class TestRoundTrip:
         assert artifact.relation_names == tiny_graph.relation_names
 
 
+class TestSchemaV2Layout:
+    """Schema v2: raw per-array .npy files, mmap-loadable, v1 still readable."""
+
+    @pytest.fixture()
+    def artifact_dir(self, family_models, tiny_graph, tmp_path):
+        return export_artifact(family_models["complex"], tmp_path / "v2", graph=tiny_graph)
+
+    def test_raw_npy_layout_on_disk(self, artifact_dir):
+        manifest = from_json_file(artifact_dir / "manifest.json")
+        assert manifest["schema_version"] == ARTIFACT_SCHEMA_VERSION == 2
+        assert set(manifest["params"]) >= {"entities", "relations"}
+        for relative in manifest["params"].values():
+            assert (artifact_dir / relative).exists()
+            assert relative.startswith(f"{PARAMS_DIRNAME}/")
+        assert not (artifact_dir / LEGACY_PARAMS_FILENAME).exists()
+
+    def test_mmap_load_returns_readonly_memmap_views(self, family_models, artifact_dir):
+        artifact = load_artifact(artifact_dir, mmap=True)
+        assert artifact.params_memmap
+        for key, array in artifact.params.items():
+            assert isinstance(array, np.memmap), key
+            assert not array.flags.writeable, key
+            with pytest.raises(ValueError):
+                array[...] = 0.0
+        np.testing.assert_array_equal(
+            artifact.params["entities"], family_models["complex"].params["entities"]
+        )
+        assert artifact.params_nbytes() > 0
+        assert artifact.describe()["params_memmap"] is True
+
+    def test_in_memory_load_is_readonly_but_not_memmap(self, artifact_dir):
+        artifact = load_artifact(artifact_dir, mmap=False)
+        assert not artifact.params_memmap
+        assert not isinstance(artifact.params["entities"], np.memmap)
+        assert not artifact.params["entities"].flags.writeable
+
+    def test_mmap_and_memory_scores_bit_identical(self, artifact_dir, tiny_graph):
+        mapped = load_artifact(artifact_dir, mmap=True)
+        memory = load_artifact(artifact_dir)
+        triples = tiny_graph.test[:10]
+        np.testing.assert_array_equal(
+            mapped.to_model().score(triples), memory.to_model().score(triples)
+        )
+
+    def test_legacy_v1_artifact_loads(self, family_models, tiny_graph, tmp_path):
+        model = family_models["complex"]
+        legacy = write_legacy_artifact(tmp_path / "v1", model)
+        artifact = load_artifact(legacy)
+        assert artifact.schema_version == 1
+        np.testing.assert_array_equal(
+            artifact.params["entities"], model.params["entities"]
+        )
+
+    def test_legacy_v1_mmap_falls_back_to_memory(self, family_models, tmp_path):
+        legacy = write_legacy_artifact(tmp_path / "v1-mmap", family_models["complex"])
+        artifact = load_artifact(legacy, mmap=True)
+        assert not artifact.params_memmap  # .npz cannot be memory-mapped
+        assert not artifact.params["entities"].flags.writeable
+
+    def test_missing_param_file_named(self, artifact_dir):
+        (artifact_dir / PARAMS_DIRNAME / "entities.npy").unlink()
+        with pytest.raises(ArtifactError, match="params/entities.npy"):
+            load_artifact(artifact_dir)
+
+    def test_manifest_without_params_map_rejected(self, artifact_dir):
+        manifest = from_json_file(artifact_dir / "manifest.json")
+        del manifest["params"]
+        to_json_file(manifest, artifact_dir / "manifest.json")
+        with pytest.raises(ArtifactError, match="params"):
+            load_artifact(artifact_dir)
+
+
 class TestValidation:
     @pytest.fixture()
     def artifact_dir(self, family_models, tiny_graph, tmp_path):
@@ -98,9 +191,15 @@ class TestValidation:
             load_artifact(tmp_path / "nowhere")
 
     def test_missing_params(self, artifact_dir):
-        (artifact_dir / "params.npz").unlink()
-        with pytest.raises(ArtifactError, match="params.npz"):
+        (artifact_dir / PARAMS_DIRNAME / "relations.npy").unlink()
+        with pytest.raises(ArtifactError, match="params/relations.npy"):
             load_artifact(artifact_dir)
+
+    def test_legacy_missing_params_archive(self, family_models, tmp_path):
+        legacy = write_legacy_artifact(tmp_path / "legacy", family_models["complex"])
+        (legacy / LEGACY_PARAMS_FILENAME).unlink()
+        with pytest.raises(ArtifactError, match="params.npz"):
+            load_artifact(legacy)
 
     def test_missing_manifest(self, artifact_dir):
         (artifact_dir / "manifest.json").unlink()

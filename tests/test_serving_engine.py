@@ -1,5 +1,7 @@
 """Tests for the batched inference engine: parity, filtering, caching, top-k."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -11,7 +13,14 @@ from repro.kge.topk import (
     top_k_reference,
 )
 from repro.core.search_space import random_structure
-from repro.serving import InferenceEngine, known_positive_index
+from repro.serving import (
+    HotRelationCache,
+    InferenceEngine,
+    MicroBatcher,
+    export_artifact,
+    known_positive_index,
+    load_artifact,
+)
 from repro.utils.config import TrainingConfig
 
 FAMILIES = ["complex", "rescal", "transe", "rotate", "mlp"]
@@ -240,3 +249,268 @@ class TestCachingAndValidation:
             engine.query_batch([("tail", 0, 10**6)])
         with pytest.raises(ValueError, match="direction"):
             engine.query_batch([("sideways", 0, 0)])
+
+
+class TestHotRelationCache:
+    """Size-bounded operator cache with frequency-gated admission."""
+
+    def test_admission_gated_by_frequency(self):
+        cache = HotRelationCache(capacity=4, admission_threshold=2)
+        assert cache.offer("a", 1) is False  # first sighting: counted, rejected
+        assert cache.get("a") is None
+        assert cache.offer("a", 1) is True  # second sighting crosses the gate
+        assert cache.get("a") == 1
+
+    def test_threshold_one_admits_immediately(self):
+        cache = HotRelationCache(capacity=2, admission_threshold=1)
+        assert cache.offer("a", 1) is True
+        assert cache.get("a") == 1
+
+    def test_capacity_bounded_lru_eviction(self):
+        cache = HotRelationCache(capacity=2, admission_threshold=1)
+        for key in ("a", "b", "c"):
+            cache.offer(key, key.upper())
+        assert len(cache) == 2
+        assert cache.get("a") is None  # least recently used, evicted
+        assert cache.get("b") == "B" and cache.get("c") == "C"
+        assert cache.stats()["evictions"] == 1
+
+    def test_get_refreshes_recency(self):
+        cache = HotRelationCache(capacity=2, admission_threshold=1)
+        cache.offer("a", 1)
+        cache.offer("b", 2)
+        cache.get("a")  # now "b" is the LRU entry
+        cache.offer("c", 3)
+        assert cache.get("a") == 1 and cache.get("b") is None
+
+    def test_stats_counters(self):
+        cache = HotRelationCache(capacity=4, admission_threshold=2)
+        cache.get("a")  # miss
+        cache.offer("a", 1)  # rejection
+        cache.offer("a", 1)  # admission
+        cache.get("a")  # hit
+        stats = cache.stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+        assert stats["rejections"] == 1 and stats["admissions"] == 1
+        assert stats["size"] == 1 and stats["capacity"] == 4
+
+    def test_count_aging_keeps_sketch_bounded(self):
+        cache = HotRelationCache(capacity=2, admission_threshold=2)
+        for index in range(10_000):
+            cache.offer(index, index)
+        # The frequency sketch must not grow linearly with distinct keys.
+        assert len(cache._counts) <= max(64, 8 * 2) + 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            HotRelationCache(capacity=0)
+        with pytest.raises(ValueError, match="admission_threshold"):
+            HotRelationCache(capacity=2, admission_threshold=0)
+
+    def test_engine_admits_operator_on_second_use(self, family_models):
+        model = family_models["complex"]
+        engine = InferenceEngine(
+            model.scoring_function, model.params,
+            result_cache_size=0, operator_admission_threshold=2,
+        )
+        engine.query_batch([("tail", 0, 0)])
+        assert engine.stats()["operator_cache"]["size"] == 0  # cold: rejected
+        engine.query_batch([("tail", 1, 0)])
+        assert engine.stats()["operator_cache"]["size"] == 1  # hot: admitted
+        engine.query_batch([("tail", 2, 0)])
+        assert engine.stats()["operator_cache"]["hits"] == 1
+
+    def test_admission_gate_does_not_change_answers(self, family_models, query_workload):
+        model = family_models["searched"]
+        gated = InferenceEngine(
+            model.scoring_function, model.params, operator_admission_threshold=3
+        )
+        eager = InferenceEngine(
+            model.scoring_function, model.params, operator_admission_threshold=1
+        )
+        for _ in range(2):  # second pass exercises cached operators
+            for answer, expected in zip(
+                gated.query_batch(query_workload, top_k=7),
+                eager.query_batch(query_workload, top_k=7),
+            ):
+                assert answer == expected
+
+
+@pytest.fixture(scope="module")
+def memmap_engine_setup(family_models, tiny_graph, tmp_path_factory):
+    model = family_models["complex"]
+    path = export_artifact(
+        model, tmp_path_factory.mktemp("memmap-engine") / "artifact", graph=tiny_graph
+    )
+    return load_artifact(path, mmap=True), model
+
+
+class TestSharedMemmapConcurrency:
+    """Cache behavior and read integrity under concurrent query_batch calls."""
+
+    def test_concurrent_queries_no_torn_reads(self, memmap_engine_setup, query_workload):
+        artifact, model = memmap_engine_setup
+        # The result cache must hold every distinct query: a partial cache
+        # would regroup the misses into narrower GEMMs on later rounds, and
+        # float scores depend on the group width.
+        engine = InferenceEngine.from_artifact(artifact, result_cache_size=256)
+        reference = InferenceEngine(model.scoring_function, model.params)
+        # Deduplicated and partitioned: threads share no query key, so a
+        # result-cache hit always replays a score computed under the same
+        # batch shape — bit-identical is the memmap-vs-in-memory contract.
+        distinct = list(dict.fromkeys(query_workload))
+        batches = {offset: distinct[offset::3] for offset in range(3)}
+        expected = {
+            offset: reference.query_batch(batch, top_k=5)
+            for offset, batch in batches.items()
+        }
+        errors = []
+
+        def worker(offset):
+            try:
+                for round_index in range(4):
+                    answers = engine.query_batch(batches[offset], top_k=5)
+                    assert answers == expected[offset], (round_index, offset)
+            except BaseException as error:  # noqa: BLE001 - reported below
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(offset,)) for offset in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = engine.stats()
+        assert stats["params_memmap"] is True
+        assert stats["queries_served"] == 4 * len(distinct)
+
+    def test_concurrent_eviction_churn_stays_bounded(self, memmap_engine_setup, tiny_graph):
+        artifact, _ = memmap_engine_setup
+        engine = InferenceEngine.from_artifact(
+            artifact, operator_cache_size=2, operator_admission_threshold=1,
+            result_cache_size=0,
+        )
+
+        def worker(direction):
+            for _ in range(3):
+                for relation in range(tiny_graph.num_relations):
+                    engine.query_batch([(direction, 0, relation)], top_k=3)
+
+        threads = [threading.Thread(target=worker, args=(d,)) for d in ("tail", "head")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = engine.stats()["operator_cache"]
+        assert stats["size"] <= 2
+        assert stats["evictions"] > 0
+        assert stats["admissions"] == stats["evictions"] + stats["size"]
+
+    def test_memmap_params_stay_readonly_through_engine(self, memmap_engine_setup):
+        artifact, _ = memmap_engine_setup
+        engine = InferenceEngine.from_artifact(artifact)
+        engine.query_batch([("tail", 0, 0)], top_k=3)
+        with pytest.raises(ValueError):
+            engine.params["entities"][0, 0] = 123.0
+
+
+class TestMicroBatcher:
+    def test_zero_window_is_passthrough(self, family_models, query_workload):
+        model = family_models["complex"]
+        engine = InferenceEngine(model.scoring_function, model.params)
+        batcher = MicroBatcher(engine, window_s=0)
+        assert batcher.query_batch(query_workload, top_k=5) == engine.query_batch(
+            query_workload, top_k=5
+        )
+
+    def test_negative_window_rejected(self, family_models):
+        model = family_models["complex"]
+        engine = InferenceEngine(model.scoring_function, model.params)
+        with pytest.raises(ValueError, match="window_s"):
+            MicroBatcher(engine, window_s=-0.001)
+
+    def test_single_caller_gets_exact_results(self, family_models, query_workload):
+        model = family_models["complex"]
+        engine = InferenceEngine(model.scoring_function, model.params)
+        reference = InferenceEngine(model.scoring_function, model.params)
+        batcher = MicroBatcher(engine, window_s=0.001)
+        assert batcher.query_batch(query_workload, top_k=5) == reference.query_batch(
+            query_workload, top_k=5
+        )
+
+    def test_concurrent_callers_coalesce(self, family_models, query_workload):
+        model = family_models["complex"]
+        engine = InferenceEngine(model.scoring_function, model.params, result_cache_size=0)
+        reference = InferenceEngine(model.scoring_function, model.params, result_cache_size=0)
+        batcher = MicroBatcher(engine, window_s=0.05)
+        chunks = [query_workload[0::2], query_workload[1::2]]
+        expected = [reference.query_batch(chunk, top_k=5) for chunk in chunks]
+        results = [None, None]
+        barrier = threading.Barrier(2)
+
+        def caller(index):
+            barrier.wait()
+            results[index] = batcher.query_batch(chunks[index], top_k=5)
+
+        threads = [threading.Thread(target=caller, args=(i,)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results[0] == expected[0]
+        assert results[1] == expected[1]
+        stats = batcher.stats()
+        assert stats["calls"] == 2
+        assert stats["coalesced_calls"] >= 1
+        assert stats["largest_batch_calls"] == 2
+
+    def test_error_isolated_to_offending_caller(self, family_models, query_workload):
+        model = family_models["complex"]
+        engine = InferenceEngine(model.scoring_function, model.params)
+        batcher = MicroBatcher(engine, window_s=0.05)
+        reference = InferenceEngine(model.scoring_function, model.params)
+        good_chunk = query_workload[:6]
+        expected = reference.query_batch(good_chunk, top_k=5)
+        outcome = {}
+        barrier = threading.Barrier(2)
+
+        def good():
+            barrier.wait()
+            outcome["good"] = batcher.query_batch(good_chunk, top_k=5)
+
+        def bad():
+            barrier.wait()
+            try:
+                batcher.query_batch([("tail", 10**6, 0)], top_k=5)
+            except ValueError as error:
+                outcome["bad"] = error
+
+        threads = [threading.Thread(target=good), threading.Thread(target=bad)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert isinstance(outcome["bad"], ValueError)
+        assert "entity id" in str(outcome["bad"])
+        assert outcome["good"] == expected  # unharmed by the bad co-batch
+
+    def test_mixed_top_k_grouped_correctly(self, family_models, query_workload):
+        model = family_models["complex"]
+        engine = InferenceEngine(model.scoring_function, model.params)
+        batcher = MicroBatcher(engine, window_s=0.05)
+        results = {}
+        barrier = threading.Barrier(2)
+
+        def caller(top_k):
+            barrier.wait()
+            results[top_k] = batcher.query_batch(query_workload[:4], top_k=top_k)
+
+        threads = [threading.Thread(target=caller, args=(k,)) for k in (3, 9)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(len(answer) == 3 for answer in results[3])
+        assert all(len(answer) == 9 for answer in results[9])
+        for three, nine in zip(results[3], results[9]):
+            assert nine[:3] == three

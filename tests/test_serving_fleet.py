@@ -1,0 +1,301 @@
+"""Tests for the pre-forked serving fleet, filter-index persistence, drain."""
+
+import json
+import signal
+import socket
+import threading
+import time
+from http.client import HTTPConnection
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.kge import train_model
+from repro.serving import (
+    InferenceEngine,
+    ServingFleet,
+    export_artifact,
+    known_positive_index,
+    load_artifact,
+    load_filter_index,
+    save_filter_index,
+    validate_serve_options,
+    wait_until_healthy,
+)
+from repro.serving.fleet import FILTER_INDEX_DIRNAME, MAX_WORKERS
+from repro.serving.service import create_server, process_memory_info
+from repro.utils.config import ConfigError, TrainingConfig
+
+HOST = "127.0.0.1"
+
+
+def http_json(port, method, path, payload=None, host=HOST):
+    """One short-lived HTTP exchange; returns (status, decoded JSON)."""
+    connection = HTTPConnection(host, port, timeout=10.0)
+    try:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+class TestValidateServeOptions:
+    def test_valid_options_pass(self):
+        validate_serve_options(port=0, workers=1)
+        validate_serve_options(port=65535, workers=MAX_WORKERS, micro_batch_window_ms=2.0)
+
+    @pytest.mark.parametrize("port", [-1, 65536, 99999])
+    def test_bad_port_names_flag_and_range(self, port):
+        with pytest.raises(ConfigError, match=r"--port must be in 0\.\.65535"):
+            validate_serve_options(port=port, workers=1)
+
+    @pytest.mark.parametrize("workers", [0, -2, MAX_WORKERS + 1])
+    def test_bad_workers_names_flag_and_range(self, workers):
+        with pytest.raises(ConfigError, match=rf"--workers must be in 1\.\.{MAX_WORKERS}"):
+            validate_serve_options(port=8080, workers=workers)
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ConfigError, match="--micro-batch-window"):
+            validate_serve_options(port=8080, workers=1, micro_batch_window_ms=-1.0)
+
+    def test_cli_serve_invalid_port_is_one_line(self, tmp_path):
+        with pytest.raises(SystemExit, match=r"--port must be in 0\.\.65535"):
+            main(["serve", "--artifact", str(tmp_path), "--port", "99999"])
+
+    def test_cli_serve_invalid_workers_is_one_line(self, tmp_path):
+        with pytest.raises(SystemExit, match=r"--workers must be in"):
+            main(["serve", "--artifact", str(tmp_path), "--workers", "0"])
+
+
+class TestFilterIndexPersistence:
+    def test_round_trip_mmap_and_memory(self, tiny_graph, tmp_path):
+        index = known_positive_index(tiny_graph)
+        directory = save_filter_index(index, tmp_path / "fidx")
+        for mmap in (False, True):
+            loaded = load_filter_index(directory, mmap=mmap)
+            assert loaded.num_relations == index.num_relations
+            for side in ("tails", "heads"):
+                for field in ("codes", "indptr", "entities"):
+                    np.testing.assert_array_equal(
+                        getattr(getattr(loaded, side), field),
+                        getattr(getattr(index, side), field),
+                    )
+
+    def test_missing_array_file_named(self, tiny_graph, tmp_path):
+        directory = save_filter_index(known_positive_index(tiny_graph), tmp_path / "fidx")
+        (directory / "tails_codes.npy").unlink()
+        with pytest.raises(ValueError, match="tails_codes.npy"):
+            load_filter_index(directory)
+
+    def test_filtered_answers_match_in_memory_index(self, tiny_graph, tmp_path):
+        config = TrainingConfig(dimension=8, epochs=2, batch_size=64, learning_rate=0.5, seed=0)
+        model = train_model(tiny_graph, "distmult", config)
+        index = known_positive_index(tiny_graph)
+        directory = save_filter_index(index, tmp_path / "fidx")
+        queries = [("tail", h, r) for h, r in zip(range(6), range(6))]
+        reference = InferenceEngine(model.scoring_function, model.params, filter_index=index)
+        reloaded = InferenceEngine(
+            model.scoring_function, model.params,
+            filter_index=load_filter_index(directory, mmap=True),
+        )
+        assert reference.query_batch(queries, top_k=5, filtered=True) == \
+            reloaded.query_batch(queries, top_k=5, filtered=True)
+
+
+@pytest.fixture(scope="module")
+def fleet_artifact(tiny_graph, tmp_path_factory):
+    config = TrainingConfig(dimension=8, epochs=2, batch_size=64, learning_rate=0.5, seed=0)
+    model = train_model(tiny_graph, "complex", config)
+    return export_artifact(
+        model, tmp_path_factory.mktemp("fleet") / "artifact", graph=tiny_graph
+    )
+
+
+@pytest.fixture()
+def mixed_queries(tiny_graph):
+    rng = np.random.default_rng(7)
+    queries = []
+    for _ in range(40):
+        direction = "tail" if rng.random() < 0.5 else "head"
+        queries.append(
+            {
+                "direction": direction,
+                "entity": int(rng.integers(tiny_graph.num_entities)),
+                "relation": int(rng.integers(tiny_graph.num_relations)),
+                "top_k": 5,
+            }
+        )
+    return queries
+
+
+class TestServingFleet:
+    def test_two_worker_fleet_parity_and_drain(self, fleet_artifact, mixed_queries):
+        fleet = ServingFleet(
+            fleet_artifact, host=HOST, port=0, workers=2, micro_batch_window_ms=1.0
+        )
+        port = fleet.start()
+        try:
+            wait_until_healthy(HOST, port)
+            # Parity oracle: single-process, fully in-memory engine.
+            oracle = InferenceEngine.from_artifact(load_artifact(fleet_artifact))
+            expected = oracle.query_batch(
+                [(q["direction"], q["entity"], q["relation"]) for q in mixed_queries],
+                top_k=5,
+            )
+            status, payload = http_json(
+                port, "POST", "/query", {"queries": mixed_queries}
+            )
+            assert status == 200
+            assert len(payload["responses"]) == len(mixed_queries)
+            for response, reference in zip(payload["responses"], expected):
+                got = [(p["entity"], p["score"]) for p in response["predictions"]]
+                # Bit-identical: JSON round-trips float64 exactly.
+                assert got == [(e, s) for e, s in reference]
+            status, stats = http_json(port, "GET", "/stats")
+            assert status == 200
+            assert stats["worker"]["worker_id"] in (0, 1)
+            assert stats["worker"]["pid"] in fleet.worker_pids
+            if process_memory_info():  # /proc available
+                assert stats["worker"]["resident_bytes"] > 0
+            assert stats["params_memmap"] is True
+            assert "micro_batcher" in stats
+        finally:
+            fleet.terminate(signal.SIGTERM)
+            status = fleet.wait()
+            fleet.close()
+        assert status == 0  # graceful exit, not a killed process
+
+    def test_sigint_also_drains(self, fleet_artifact):
+        fleet = ServingFleet(fleet_artifact, host=HOST, port=0, workers=1)
+        port = fleet.start()
+        try:
+            wait_until_healthy(HOST, port)
+        finally:
+            fleet.terminate(signal.SIGINT)
+            status = fleet.wait()
+            fleet.close()
+        assert status == 0
+
+    def test_precomputed_filter_index_saved_beside_artifact(
+        self, fleet_artifact, tiny_graph
+    ):
+        index = known_positive_index(tiny_graph)
+        fleet = ServingFleet(fleet_artifact, port=0, workers=1, filter_index=index)
+        assert (fleet_artifact / FILTER_INDEX_DIRNAME / "tails_codes.npy").exists()
+        port = fleet.start()
+        try:
+            wait_until_healthy(HOST, port)
+            query = {"direction": "tail", "entity": 0, "relation": 0, "top_k": 5, "filtered": True}
+            status, payload = http_json(port, "POST", "/query", query)
+            assert status == 200
+            oracle = InferenceEngine.from_artifact(
+                load_artifact(fleet_artifact), filter_index=index
+            )
+            expected = oracle.query_batch([("tail", 0, 0)], top_k=5, filtered=True)[0]
+            got = [(p["entity"], p["score"]) for p in payload["predictions"]]
+            assert got == [(e, s) for e, s in expected]
+        finally:
+            fleet.terminate()
+            assert fleet.wait() == 0
+            fleet.close()
+
+    def test_broken_artifact_fails_in_parent(self, tmp_path):
+        from repro.serving import ArtifactError
+
+        with pytest.raises(ArtifactError, match="does not exist"):
+            ServingFleet(tmp_path / "nowhere", port=0, workers=2)
+
+    def test_rejects_bad_options_before_forking(self, fleet_artifact):
+        with pytest.raises(ConfigError, match="--workers"):
+            ServingFleet(fleet_artifact, port=0, workers=0)
+
+
+class TestGracefulShutdown:
+    """Drain semantics of a single QueryServer, without forking."""
+
+    class SlowEngine:
+        """query_batch stub that takes long enough to straddle a shutdown."""
+
+        def __init__(self):
+            self.started = threading.Event()
+
+        def query_batch(self, queries, top_k=10, filtered=False):
+            self.started.set()
+            time.sleep(0.3)
+            return [[(0, 1.0)] for _ in queries]
+
+        def stats(self):
+            return {}
+
+    def test_inflight_request_completes_during_shutdown(self):
+        engine = self.SlowEngine()
+        server = create_server(engine, host=HOST, port=0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        result = {}
+
+        def client():
+            result["response"] = http_json(
+                port, "POST", "/query", {"direction": "tail", "entity": 0, "relation": 0}
+            )
+
+        caller = threading.Thread(target=client)
+        caller.start()
+        assert engine.started.wait(timeout=5.0)
+        server.request_shutdown()  # arrives mid-request
+        caller.join(timeout=5.0)
+        thread.join(timeout=5.0)
+        server.server_close()  # joins the handler thread: the drain barrier
+        assert not thread.is_alive()
+        status, payload = result["response"]
+        assert status == 200
+        assert payload["predictions"][0]["entity"] == 0
+
+    def test_request_shutdown_is_idempotent(self):
+        engine = self.SlowEngine()
+        server = create_server(engine, host=HOST, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        server.request_shutdown()
+        server.request_shutdown()
+        thread.join(timeout=5.0)
+        server.server_close()
+        assert not thread.is_alive()
+
+    def test_listener_closed_after_shutdown(self):
+        engine = self.SlowEngine()
+        server = create_server(engine, host=HOST, port=0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        server.request_shutdown()
+        thread.join(timeout=5.0)
+        server.server_close()
+        with pytest.raises(OSError):
+            probe = socket.create_connection((HOST, port), timeout=0.5)
+            probe.close()
+
+
+class TestListenerAdoption:
+    def test_server_adopts_prebound_socket(self, fleet_artifact):
+        artifact = load_artifact(fleet_artifact, mmap=True)
+        engine = InferenceEngine.from_artifact(artifact)
+        listener = socket.create_server((HOST, 0))
+        port = listener.getsockname()[1]
+        server = create_server(engine, artifact, listen_socket=listener, worker_id=3)
+        assert server.server_address[1] == port
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            status, stats = http_json(port, "GET", "/stats")
+            assert status == 200
+            assert stats["worker"]["worker_id"] == 3
+        finally:
+            server.request_shutdown()
+            thread.join(timeout=5.0)
+            server.server_close()
