@@ -18,7 +18,11 @@ for) against the pre-forked serving fleet and reports:
 * **shared memory**: per-worker *private* RSS increment over the pre-fork
   parent baseline must stay a small fraction of the artifact's embedding
   bytes — the embeddings are file-backed memmap pages shared through the
-  OS page cache, not N copy-on-write duplicates.
+  OS page cache, not N copy-on-write duplicates;
+* **instrumentation overhead**: the same in-process query stream timed with
+  the telemetry registry enabled (``MetricsRegistry``) vs disabled
+  (``NullRegistry``), alternating repeats, best-of-N — enabled must stay
+  within ``OVERHEAD_CEILING`` (5%) of disabled.
 
 Runs standalone (CI calls it with ``--quick`` and uploads
 ``BENCH_serving.json``)::
@@ -54,6 +58,7 @@ from repro.serving import (
     load_artifact,
     wait_until_healthy,
 )
+from repro.obs.metrics import MetricsRegistry, NullRegistry
 from repro.serving.service import process_memory_info
 from repro.utils.config import TrainingConfig
 from repro.utils.serialization import to_json_file
@@ -69,6 +74,15 @@ PRIVATE_RSS_FRACTION_FLOOR = 0.5
 
 #: Bit-parity sample size (queries re-sent through HTTP and compared).
 PARITY_QUERIES = 2000
+
+#: Enabled-instrumentation engine time must stay within this factor of the
+#: disabled (NullRegistry) time — the telemetry layer's "costs ~nothing"
+#: contract, measured in-process so HTTP noise cannot mask a regression.
+OVERHEAD_CEILING = 1.05
+
+#: Alternating enabled/disabled timing repeats; best-of-N per side cancels
+#: thermal and allocator drift.
+OVERHEAD_REPEATS = 3
 
 #: Pin glibc's mmap threshold so multi-MB scoring slabs are mmap'd and
 #: returned to the OS on free.  Left to its dynamic default, the threshold
@@ -301,6 +315,46 @@ def check_http_parity(artifact_dir: Path, workload, top_k: int) -> int:
     return len(sample)
 
 
+def measure_instrumentation_overhead(artifact_dir: Path, workload, top_k: int) -> dict:
+    """Best-of-N engine time with the metrics registry enabled vs disabled.
+
+    Runs in-process (no HTTP, no fleet) so the measurement isolates exactly
+    what the telemetry layer adds per query: two counter increments and one
+    histogram observation per engine batch.  Repeats alternate
+    disabled/enabled so drift hits both sides equally; best-of-N per side is
+    the standard low-noise estimator for a deterministic workload.
+    """
+    artifact = load_artifact(artifact_dir)
+    sample = workload[: min(len(workload), 2000)]
+    chunk = 64
+
+    def timed(registry) -> float:
+        # Fresh engine per repeat: identical cold caches on both sides, and
+        # the registry binds at construction time like in the fleet workers.
+        engine = InferenceEngine.from_artifact(
+            artifact, result_cache_size=0, registry=registry
+        )
+        engine.query_batch(sample[:chunk], top_k=top_k)  # warmup
+        started = time.perf_counter()
+        for start in range(0, len(sample), chunk):
+            engine.query_batch(sample[start : start + chunk], top_k=top_k)
+        return time.perf_counter() - started
+
+    disabled_times, enabled_times = [], []
+    for _ in range(OVERHEAD_REPEATS):
+        disabled_times.append(timed(NullRegistry()))
+        enabled_times.append(timed(MetricsRegistry()))
+    disabled_s = min(disabled_times)
+    enabled_s = min(enabled_times)
+    return {
+        "queries": len(sample),
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "overhead_ratio": enabled_s / disabled_s,
+        "overhead_ceiling": OVERHEAD_CEILING,
+    }
+
+
 # ----------------------------------------------------------------------
 # Main
 # ----------------------------------------------------------------------
@@ -325,6 +379,7 @@ def build_report(quick: bool) -> tuple:
             Path(scratch), entities, relations, dim
         )
         parity_checked = check_http_parity(artifact_dir, workload, top_k=10)
+        overhead = measure_instrumentation_overhead(artifact_dir, workload, top_k=10)
         parent_private = process_memory_info().get("private_bytes", 0)
         points = [
             run_fleet_point(
@@ -353,7 +408,9 @@ def build_report(quick: bool) -> tuple:
         f"{parity_checked} HTTP answers bit-identical to the in-memory oracle; "
         f"worst per-worker private-RSS increment "
         f"{max(p['max_worker_private_mb'] for p in points):.1f} MB "
-        f"({100 * private_fraction:.0f}% of {embedding_bytes / 2**20:.1f} MB embeddings)"
+        f"({100 * private_fraction:.0f}% of {embedding_bytes / 2**20:.1f} MB embeddings); "
+        f"instrumentation overhead x{overhead['overhead_ratio']:.3f} "
+        f"(ceiling x{OVERHEAD_CEILING})"
     )
     data = {
         "entities": entities,
@@ -372,6 +429,7 @@ def build_report(quick: bool) -> tuple:
         "parity_queries": parity_checked,
         "embedding_mb": embedding_bytes / 2**20,
         "private_rss_fraction": private_fraction,
+        "instrumentation_overhead": overhead,
     }
     return table + "\n" + note, data
 
@@ -408,6 +466,8 @@ def main(argv=None) -> int:
             "parity_queries": data["parity_queries"],
             "embedding_mb": data["embedding_mb"],
             "private_rss_fraction": data["private_rss_fraction"],
+            "instrumentation_overhead_ratio": data["instrumentation_overhead"]["overhead_ratio"],
+            "instrumentation_overhead_ceiling": OVERHEAD_CEILING,
         },
     )
 
@@ -427,6 +487,15 @@ def main(argv=None) -> int:
             f"being copied, not shared"
         )
         return 1
+    overhead = data["instrumentation_overhead"]
+    if overhead["overhead_ratio"] > OVERHEAD_CEILING:
+        print(
+            f"FAIL: enabled instrumentation is x{overhead['overhead_ratio']:.3f} "
+            f"of the disabled engine time over {overhead['queries']} queries "
+            f"(ceiling x{OVERHEAD_CEILING}) — the telemetry layer is no longer "
+            f"near-free"
+        )
+        return 1
     degraded = "" if (os.cpu_count() or 1) >= 4 else (
         f" [floor degraded to x{floor} on {os.cpu_count()} core(s)]"
     )
@@ -434,7 +503,8 @@ def main(argv=None) -> int:
         f"OK: x{data['scaling']:.2f} QPS at {data['scaling_workers']} workers{degraded}, "
         f"{data['parity_queries']} answers bit-identical to the oracle, workers share "
         f"the {data['embedding_mb']:.1f} MB embeddings via memmap "
-        f"({100 * data['private_rss_fraction']:.0f}% private)"
+        f"({100 * data['private_rss_fraction']:.0f}% private), instrumentation "
+        f"overhead x{overhead['overhead_ratio']:.3f} <= x{OVERHEAD_CEILING}"
     )
     return 0
 

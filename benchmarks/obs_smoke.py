@@ -1,0 +1,240 @@
+"""Observability smoke: scrape ``GET /metrics`` from a live 2-worker fleet.
+
+End-to-end check of the telemetry layer's serving surface, driven exactly
+the way an operator's Prometheus would drive it:
+
+1. start ``repro.cli serve --workers 2`` as a subprocess over a tiny
+   synthetic artifact (pre-forked workers share one inherited listener, so
+   consecutive scrapes on fresh connections land on different workers);
+2. fire a query burst, then scrape ``/metrics`` on fresh connections until
+   both workers have answered — each response must parse as valid
+   Prometheus text exposition (``parse_prometheus`` round-trip) and carry
+   the 0.0.4 content type;
+3. fire a second burst and scrape both workers again: per-worker
+   ``repro_http_requests_total`` must be **monotonically non-decreasing**
+   and the fleet-wide sum must have grown by at least the burst size;
+4. SIGTERM the fleet and require a clean exit.
+
+Runs standalone (CI calls it from the ``obs-smoke`` job)::
+
+    PYTHONPATH=src python benchmarks/obs_smoke.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from http.client import HTTPConnection
+from pathlib import Path
+
+from _helpers import publish, write_bench_summary
+
+from repro.kge.model import KGEModel
+from repro.kge.scoring import get_scoring_function
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, parse_prometheus
+from repro.serving import export_artifact, wait_until_healthy
+from repro.utils.config import TrainingConfig
+
+HOST = "127.0.0.1"
+
+#: Distinct worker registries the scrape loop must observe.
+WORKERS = 2
+
+#: Queries per burst (fresh connection each, so the accept queue spreads
+#: them across both workers).
+BURST = 40
+
+#: Scrape attempts before concluding one worker never answers.
+MAX_SCRAPES = 200
+
+
+def make_artifact(directory: Path) -> Path:
+    """A tiny deterministic artifact — this bench measures plumbing, not perf."""
+    scoring = get_scoring_function("complex")
+    params = scoring.init_params(2000, 8, 16, rng=0)
+    model = KGEModel(scoring, TrainingConfig(dimension=16, epochs=1, seed=0), params=params)
+    return export_artifact(model, directory / "artifact")
+
+
+def pick_free_port() -> int:
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.bind((HOST, 0))
+        return probe.getsockname()[1]
+
+
+def http_request(port: int, method: str, path: str, payload=None):
+    """One request on a fresh connection; returns (status, headers, body bytes)."""
+    connection = HTTPConnection(HOST, port, timeout=30.0)
+    try:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+def query_burst(port: int, count: int) -> None:
+    for index in range(count):
+        payload = {
+            "queries": [
+                {"direction": "tail", "entity": index % 2000, "relation": index % 8, "top_k": 5}
+            ]
+        }
+        status, _, body = http_request(port, "POST", "/query", payload)
+        if status != 200:
+            raise RuntimeError(f"query burst failed: HTTP {status}: {body[:200]!r}")
+
+
+def scrape_worker(port: int) -> tuple:
+    """One /metrics scrape; returns (worker_id, parsed exposition)."""
+    status, headers, body = http_request(port, "GET", "/metrics")
+    if status != 200:
+        raise RuntimeError(f"/metrics returned HTTP {status}: {body[:200]!r}")
+    content_type = headers.get("Content-Type", "")
+    if content_type != PROMETHEUS_CONTENT_TYPE:
+        raise RuntimeError(
+            f"/metrics Content-Type {content_type!r} != {PROMETHEUS_CONTENT_TYPE!r}"
+        )
+    parsed = parse_prometheus(body.decode("utf-8"))
+    worker_ids = {
+        dict(labels)["worker_id"]
+        for name, labels in parsed["samples"]
+        if name == "repro_worker_info"
+    }
+    if len(worker_ids) != 1:
+        raise RuntimeError(f"expected exactly one repro_worker_info sample, got {worker_ids}")
+    return worker_ids.pop(), parsed
+
+
+def scrape_all_workers(port: int) -> dict:
+    """Scrape on fresh connections until every worker's registry was seen."""
+    seen: dict = {}
+    for _ in range(MAX_SCRAPES):
+        worker_id, parsed = scrape_worker(port)
+        seen[worker_id] = parsed
+        if len(seen) >= WORKERS:
+            return seen
+        time.sleep(0.01)
+    raise RuntimeError(
+        f"saw only worker(s) {sorted(seen)} after {MAX_SCRAPES} scrapes; "
+        f"expected {WORKERS} distinct workers"
+    )
+
+
+def requests_total(parsed: dict, worker_id: str) -> float:
+    key = ("repro_http_requests_total", (("worker_id", worker_id),))
+    return parsed["samples"].get(key, 0.0)
+
+
+def run_smoke() -> dict:
+    port = pick_free_port()
+    with tempfile.TemporaryDirectory(prefix="obs_smoke_") as scratch:
+        artifact_dir = make_artifact(Path(scratch))
+        command = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--artifact", str(artifact_dir),
+            "--host", HOST, "--port", str(port),
+            "--workers", str(WORKERS),
+        ]
+        server = subprocess.Popen(command)
+        try:
+            wait_until_healthy(HOST, port, timeout_s=60.0)
+            query_burst(port, BURST)
+            first = scrape_all_workers(port)
+            query_burst(port, BURST)
+            second = scrape_all_workers(port)
+        finally:
+            server.send_signal(signal.SIGTERM)
+            try:
+                exit_status = server.wait(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                raise RuntimeError("fleet ignored SIGTERM")
+    if exit_status != 0:
+        raise RuntimeError(f"fleet exited with status {exit_status}")
+
+    counters = {}
+    for worker_id in sorted(first):
+        before = requests_total(first[worker_id], worker_id)
+        after = requests_total(second[worker_id], worker_id)
+        if after < before:
+            raise AssertionError(
+                f"worker {worker_id}: repro_http_requests_total went backwards "
+                f"({before} -> {after}) — counters must be monotone"
+            )
+        type_name = second[worker_id]["types"].get("repro_http_requests_total")
+        if type_name != "counter":
+            raise AssertionError(
+                f"worker {worker_id}: repro_http_requests_total has TYPE "
+                f"{type_name!r}, expected 'counter'"
+            )
+        counters[worker_id] = {"before": before, "after": after}
+    total_before = sum(entry["before"] for entry in counters.values())
+    total_after = sum(entry["after"] for entry in counters.values())
+    if total_after - total_before < BURST:
+        raise AssertionError(
+            f"fleet-wide repro_http_requests_total grew by only "
+            f"{total_after - total_before} across a burst of {BURST} queries"
+        )
+    return {
+        "workers": WORKERS,
+        "burst": BURST,
+        "requests_total_by_worker": counters,
+        "fleet_requests_before": total_before,
+        "fleet_requests_after": total_after,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="accepted for run_all.py symmetry; this smoke is already minimal",
+    )
+    parser.parse_args(argv)
+
+    data = run_smoke()
+    lines = [
+        f"Observability smoke: {data['workers']}-worker fleet, "
+        f"2 bursts x {data['burst']} queries",
+    ]
+    for worker_id, entry in sorted(data["requests_total_by_worker"].items()):
+        lines.append(
+            f"  worker {worker_id}: repro_http_requests_total "
+            f"{entry['before']:.0f} -> {entry['after']:.0f}"
+        )
+    lines.append(
+        f"  fleet total {data['fleet_requests_before']:.0f} -> "
+        f"{data['fleet_requests_after']:.0f} (>= burst {data['burst']})"
+    )
+    publish("obs_smoke", "\n".join(lines))
+    write_bench_summary(
+        "obs",
+        config={"workers": data["workers"], "burst": data["burst"]},
+        metrics={
+            "fleet_requests_before": data["fleet_requests_before"],
+            "fleet_requests_after": data["fleet_requests_after"],
+            "requests_total_by_worker": data["requests_total_by_worker"],
+        },
+    )
+    print(
+        f"OK: both workers served valid Prometheus exposition; per-worker "
+        f"request counters monotone across a {data['burst']}-query burst"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,8 +1,9 @@
 """Unified benchmark runner: one command, one ``BENCH_<area>.json`` per area.
 
-Runs each registered ``bench_*.py`` standalone entry point (in ``--quick``
-mode by default) as a subprocess and verifies that every run refreshed its
-machine-readable trajectory file at the repo root::
+Runs each registered standalone benchmark entry point (in ``--quick`` mode
+by default) as a subprocess, prints a final per-area PASS/FAIL scoreboard,
+and verifies that every run refreshed its machine-readable trajectory file
+at the repo root::
 
     PYTHONPATH=src python benchmarks/run_all.py                 # all areas, quick
     PYTHONPATH=src python benchmarks/run_all.py --areas training query
@@ -39,6 +40,7 @@ AREAS = {
     "search": "bench_search_strategies.py",
     "dataset": "bench_dataset_pipeline.py",
     "serving": "bench_serving_load.py",
+    "obs": "obs_smoke.py",
 }
 
 
@@ -108,7 +110,17 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    failures = [area for area in args.areas if not run_area(area, quick=not args.full)]
+    outcomes = [(area, run_area(area, quick=not args.full)) for area in args.areas]
+    failures = [area for area, passed in outcomes if not passed]
+
+    # Final scoreboard (hand-formatted: run_all deliberately imports no
+    # repro code, so a broken src tree still reports per-area results).
+    width = max(len("area"), max(len(area) for area, _ in outcomes))
+    print(f"\n{'area'.ljust(width)}  result")
+    print(f"{'-' * width}  ------")
+    for area, passed in outcomes:
+        print(f"{area.ljust(width)}  {'PASS' if passed else 'FAIL'}")
+
     if failures:
         print(f"FAIL: {len(failures)}/{len(args.areas)} areas failed: {', '.join(failures)}")
         return 1

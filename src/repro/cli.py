@@ -37,7 +37,11 @@ The subcommands cover the common workflows without writing any Python:
   through the batched inference engine (``--filter`` removes known
   positives);
 * ``repro-autosf serve``  — run the dependency-free HTTP query service with
-  latency/throughput counters.
+  latency/throughput counters and a Prometheus-style ``GET /metrics``
+  endpoint (one registry per worker when ``--workers > 1``);
+* ``repro-autosf trace``  — ``merge`` the per-process span files of an
+  ``run --obs`` telemetry run into one chronologically ordered
+  ``trace.jsonl``, or ``summarize`` them into a per-phase table.
 
 ``stats``/``train``/``search`` accept either ``--benchmark <name>`` (one of
 the built-in miniatures) or ``--data <dir>`` (a directory with ``train.txt``
@@ -69,7 +73,9 @@ from repro.experiments import (
     RunDirectoryError,
     load_run,
 )
-from repro.experiments.runner import BEST_DIRNAME
+from repro.experiments.runner import BEST_DIRNAME, TRACE_DIRNAME
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.trace import merge_trace_dir, summarize_spans, write_merged_trace
 from repro.kge import (
     KGEModel,
     ModelLoadError,
@@ -379,6 +385,8 @@ def command_run(args: argparse.Namespace) -> int:
             spec.dataset = DatasetSpec(store={"path": args.store})
         except ConfigError as error:
             raise SystemExit(str(error))
+    if args.obs:
+        spec.obs.enabled = True
     run_dir = Path(args.run_dir) if args.run_dir else Path("runs") / spec.name
     dataset_label = (
         spec.dataset.store.path if spec.dataset.store is not None
@@ -410,6 +418,9 @@ def command_run(args: argparse.Namespace) -> int:
     print(f"run directory: {record.path} (best model: {record.path / BEST_DIRNAME})")
     if "artifact" in report:
         print(f"serving artifact: {record.path / report['artifact']}")
+    if spec.obs.enabled:
+        print(f"telemetry: metrics.json + {TRACE_DIRNAME}/ under {record.path} "
+              f"(summarize with: repro-autosf trace summarize {record.path})")
     return 0
 
 
@@ -579,15 +590,58 @@ def command_serve(args: argparse.Namespace) -> int:
         except (ArtifactError, ConfigError) as error:
             raise SystemExit(str(error))
         return fleet.run()  # pragma: no cover - blocking loop
+    # Install a real registry before engine construction so the engine's
+    # counters (and the server's /metrics endpoint) bind to it.
+    registry = MetricsRegistry()
+    set_registry(registry)
     engine = _build_engine(args, artifact)
     print(f"serving {artifact.scoring_function.name} "
           f"({artifact.num_entities} entities, {artifact.num_relations} relations) "
-          f"on http://{args.host}:{args.port} — POST /query, GET /stats, GET /healthz")
+          f"on http://{args.host}:{args.port} — POST /query, GET /stats, "
+          f"GET /metrics, GET /healthz")
     serve_forever(  # pragma: no cover - blocking loop
         engine, artifact, host=args.host, port=args.port,
-        micro_batch_window_s=window_ms / 1000.0,
+        micro_batch_window_s=window_ms / 1000.0, registry=registry,
     )
     return 0  # pragma: no cover
+
+
+def command_trace(args: argparse.Namespace) -> int:
+    run_dir = Path(args.run_dir)
+    trace_dir = run_dir / TRACE_DIRNAME
+    if not trace_dir.is_dir():
+        # Also accept the trace directory itself for convenience.
+        trace_dir = run_dir
+    events = merge_trace_dir(trace_dir)
+    if not events:
+        raise SystemExit(
+            f"no trace files (trace-*.jsonl) found under {trace_dir}; "
+            f"run the experiment with --obs (or spec section 'obs': "
+            f"{{'enabled': true}}) to record spans"
+        )
+    pids = sorted({event["pid"] for event in events})
+    if args.action == "merge":
+        output = write_merged_trace(trace_dir)
+        print(f"merged {len(events)} spans from {len(pids)} process(es) into {output}")
+        return 0
+    summary = summarize_spans(events)
+    rows = [
+        {
+            "span": name,
+            "count": stats["count"],
+            "total_s": f"{stats['total']:.3f}",
+            "mean_ms": f"{stats['mean'] * 1000.0:.2f}",
+            "pids": len(stats["pids"]),
+        }
+        for name, stats in sorted(
+            summary.items(), key=lambda item: item[1]["total"], reverse=True
+        )
+    ]
+    print(format_table(
+        rows,
+        title=f"{len(events)} spans across {len(pids)} process(es) in {trace_dir}",
+    ))
+    return 0
 
 
 def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
@@ -647,6 +701,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--store",
         help="override the spec's dataset section with a sharded triple-store "
         "directory (sets dataset.store.path)",
+    )
+    run_parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="enable the telemetry layer for this run regardless of the "
+        "spec's obs section: collect metrics into <run-dir>/metrics.json "
+        "and trace spans into <run-dir>/trace/",
     )
     run_parser.set_defaults(handler=command_run)
 
@@ -787,6 +848,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_dataset_arguments(serve_parser)
     serve_parser.set_defaults(handler=command_serve)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="merge or summarize the trace spans of an --obs run"
+    )
+    trace_parser.add_argument(
+        "action",
+        choices=("merge", "summarize"),
+        help="merge: write one chronologically ordered trace.jsonl; "
+        "summarize: print a per-span-name breakdown (count/total/mean/pids)",
+    )
+    trace_parser.add_argument(
+        "run_dir",
+        help="experiment run directory written by 'run --obs' "
+        "(or its trace/ subdirectory)",
+    )
+    trace_parser.set_defaults(handler=command_trace)
     return parser
 
 

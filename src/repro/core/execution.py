@@ -34,6 +34,7 @@ from repro.kge.evaluation import EvaluationResult, evaluate_link_prediction
 from repro.kge.scoring.bilinear import BlockScoringFunction
 from repro.kge.scoring.blocks import BlockStructure
 from repro.kge.trainer import Trainer, TrainingHistory
+from repro.obs import trace as obs_trace
 from repro.utils.config import EXECUTION_BACKENDS, TrainingConfig
 
 from typing import Protocol, runtime_checkable
@@ -109,15 +110,27 @@ def evaluate_candidate(context: EvaluationContext, task: EvaluationTask) -> Eval
                 scoring_function, params, context.graph, split=context.validation_split
             ).mrr
 
-    start = time.perf_counter()
-    params, history = trainer.fit(context.graph, validation_callback=validation_callback)
-    train_seconds = time.perf_counter() - start
+    # The span lands in the executing process's own trace file: a fork-pool
+    # worker inherits the parent's TraceRecorder, which re-opens per pid, so
+    # the merged timeline shows candidates interleaving across workers.
+    with obs_trace.span(
+        "search.candidate",
+        attrs={"blocks": [[int(v) for v in block] for block in task.structure.blocks]},
+    ) as candidate_span:
+        with obs_trace.span("candidate.train"):
+            start = time.perf_counter()
+            params, history = trainer.fit(
+                context.graph, validation_callback=validation_callback
+            )
+            train_seconds = time.perf_counter() - start
 
-    start = time.perf_counter()
-    result = evaluate_link_prediction(
-        scoring_function, params, context.graph, split=context.validation_split
-    )
-    evaluate_seconds = time.perf_counter() - start
+        with obs_trace.span("candidate.evaluate"):
+            start = time.perf_counter()
+            result = evaluate_link_prediction(
+                scoring_function, params, context.graph, split=context.validation_split
+            )
+            evaluate_seconds = time.perf_counter() - start
+        candidate_span.attrs["validation_mrr"] = float(result.mrr)
 
     return EvaluationOutcome(
         structure=task.structure,

@@ -41,6 +41,7 @@ from repro.experiments.spec import (
     ExperimentSpec,
     ExportSpec,
     HPOSpec,
+    ObsSpec,
     SearchSpec,
     StoreSpec,
     load_spec,
@@ -64,6 +65,7 @@ __all__ = [
     "ExperimentSpec",
     "ExportSpec",
     "HPOSpec",
+    "ObsSpec",
     "SearchSpec",
     "StoreSpec",
     "load_spec",

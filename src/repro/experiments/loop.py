@@ -36,6 +36,7 @@ from repro.core.greedy_search import SearchRecord, SearchResult
 from repro.core.store import EvaluationStore
 from repro.datasets.knowledge_graph import KnowledgeGraph
 from repro.experiments.strategies import SearchState, SearchStrategy
+from repro.obs import trace as obs_trace
 from repro.utils.config import TrainingConfig
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.timing import TimingRecorder
@@ -107,6 +108,35 @@ class SearchLoop:
                 base_seed=seed if isinstance(seed, (int, np.integer)) else None,
             )
         self._records: List[SearchRecord] = []
+        # Candidate-lifecycle counters share the timing recorder's registry —
+        # one sink for Table VII attribution and telemetry (no-op when off).
+        registry = self.timing.registry
+        strategy_label = {"strategy": getattr(strategy, "name", type(strategy).__name__)}
+        self._m_proposed = registry.counter(
+            "repro_search_candidates_proposed_total",
+            help="Candidate structures proposed by the strategy.",
+            labels=strategy_label,
+        )
+        self._m_evaluated = registry.counter(
+            "repro_search_candidates_evaluated_total",
+            help="Candidate evaluations recorded (trained or replayed).",
+            labels=strategy_label,
+        )
+        self._m_trained = registry.counter(
+            "repro_search_candidates_trained_total",
+            help="Candidates actually trained (cache and store misses).",
+            labels=strategy_label,
+        )
+        self._m_store_hits = registry.counter(
+            "repro_search_store_hits_total",
+            help="Candidate evaluations replayed from cache or store.",
+            labels=strategy_label,
+        )
+        self._m_rounds = registry.counter(
+            "repro_search_rounds_total",
+            help="Propose/evaluate/observe rounds completed.",
+            labels=strategy_label,
+        )
 
     # ------------------------------------------------------------------
     # Driver
@@ -145,9 +175,24 @@ class SearchLoop:
             candidates = self.strategy.propose(state)
             if not candidates:
                 break
+            self._m_proposed.inc(len(candidates))
             if remaining is not None:
                 candidates = candidates[:remaining]
-            evaluations = self.evaluator.evaluate_many(candidates, backend=self.backend)
+            trained_before = self.evaluator.num_trained
+            with obs_trace.span(
+                "search.round", attrs={"candidates": len(candidates)}
+            ) as round_span:
+                evaluations = self.evaluator.evaluate_many(
+                    candidates, backend=self.backend
+                )
+            trained_now = self.evaluator.num_trained - trained_before
+            self._m_rounds.inc()
+            self._m_evaluated.inc(len(evaluations))
+            self._m_trained.inc(trained_now)
+            self._m_store_hits.inc(
+                sum(1 for evaluation in evaluations if evaluation.from_cache)
+            )
+            round_span.attrs["trained"] = trained_now
             for evaluation in evaluations:
                 order += 1
                 self._records.append(

@@ -14,6 +14,8 @@ analysis helpers, a future dashboard) can rely on:
       evaluations/     # persistent evaluation store (resume + cross-run cache)
       best/            # the best model, retrained & saved (KGEModel.save)
       artifact/        # optional serving artifact (spec.export.enabled)
+      trace/           # optional per-process span files (spec.obs.enabled)
+      metrics.json     # optional metrics-registry snapshot (spec.obs.enabled)
 
 ``history.jsonl`` is append-friendly and line-oriented so a monitoring tail
 can follow a run in flight; everything else is plain JSON.  The manifest is
@@ -41,6 +43,8 @@ from repro.experiments.loop import SearchLoop
 from repro.experiments.spec import SPEC_SCHEMA_VERSION, ExperimentSpec
 from repro.experiments.strategies import create_strategy
 from repro.kge.model import KGEModel, train_model
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.utils.config import ConfigError
 from repro.utils.serialization import from_json_file, to_json_file, to_json_string
 
@@ -55,6 +59,8 @@ HISTORY_FILENAME = "history.jsonl"
 REPORT_FILENAME = "report.json"
 BEST_DIRNAME = "best"
 ARTIFACT_DIRNAME = "artifact"
+TRACE_DIRNAME = "trace"
+METRICS_FILENAME = "metrics.json"
 
 #: Files every completed run directory must carry.
 _REQUIRED_FILES = (SPEC_FILENAME, MANIFEST_FILENAME, HISTORY_FILENAME, REPORT_FILENAME)
@@ -249,31 +255,62 @@ class ExperimentRunner:
         store under ``evaluations/`` replays every completed candidate, so
         only unfinished work trains.  ``max_evaluations`` overrides the
         spec's ``search.budget`` when given.
+
+        With ``spec.obs.enabled`` the run also produces telemetry inside
+        the run directory: ``trace/`` with per-process span files (merge
+        and read them with ``repro-autosf trace summarize <run-dir>``) and
+        a ``metrics.json`` snapshot of the run's metrics registry.  Both
+        sinks are installed process-globally for the duration of the run
+        and restored afterwards.
         """
         started = time.time()
         self.run_dir.mkdir(parents=True, exist_ok=True)
         self.spec.save(self.run_dir / SPEC_FILENAME)
         self._write_manifest("running")
 
-        graph = self.spec.dataset.load()
-        training_config, hpo_summary = self._tune_training_config(graph)
+        obs = self.spec.obs
+        registry: Optional[obs_metrics.MetricsRegistry] = None
+        tracer: Optional[obs_trace.TraceRecorder] = None
+        previous_registry = previous_tracer = None
+        if obs.enabled and obs.metrics:
+            registry = obs_metrics.MetricsRegistry()
+            previous_registry = obs_metrics.set_registry(registry)
+        if obs.enabled and obs.trace:
+            tracer = obs_trace.TraceRecorder(self.run_dir / TRACE_DIRNAME)
+            previous_tracer = obs_trace.set_tracer(tracer)
+        try:
+            graph = self.spec.dataset.load()
+            with obs_trace.span("run.hpo"):
+                training_config, hpo_summary = self._tune_training_config(graph)
 
-        strategy = create_strategy(self.spec)
-        loop = SearchLoop(
-            graph,
-            strategy,
-            training_config,
-            seed=self.spec.seed,
-            backend=self.spec.backend.backend,
-            num_workers=self.spec.backend.num_workers,
-            store=EvaluationStore(self.run_dir),
-        )
-        budget = max_evaluations if max_evaluations is not None else self.spec.search.budget
-        result = loop.run(max_evaluations=budget)
+            strategy = create_strategy(self.spec)
+            loop = SearchLoop(
+                graph,
+                strategy,
+                training_config,
+                seed=self.spec.seed,
+                backend=self.spec.backend.backend,
+                num_workers=self.spec.backend.num_workers,
+                store=EvaluationStore(self.run_dir),
+            )
+            budget = (
+                max_evaluations if max_evaluations is not None else self.spec.search.budget
+            )
+            with obs_trace.span("run.search"):
+                result = loop.run(max_evaluations=budget)
 
-        self._write_history(result)
-        model = self._train_best(graph, training_config, result)
-        artifact_path = self._export_artifact(model, graph)
+            self._write_history(result)
+            with obs_trace.span("run.train_best"):
+                model = self._train_best(graph, training_config, result)
+            with obs_trace.span("run.export"):
+                artifact_path = self._export_artifact(model, graph)
+        finally:
+            if registry is not None:
+                obs_metrics.set_registry(previous_registry)
+                to_json_file(registry.as_dict(), self.run_dir / METRICS_FILENAME)
+            if tracer is not None:
+                obs_trace.set_tracer(previous_tracer)
+                tracer.close()
 
         report: Dict[str, Any] = {
             "name": self.spec.name,

@@ -18,6 +18,7 @@ predictor   :class:`~repro.utils.config.PredictorConfig`
 hpo         optional hyper-parameter tuning before the search
 backend     execution backend for candidate training
 export      serving-artifact export of the best model
+obs         observability: metrics registry + trace spans
 ========== =====================================================
 
 Every section supports ``to_dict``/``from_dict`` with defaulting (a missing
@@ -327,6 +328,30 @@ class ExportSpec:
 
 
 @dataclass
+class ObsSpec:
+    """Observability wiring for the run (see :mod:`repro.obs`).
+
+    When ``enabled``, the runner installs a real metrics registry (dumped
+    as ``metrics.json`` at the end of the run when ``metrics`` is true)
+    and a trace recorder writing per-process span files under the run
+    directory's ``trace/`` (when ``trace`` is true).  Disabled — the
+    default — both sinks stay the process-global no-ops, so runs are
+    bit-identical to un-instrumented ones.
+    """
+
+    enabled: bool = False
+    trace: bool = True
+    metrics: bool = True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"enabled": self.enabled, "trace": self.trace, "metrics": self.metrics}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ObsSpec":
+        return config_from_dict(cls, data)
+
+
+@dataclass
 class ExperimentSpec:
     """A fully declarative experiment: one spec, one reproducible run."""
 
@@ -339,6 +364,7 @@ class ExperimentSpec:
     hpo: HPOSpec = field(default_factory=HPOSpec)
     backend: BackendSpec = field(default_factory=BackendSpec)
     export: ExportSpec = field(default_factory=ExportSpec)
+    obs: ObsSpec = field(default_factory=ObsSpec)
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -352,6 +378,7 @@ class ExperimentSpec:
             "hpo": HPOSpec,
             "backend": BackendSpec,
             "export": ExportSpec,
+            "obs": ObsSpec,
         }
         for section, cls in coercers.items():
             value = getattr(self, section)
@@ -380,7 +407,7 @@ class ExperimentSpec:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "schema_version": SPEC_SCHEMA_VERSION,
             "name": self.name,
             "seed": self.seed,
@@ -392,6 +419,11 @@ class ExperimentSpec:
             "backend": self.backend.to_dict(),
             "export": self.export.to_dict(),
         }
+        # Serialized only when customized: pre-obs specs (and their digests,
+        # e.g. the golden run's manifest) keep byte-identical spec dumps.
+        if self.obs != ObsSpec():
+            data["obs"] = self.obs.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ExperimentSpec":
@@ -407,6 +439,7 @@ class ExperimentSpec:
             "hpo": HPOSpec,
             "backend": BackendSpec,
             "export": ExportSpec,
+            "obs": ObsSpec,
         }
         for section, section_cls in sections.items():
             value = data.get(section)

@@ -38,6 +38,8 @@ from repro.kge.negative_sampling import NegativeSampler, UniformNegativeSampler
 from repro.kge.optimizers import Optimizer, get_optimizer
 from repro.kge.regularizers import L2Regularizer, Regularizer
 from repro.kge.scoring.base import HEAD, TAIL, ParamDict, ScoringFunction
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.utils.config import TrainingConfig
 from repro.utils.rng import ensure_rng
 
@@ -247,21 +249,69 @@ class Trainer:
         best_optimizer_state: Optional[dict] = None
         start_time = time.perf_counter()
 
+        # Telemetry handles are bound once per fit: with observability off
+        # these are shared no-op objects, so the per-batch cost is two
+        # empty method calls.
+        registry = obs_metrics.get_registry()
+        engine_label = {"engine": self.config.train_engine}
+        m_epochs = registry.counter(
+            "repro_train_epochs_total", help="Training epochs completed.",
+            labels=engine_label,
+        )
+        m_batches = registry.counter(
+            "repro_train_batches_total", help="Training mini-batches processed.",
+            labels=engine_label,
+        )
+        m_triples = registry.counter(
+            "repro_train_triples_total", help="Training triples processed.",
+            labels=engine_label,
+        )
+        m_loss = registry.gauge(
+            "repro_train_epoch_loss", help="Mean loss of the last epoch.",
+            labels=engine_label,
+        )
+        m_rate = registry.gauge(
+            "repro_train_triples_per_second",
+            help="Training throughput of the last epoch.",
+            labels=engine_label,
+        )
+
         for epoch in range(1, self.config.epochs + 1):
             epoch_loss = 0.0
             num_batches = 0
-            if stream is not None:
-                for batch in stream.epoch(epoch - 1):
-                    epoch_loss += self.train_step(params, np.asarray(batch))
-                    num_batches += 1
-            else:
-                order = self.rng.permutation(train.shape[0])
-                for begin in range(0, train.shape[0], self.config.batch_size):
-                    batch = train[order[begin : begin + self.config.batch_size]]
-                    epoch_loss += self.train_step(params, batch)
-                    num_batches += 1
-            self.optimizer.decay()
-            mean_loss = epoch_loss / max(num_batches, 1)
+            epoch_triples = 0
+            with obs_trace.span("train.epoch") as epoch_span:
+                epoch_started = time.monotonic()
+                if stream is not None:
+                    for batch in stream.epoch(epoch - 1):
+                        batch = np.asarray(batch)
+                        epoch_loss += self.train_step(params, batch)
+                        num_batches += 1
+                        epoch_triples += batch.shape[0]
+                        m_batches.inc()
+                        m_triples.inc(batch.shape[0])
+                else:
+                    order = self.rng.permutation(train.shape[0])
+                    for begin in range(0, train.shape[0], self.config.batch_size):
+                        batch = train[order[begin : begin + self.config.batch_size]]
+                        epoch_loss += self.train_step(params, batch)
+                        num_batches += 1
+                        epoch_triples += batch.shape[0]
+                        m_batches.inc()
+                        m_triples.inc(batch.shape[0])
+                self.optimizer.decay()
+                mean_loss = epoch_loss / max(num_batches, 1)
+                epoch_seconds = time.monotonic() - epoch_started
+                m_epochs.inc()
+                m_loss.set(mean_loss)
+                if epoch_seconds > 0:
+                    m_rate.set(epoch_triples / epoch_seconds)
+                epoch_span.attrs.update(
+                    epoch=epoch,
+                    batches=num_batches,
+                    triples=epoch_triples,
+                    loss=float(mean_loss),
+                )
 
             validation_score: Optional[float] = None
             evaluate_now = (

@@ -1,0 +1,74 @@
+"""Unified telemetry: metrics registry, Prometheus exposition, trace spans.
+
+Two process-global sinks with inert defaults:
+
+- :func:`get_registry` / :func:`set_registry` — the metrics registry
+  (:class:`MetricsRegistry`, rendered by :func:`render_prometheus` at the
+  serving ``GET /metrics`` endpoint and dumped to ``metrics.json`` by
+  :class:`~repro.experiments.ExperimentRunner`).
+- :func:`get_tracer` / :func:`configure_tracing` — the structured trace
+  recorder whose per-process JSONL files are merged into one timeline by
+  ``repro trace merge`` / ``repro trace summarize``.
+
+Both default to no-op implementations, so instrumentation scattered
+through the training, search and serving hot paths costs ~nothing until a
+caller (``run --obs``, a serving worker, a test) turns it on.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    PROMETHEUS_CONTENT_TYPE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    parse_prometheus,
+    render_prometheus,
+    set_registry,
+)
+from repro.obs.trace import (
+    MERGED_TRACE_FILENAME,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceRecorder,
+    configure_tracing,
+    get_tracer,
+    merge_trace_dir,
+    record_span,
+    set_tracer,
+    span,
+    summarize_spans,
+    write_merged_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "PROMETHEUS_CONTENT_TYPE",
+    "render_prometheus",
+    "parse_prometheus",
+    "get_registry",
+    "set_registry",
+    "Span",
+    "TraceRecorder",
+    "NullTracer",
+    "NULL_TRACER",
+    "MERGED_TRACE_FILENAME",
+    "configure_tracing",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "record_span",
+    "merge_trace_dir",
+    "summarize_spans",
+    "write_merged_trace",
+]

@@ -1,0 +1,520 @@
+"""Process-local metrics registry with Prometheus text exposition.
+
+Three metric kinds — :class:`Counter`, :class:`Gauge` and
+:class:`Histogram` — are created and owned by a :class:`MetricsRegistry`.
+Instrumented code asks the registry for a handle once (``registry.counter
+("repro_train_batches_total")``) and then updates it on the hot path;
+handles are cheap, thread-safe, and keyed by ``(name, labels)`` so two
+call sites asking for the same series share one time series.
+
+Disabled instrumentation must cost ~nothing: :class:`NullRegistry` hands
+out shared no-op metric objects, so code written against the registry API
+degrades to one attribute lookup plus an empty method call per update.
+The process-global default registry (:func:`get_registry`) is a
+``NullRegistry`` until something — the CLI's ``--obs`` flag, a serving
+worker, a test — installs a real one with :func:`set_registry`.
+
+:func:`render_prometheus` serializes a registry in the Prometheus text
+exposition format (version 0.0.4: ``# HELP`` / ``# TYPE`` lines, escaped
+label values, cumulative histogram ``_bucket``/``_sum``/``_count``
+series); :func:`parse_prometheus` is the matching reader used by tests
+and the CI scrape smoke to round-trip what a ``GET /metrics`` returns.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "render_prometheus",
+    "parse_prometheus",
+    "get_registry",
+    "set_registry",
+]
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Fixed log-spaced latency buckets (seconds): two per decade from 100 µs
+#: to 10 s.  Serving phases sit near the bottom, candidate training near
+#: the top; one shared layout keeps every latency histogram comparable.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = tuple(
+    round(10.0 ** (exponent / 2.0), 10) for exponent in range(-8, 3)
+)
+
+LabelsArg = Optional[Mapping[str, str]]
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _normalize_labels(labels: LabelsArg) -> LabelItems:
+    if not labels:
+        return ()
+    items = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+    for key, _ in items:
+        if not _LABEL_NAME_RE.match(key):
+            raise ValueError(f"invalid label name: {key!r}")
+    return items
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample-value formatting: shortest float round-trip."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape_label_value(value: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ("\\", '"'):
+                out.append(nxt)
+            else:
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _render_label_items(items: Iterable[Tuple[str, str]]) -> str:
+    rendered = ",".join(
+        f'{key}="{escape_label_value(value)}"' for key, value in items
+    )
+    return "{" + rendered + "}" if rendered else ""
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    __slots__ = ("name", "help", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "", labels: LabelItems = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Value that can go up and down."""
+
+    __slots__ = ("name", "help", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "", labels: LabelItems = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Cumulative histogram over fixed bucket upper bounds.
+
+    Buckets are inclusive upper bounds (Prometheus ``le`` semantics); an
+    implicit ``+Inf`` bucket catches everything above the last bound.
+    """
+
+    __slots__ = ("name", "help", "labels", "buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: LabelItems = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bucket bounds must be strictly increasing")
+        if math.isinf(bounds[-1]):
+            bounds = bounds[:-1]  # +Inf is implicit
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def cumulative_counts(self) -> List[int]:
+        """Per-bound cumulative counts, ending with the ``+Inf`` total."""
+        with self._lock:
+            counts = list(self._counts)
+        out: List[int] = []
+        running = 0
+        for c in counts:
+            running += c
+            out.append(running)
+        return out
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+_TYPE_NAMES = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
+
+
+class MetricsRegistry:
+    """Thread-safe owner of all metric series in one process."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelItems], Metric] = {}
+        self._types: Dict[str, type] = {}
+        self._lock = threading.Lock()
+
+    # -- handle factories ------------------------------------------------
+    def counter(self, name: str, help: str = "", labels: LabelsArg = None) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: LabelsArg = None) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: LabelsArg = None,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    def _get_or_create(
+        self,
+        cls: type,
+        name: str,
+        help: str,
+        labels: LabelsArg,
+        **kwargs,
+    ) -> Metric:
+        if not _METRIC_NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        items = _normalize_labels(labels)
+        key = (name, items)
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{_TYPE_NAMES[type(existing)]}, not {_TYPE_NAMES[cls]}"
+                    )
+                return existing
+            registered = self._types.get(name)
+            if registered is not None and registered is not cls:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{_TYPE_NAMES[registered]}, not {_TYPE_NAMES[cls]}"
+                )
+            metric = cls(name, help=help, labels=items, **kwargs)
+            self._metrics[key] = metric
+            self._types[name] = cls
+            return metric
+
+    # -- introspection ---------------------------------------------------
+    def collect(self) -> List[Metric]:
+        """All metrics, grouped by family name, labels sorted within."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return sorted(metrics, key=lambda m: (m.name, m.labels))
+
+    def as_dict(self) -> dict:
+        """JSON-serializable snapshot (written to ``metrics.json``)."""
+        out: List[dict] = []
+        for metric in self.collect():
+            entry: dict = {
+                "name": metric.name,
+                "type": _TYPE_NAMES[type(metric)],
+                "labels": dict(metric.labels),
+            }
+            if isinstance(metric, Histogram):
+                entry["sum"] = metric.sum
+                entry["count"] = metric.count
+                entry["buckets"] = {
+                    _format_value(bound): cumulative
+                    for bound, cumulative in zip(
+                        list(metric.buckets) + [math.inf],
+                        metric.cumulative_counts(),
+                    )
+                }
+            else:
+                entry["value"] = metric.value
+            out.append(entry)
+        return {"metrics": out}
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def sum(self) -> float:
+        return 0.0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry:
+    """No-op registry: every factory returns a shared inert handle.
+
+    This is the process default, so instrumented hot paths pay one method
+    call per update and allocate nothing when observability is off.
+    """
+
+    def counter(self, name: str, help: str = "", labels: LabelsArg = None) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, help: str = "", labels: LabelsArg = None) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: LabelsArg = None,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def collect(self) -> List[Metric]:
+        return []
+
+    def as_dict(self) -> dict:
+        return {"metrics": []}
+
+
+NULL_REGISTRY = NullRegistry()
+
+AnyRegistry = Union[MetricsRegistry, NullRegistry]
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition (version 0.0.4)
+# ---------------------------------------------------------------------------
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def render_prometheus(registry: AnyRegistry) -> str:
+    """Serialize a registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    seen_header = set()
+    for metric in registry.collect():
+        if metric.name not in seen_header:
+            seen_header.add(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {_TYPE_NAMES[type(metric)]}")
+        if isinstance(metric, Histogram):
+            bounds = list(metric.buckets) + [math.inf]
+            for bound, cumulative in zip(bounds, metric.cumulative_counts()):
+                items = metric.labels + (("le", _format_value(bound)),)
+                lines.append(
+                    f"{metric.name}_bucket{_render_label_items(items)} {cumulative}"
+                )
+            suffix = _render_label_items(metric.labels)
+            lines.append(f"{metric.name}_sum{suffix} {_format_value(metric.sum)}")
+            lines.append(f"{metric.name}_count{suffix} {metric.count}")
+        else:
+            lines.append(
+                f"{metric.name}{_render_label_items(metric.labels)} "
+                f"{_format_value(metric.value)}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_sample_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse Prometheus text exposition into families and samples.
+
+    Returns ``{"types": {family: type}, "helps": {family: help},
+    "samples": {(name, labels_items): value}}``.  Used by the exposition
+    round-trip tests and the CI ``/metrics`` scrape; raises ``ValueError``
+    on lines that don't parse.
+    """
+    types: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    samples: Dict[Tuple[str, LabelItems], float] = {}
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            helps[name] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, type_text = rest.partition(" ")
+            types[name] = type_text
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {raw_line!r}")
+        label_text = match.group("labels")
+        items: LabelItems = ()
+        if label_text:
+            consumed = 0
+            parsed: List[Tuple[str, str]] = []
+            for label_match in _LABEL_RE.finditer(label_text):
+                parsed.append(
+                    (label_match.group(1), _unescape_label_value(label_match.group(2)))
+                )
+                consumed = label_match.end()
+            remainder = label_text[consumed:].strip().strip(",")
+            if remainder:
+                raise ValueError(f"unparseable label set: {label_text!r}")
+            items = tuple(sorted(parsed))
+        key = (match.group("name"), items)
+        samples[key] = _parse_sample_value(match.group("value"))
+    return {"types": types, "helps": helps, "samples": samples}
+
+
+# ---------------------------------------------------------------------------
+# Process-global registry
+# ---------------------------------------------------------------------------
+
+_global_lock = threading.Lock()
+_global_registry: AnyRegistry = NULL_REGISTRY
+
+
+def get_registry() -> AnyRegistry:
+    """The process-global registry (a ``NullRegistry`` until enabled)."""
+    return _global_registry
+
+
+def set_registry(registry: Optional[AnyRegistry]) -> AnyRegistry:
+    """Install ``registry`` as the process-global sink; returns the old one.
+
+    Passing ``None`` restores the inert :data:`NULL_REGISTRY`.
+    """
+    global _global_registry
+    with _global_lock:
+        previous = _global_registry
+        _global_registry = registry if registry is not None else NULL_REGISTRY
+    return previous

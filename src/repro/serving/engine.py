@@ -56,6 +56,7 @@ import numpy as np
 from repro.datasets.knowledge_graph import FilterIndex, KnowledgeGraph, _DirectionIndex
 from repro.kge.scoring.base import HEAD, TAIL, ParamDict, ScoringFunction, validate_direction
 from repro.kge.topk import mask_known_scores, select_predictions_batch
+from repro.obs.metrics import AnyRegistry, get_registry
 from repro.serving.artifact import ModelArtifact
 from repro.utils.serialization import from_json_file, to_json_file
 from repro.utils.timing import TimingRecorder
@@ -258,6 +259,13 @@ class InferenceEngine:
         Optional :class:`TimingRecorder`; the engine attributes time to the
         ``project`` / ``score`` / ``select`` phases and counts queries and
         cache hits, which the serve endpoint reports.
+    registry:
+        Metrics registry for the serving counters and batch-size histogram
+        (``repro_serving_*``); defaults to the process-global registry — a
+        no-op ``NullRegistry`` unless the serve path enabled one.  When
+        ``recorder`` is not given, the default :class:`TimingRecorder` is
+        built on this same registry, so the ``project``/``score``/``select``
+        phases show up as ``repro_phase_seconds`` series on ``/metrics``.
     """
 
     def __init__(
@@ -271,6 +279,7 @@ class InferenceEngine:
         result_cache_size: int = 4096,
         operator_admission_threshold: int = 2,
         recorder: Optional[TimingRecorder] = None,
+        registry: Optional[AnyRegistry] = None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -287,7 +296,12 @@ class InferenceEngine:
         self.entity_chunk_size = int(entity_chunk_size)
         self.num_entities = int(params["entities"].shape[0])
         self.num_relations = int(params["relations"].shape[0])
-        self.recorder = recorder if recorder is not None else TimingRecorder()
+        self.registry = registry if registry is not None else get_registry()
+        # The default recorder shares this engine's registry, so per-phase
+        # repro_phase_seconds series land on the same /metrics exposition.
+        self.recorder = (
+            recorder if recorder is not None else TimingRecorder(registry=self.registry)
+        )
         self._result_cache_size = int(result_cache_size)
         self._operators = HotRelationCache(
             capacity=int(operator_cache_size),
@@ -300,6 +314,18 @@ class InferenceEngine:
         self._lock = threading.Lock()
         self.queries_served = 0
         self.cache_hits = 0
+        self._m_queries = self.registry.counter(
+            "repro_serving_queries_total", help="Link-prediction queries answered."
+        )
+        self._m_cache_hits = self.registry.counter(
+            "repro_serving_cache_hits_total",
+            help="Queries answered from the finished-result LRU cache.",
+        )
+        self._m_batch_queries = self.registry.histogram(
+            "repro_serving_batch_queries",
+            help="Queries per engine batch call.",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+        )
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -404,6 +430,8 @@ class InferenceEngine:
             for direction, entity, relation in queries
         ]
         self.queries_served += len(normalized)
+        self._m_queries.inc(len(normalized))
+        self._m_batch_queries.observe(len(normalized))
 
         results: List[Optional[Tuple[Prediction, ...]]] = [None] * len(normalized)
         pending: Dict[Query, List[int]] = {}
@@ -411,6 +439,7 @@ class InferenceEngine:
             cached = self._cached_result((*query, top_k, filtered))
             if cached is not None:
                 self.cache_hits += 1
+                self._m_cache_hits.inc()
                 results[position] = cached
             else:
                 # Keyed by the full query, so duplicates within one batch are

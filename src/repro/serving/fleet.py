@@ -34,6 +34,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.obs.metrics import MetricsRegistry, set_registry
 from repro.serving.artifact import ModelArtifact, load_artifact
 from repro.serving.engine import (
     FilterIndex,
@@ -156,6 +157,11 @@ class ServingFleet:
         return self.port
 
     def _run_worker(self, worker_id: int) -> None:  # pragma: no cover - child process
+        # Each worker owns a real metrics registry (installed as this
+        # process's global sink) so its GET /metrics exposes live
+        # per-worker counters and latency histograms.
+        registry = MetricsRegistry()
+        set_registry(registry)
         # Re-open the artifact *after* the fork: np.load(mmap_mode="r") pages
         # are file-backed and shared across the fleet via the page cache,
         # whereas the parent's arrays would be duplicated copy-on-write.
@@ -170,6 +176,7 @@ class ServingFleet:
             entity_chunk_size=self.entity_chunk_size,
             operator_cache_size=self.operator_cache_size,
             result_cache_size=self.result_cache_size,
+            registry=registry,
         )
         batcher = None
         if self.micro_batch_window_ms > 0:
@@ -181,6 +188,7 @@ class ServingFleet:
             listen_socket=self.listener,
             batcher=batcher,
             worker_id=worker_id,
+            registry=registry,
         )
         server.install_signal_handlers()
         try:
@@ -221,7 +229,7 @@ class ServingFleet:
             pids = ", ".join(str(pid) for pid in self.worker_pids)
             print(
                 f"fleet of {self.workers} worker(s) on http://{self.host}:{port} "
-                f"(pids {pids}) — POST /query, GET /stats, GET /healthz",
+                f"(pids {pids}) — POST /query, GET /stats, GET /healthz, GET /metrics",
                 file=sys.stderr,
             )
 

@@ -11,8 +11,9 @@ Three consumption styles over the same :class:`InferenceEngine`:
 * **HTTP** — ``repro-autosf serve`` runs a dependency-free
   ``http.server``-based JSON endpoint: ``POST /query`` answers a single
   query or a ``{"queries": [...]}`` batch, ``GET /stats`` reports the
-  engine's latency/throughput counters (via ``TimingRecorder``), and
-  ``GET /healthz`` describes the loaded artifact.
+  engine's latency/throughput counters (via ``TimingRecorder``),
+  ``GET /healthz`` describes the loaded artifact, and ``GET /metrics``
+  exposes the worker's metrics registry in the Prometheus text format.
 
 A :class:`QueryServer` can adopt an already-bound listener socket instead
 of binding its own — that is how the pre-forked fleet in
@@ -37,6 +38,12 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.kge.scoring.base import HEAD, TAIL, validate_direction
+from repro.obs.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    AnyRegistry,
+    get_registry,
+    render_prometheus,
+)
 from repro.serving.artifact import ModelArtifact
 from repro.serving.engine import InferenceEngine, MicroBatcher
 
@@ -276,6 +283,7 @@ class QueryServer(ThreadingHTTPServer):
         listen_socket: Optional[socket.socket] = None,
         batcher: Optional[MicroBatcher] = None,
         worker_id: int = 0,
+        registry: Optional[AnyRegistry] = None,
     ) -> None:
         if listen_socket is not None:
             # Adopt the inherited listener: skip bind/listen entirely.
@@ -292,12 +300,40 @@ class QueryServer(ThreadingHTTPServer):
         self.quiet = quiet
         self.batcher = batcher
         self.worker_id = int(worker_id)
-        self.started_at = time.time()
+        # Monotonic clock for uptime: wall-clock steps (NTP, DST) must
+        # never produce a negative or jumping uptime_s in /stats.
+        self.started_monotonic = time.monotonic()
         self.requests_served = 0
         self.errors = 0
         # Handler threads increment the counters concurrently.
         self.counter_lock = threading.Lock()
         self._shutdown_requested = threading.Event()
+        self.registry = registry if registry is not None else get_registry()
+        worker_labels = {"worker_id": str(self.worker_id)}
+        self._m_requests = self.registry.counter(
+            "repro_http_requests_total",
+            help="HTTP requests answered successfully.",
+            labels=worker_labels,
+        )
+        self._m_errors = self.registry.counter(
+            "repro_http_errors_total",
+            help="HTTP requests answered with an error status.",
+            labels=worker_labels,
+        )
+        self._m_uptime = self.registry.gauge(
+            "repro_worker_uptime_seconds",
+            help="Seconds since this worker's server started (monotonic).",
+            labels=worker_labels,
+        )
+        self.registry.gauge(
+            "repro_worker_info",
+            help="Static worker identity (value is always 1).",
+            labels={"worker_id": str(self.worker_id), "pid": str(os.getpid())},
+        ).set(1)
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self.started_monotonic
 
     @property
     def query_target(self) -> Union[InferenceEngine, MicroBatcher]:
@@ -329,10 +365,14 @@ class QueryServer(ThreadingHTTPServer):
                 self.errors += 1
             else:
                 self.requests_served += 1
+        if error:
+            self._m_errors.inc()
+        else:
+            self._m_requests.inc()
 
 
 class QueryHandler(BaseHTTPRequestHandler):
-    """Request handler: ``POST /query``, ``GET /stats``, ``GET /healthz``."""
+    """Handler: ``POST /query``, ``GET /stats|/healthz|/metrics``."""
 
     server: QueryServer
 
@@ -364,7 +404,7 @@ class QueryHandler(BaseHTTPRequestHandler):
             self._send_json(200, payload)
         elif self.path == "/stats":
             stats = self.server.engine.stats()
-            stats["uptime_s"] = time.time() - self.server.started_at
+            stats["uptime_s"] = self.server.uptime_s
             stats["http_requests"] = self.server.requests_served
             stats["http_errors"] = self.server.errors
             stats["worker"] = {
@@ -375,8 +415,19 @@ class QueryHandler(BaseHTTPRequestHandler):
             if self.server.batcher is not None:
                 stats["micro_batcher"] = self.server.batcher.stats()
             self._send_json(200, stats)
+        elif self.path == "/metrics":
+            self.server.count_request()
+            self.server._m_uptime.set(self.server.uptime_s)
+            body = render_prometheus(self.server.registry).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         else:
-            self._send_error_json(404, f"unknown path {self.path!r}; try /query, /stats, /healthz")
+            self._send_error_json(
+                404, f"unknown path {self.path!r}; try /query, /stats, /healthz, /metrics"
+            )
 
     # -- POST -------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - http.server naming contract
@@ -426,6 +477,7 @@ def create_server(
     listen_socket: Optional[socket.socket] = None,
     batcher: Optional[MicroBatcher] = None,
     worker_id: int = 0,
+    registry: Optional[AnyRegistry] = None,
 ) -> QueryServer:
     """Bind a :class:`QueryServer` (port 0 picks a free port, handy in tests)."""
     return QueryServer(
@@ -436,6 +488,7 @@ def create_server(
         listen_socket=listen_socket,
         batcher=batcher,
         worker_id=worker_id,
+        registry=registry,
     )
 
 
@@ -445,10 +498,13 @@ def serve_forever(
     host: str = "127.0.0.1",
     port: int = 8080,
     micro_batch_window_s: float = 0.0,
+    registry: Optional[AnyRegistry] = None,
 ) -> None:  # pragma: no cover - blocking loop, exercised manually via the CLI
     """Run the single-process query service until SIGTERM/SIGINT, then drain."""
     batcher = MicroBatcher(engine, window_s=micro_batch_window_s) if micro_batch_window_s > 0 else None
-    server = create_server(engine, artifact, host, port, quiet=False, batcher=batcher)
+    server = create_server(
+        engine, artifact, host, port, quiet=False, batcher=batcher, registry=registry
+    )
     server.install_signal_handlers()
     try:
         server.serve_forever()

@@ -1,4 +1,13 @@
-"""Wall-clock timing helpers used for the running-time table (Table VII)."""
+"""Wall-clock timing helpers used for the running-time table (Table VII).
+
+:class:`TimingRecorder` is also the bridge into the telemetry layer
+(:mod:`repro.obs`): every sample it records is additionally observed into
+a phase-labelled latency histogram on its registry and emitted as a leaf
+trace span on the process-global tracer — all from the *same* clock
+reading, so Table VII attribution, ``/metrics`` histograms and
+``repro trace summarize`` totals agree exactly.  With the default null
+registry and null tracer those extra sinks are no-op method calls.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +15,14 @@ import time
 from collections import defaultdict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
+
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+#: One histogram family shared by every recorder: the phase is a label,
+#: so ``/metrics`` exposes e.g. ``repro_phase_seconds_bucket{phase="score"}``.
+PHASE_HISTOGRAM = "repro_phase_seconds"
 
 
 @dataclass
@@ -45,21 +61,63 @@ class TimingRecorder:
 
     The greedy search uses one recorder to attribute time to the filter,
     predictor, training and evaluation phases, mirroring Table VII.
+
+    Parameters
+    ----------
+    registry:
+        Metrics registry the samples are mirrored into (as the
+        :data:`PHASE_HISTOGRAM` latency histogram, one series per phase
+        name).  Defaults to the process-global registry at construction
+        time — a no-op ``NullRegistry`` unless observability is enabled.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, registry: Optional["_metrics.AnyRegistry"] = None) -> None:
         self._samples: Dict[str, List[float]] = defaultdict(list)
+        self.registry = registry if registry is not None else _metrics.get_registry()
+        self._histograms: Dict[str, object] = {}
+
+    def _observe(self, name: str, seconds: float) -> None:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self.registry.histogram(
+                PHASE_HISTOGRAM,
+                help="Per-phase wall-clock latency in seconds.",
+                labels={"phase": name},
+            )
+            self._histograms[name] = histogram
+        histogram.observe(seconds)
 
     @contextmanager
     def measure(self, name: str) -> Iterator[None]:
-        start = time.perf_counter()
+        # time.monotonic is CLOCK_MONOTONIC (same clock the tracer uses),
+        # so the emitted span slots into the cross-process timeline.
+        start = time.monotonic()
         try:
             yield
         finally:
-            self._samples[name].append(time.perf_counter() - start)
+            elapsed = time.monotonic() - start
+            self._samples[name].append(elapsed)
+            self._observe(name, elapsed)
+            _trace.get_tracer().record(name, start, elapsed)
 
     def add(self, name: str, seconds: float) -> None:
         self._samples[name].append(float(seconds))
+        self._observe(name, float(seconds))
+
+    def merge(self, other: "TimingRecorder") -> None:
+        """Fold another recorder's samples into this one (phase-wise).
+
+        Used to combine per-process phase timings — e.g. recorders
+        rebuilt from worker outcomes — into one Table VII attribution.
+        Samples are re-observed into this recorder's registry.
+        """
+        for name in other.names():
+            for sample in other.samples(name):
+                self.add(name, sample)
+
+    def samples(self, name: str) -> List[float]:
+        """The raw samples recorded under ``name`` (copy)."""
+        return list(self._samples.get(name, []))
 
     def last(self, name: str) -> float:
         """The most recent sample recorded under ``name``.
@@ -93,7 +151,7 @@ class TimingRecorder:
             name: {
                 "total": self.total(name),
                 "mean": self.mean(name),
-                "count": float(self.count(name)),
+                "count": self.count(name),
             }
             for name in self.names()
         }

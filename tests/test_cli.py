@@ -201,6 +201,40 @@ class TestExperimentCommands:
         out = capsys.readouterr().out
         assert [line for line in out.splitlines() if line.startswith("random")][0].split()[2] == "2"
 
+    def test_run_obs_writes_telemetry_and_trace_subcommand_reads_it(
+        self, tmp_path, capsys
+    ):
+        spec = _write_spec(tmp_path, "cli-obs", "random", budget=3)
+        run_dir = tmp_path / "run"
+        assert main(["run", str(spec), "--run-dir", str(run_dir), "--obs"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry" in out
+        assert (run_dir / "metrics.json").exists()
+        assert list((run_dir / "trace").glob("trace-*.jsonl"))
+
+        assert main(["trace", "summarize", str(run_dir)]) == 0
+        summarized = capsys.readouterr().out
+        assert "search.candidate" in summarized
+        assert "train.epoch" in summarized
+
+        assert main(["trace", "merge", str(run_dir)]) == 0
+        merged = capsys.readouterr().out
+        assert "merged" in merged
+        assert (run_dir / "trace" / "trace.jsonl").exists()
+
+    def test_run_without_obs_writes_no_telemetry(self, tmp_path, capsys):
+        spec = _write_spec(tmp_path, "cli-no-obs", "random", budget=2)
+        run_dir = tmp_path / "run"
+        assert main(["run", str(spec), "--run-dir", str(run_dir)]) == 0
+        capsys.readouterr()
+        assert not (run_dir / "metrics.json").exists()
+        assert not (run_dir / "trace").exists()
+
+    def test_trace_without_telemetry_fails(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(SystemExit, match="no trace files"):
+            main(["trace", "summarize", str(tmp_path / "empty")])
+
     def test_run_missing_spec_fails(self, tmp_path):
         with pytest.raises(SystemExit, match="cannot read"):
             main(["run", str(tmp_path / "nowhere.json")])

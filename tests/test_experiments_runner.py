@@ -10,6 +10,7 @@ from repro.experiments import (
     ExperimentSpec,
     ExportSpec,
     HPOSpec,
+    ObsSpec,
     RunDirectoryError,
     SearchSpec,
     load_run,
@@ -20,10 +21,14 @@ from repro.experiments import (
 from repro.experiments.runner import (
     HISTORY_FILENAME,
     MANIFEST_FILENAME,
+    METRICS_FILENAME,
     REPORT_FILENAME,
     RUN_SCHEMA_VERSION,
     SPEC_FILENAME,
+    TRACE_DIRNAME,
 )
+from repro.obs.metrics import NULL_REGISTRY, get_registry
+from repro.obs.trace import NULL_TRACER, get_tracer, merge_trace_dir, summarize_spans
 from repro.serving import load_artifact
 from repro.utils.config import PredictorConfig, TrainingConfig
 
@@ -189,3 +194,68 @@ class TestRunnerFeatures:
             max_evaluations=2
         )
         assert record.report["num_evaluations"] == 2
+
+
+class TestObservability:
+    def test_obs_run_writes_trace_and_metrics(self, tmp_path):
+        spec = _quick_spec(name="obs-on", obs=ObsSpec(enabled=True))
+        record = run_experiment(spec, tmp_path / "run")
+        metrics_path = record.path / METRICS_FILENAME
+        assert metrics_path.exists()
+        families = {
+            entry["name"]
+            for entry in json.loads(metrics_path.read_text(encoding="utf-8"))["metrics"]
+        }
+        assert "repro_search_rounds_total" in families
+        assert "repro_train_epochs_total" in families
+        assert "repro_phase_seconds" in families
+        trace_dir = record.path / TRACE_DIRNAME
+        events = merge_trace_dir(trace_dir)
+        names = {event["name"] for event in events}
+        assert {"run.search", "search.round", "search.candidate", "train.epoch"} <= names
+        # The runner restores the process-global sinks on the way out.
+        assert get_registry() is NULL_REGISTRY
+        assert get_tracer() is NULL_TRACER
+
+    def test_trace_summary_agrees_with_timing_recorder(self, tmp_path):
+        """The per-phase trace breakdown matches the report's Table VII timing.
+
+        ``candidate.train`` / ``candidate.evaluate`` spans wrap exactly the
+        work the evaluator attributes to the ``train`` / ``evaluate`` phases
+        (one span per freshly trained candidate; cache replays add neither a
+        span nor seconds), so counts match exactly and totals agree within
+        timer resolution.
+        """
+        spec = _quick_spec(name="obs-agree", obs=ObsSpec(enabled=True))
+        record = run_experiment(spec, tmp_path / "run")
+        summary = summarize_spans(merge_trace_dir(record.path / TRACE_DIRNAME))
+        timing = record.report["timing"]
+        for span_name, phase in (
+            ("candidate.train", "train"),
+            ("candidate.evaluate", "evaluate"),
+        ):
+            assert summary[span_name]["count"] == timing[phase]["count"]
+            assert summary[span_name]["total"] == pytest.approx(
+                timing[phase]["total"], abs=0.05
+            )
+
+    def test_obs_selective_sections(self, tmp_path):
+        spec = _quick_spec(name="obs-metrics-only", obs=ObsSpec(enabled=True, trace=False))
+        record = run_experiment(spec, tmp_path / "run")
+        assert (record.path / METRICS_FILENAME).exists()
+        assert not (record.path / TRACE_DIRNAME).exists()
+
+    def test_disabled_obs_leaves_outputs_identical(self, tmp_path):
+        """Instrumentation off vs on: the numeric trajectory is bit-identical."""
+        plain = run_experiment(_quick_spec(name="parity"), tmp_path / "plain")
+        observed = run_experiment(
+            _quick_spec(name="parity", obs=ObsSpec(enabled=True)), tmp_path / "observed"
+        )
+        assert plain.best_mrr == observed.best_mrr
+        assert plain.anytime_curve() == observed.anytime_curve()
+        assert [e["validation_mrr"] for e in plain.history] == [
+            e["validation_mrr"] for e in observed.history
+        ]
+        assert [e["structure"] for e in plain.history] == [
+            e["structure"] for e in observed.history
+        ]

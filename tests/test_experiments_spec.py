@@ -8,8 +8,10 @@ from repro.experiments import (
     ExperimentSpec,
     ExportSpec,
     HPOSpec,
+    ObsSpec,
     SearchSpec,
     load_spec,
+    spec_digest,
 )
 from repro.utils.config import ConfigError, PredictorConfig, TrainingConfig
 
@@ -83,6 +85,27 @@ class TestExperimentSpec:
     def test_from_dict_defaults_missing_sections(self):
         spec = ExperimentSpec.from_dict({"name": "minimal"})
         assert spec == ExperimentSpec(name="minimal")
+
+    def test_default_obs_not_serialized(self):
+        """A default obs section must not change pre-obs spec dumps/digests."""
+        data = ExperimentSpec(name="stable").to_dict()
+        assert "obs" not in data
+        with_obs = ExperimentSpec(name="stable", obs=ObsSpec(enabled=True))
+        assert "obs" in with_obs.to_dict()
+        assert spec_digest(ExperimentSpec(name="stable")) != spec_digest(with_obs)
+
+    def test_obs_round_trip(self):
+        spec = ExperimentSpec(
+            name="obs", obs=ObsSpec(enabled=True, trace=False, metrics=True)
+        )
+        restored = ExperimentSpec.from_dict(spec.to_dict())
+        assert restored == spec
+        assert restored.obs.enabled and not restored.obs.trace
+
+    def test_obs_accepts_plain_dict(self):
+        spec = ExperimentSpec(name="obs-dict", obs={"enabled": True})
+        assert isinstance(spec.obs, ObsSpec)
+        assert spec.obs.enabled and spec.obs.trace and spec.obs.metrics
 
     def test_sections_accept_plain_dicts(self):
         spec = ExperimentSpec(

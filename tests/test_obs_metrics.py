@@ -1,0 +1,270 @@
+"""Tests for the metrics registry and Prometheus text exposition."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    parse_prometheus,
+    render_prometheus,
+    set_registry,
+)
+from repro.utils.timing import PHASE_HISTOGRAM, TimingRecorder
+
+
+class TestMetrics:
+    def test_counter_increments(self):
+        counter = Counter("c_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c_total").inc(-1.0)
+
+    def test_gauge_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10.0)
+        gauge.inc(2.0)
+        gauge.dec(5.0)
+        assert gauge.value == pytest.approx(7.0)
+
+    def test_histogram_le_is_inclusive_upper_bound(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        hist.observe(1.0)  # lands in le=1 (inclusive)
+        hist.observe(1.5)  # le=2
+        hist.observe(9.0)  # +Inf
+        assert hist.cumulative_counts() == [1, 2, 3]
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(11.5)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_histogram_strips_trailing_inf(self):
+        hist = Histogram("h", buckets=(1.0, math.inf))
+        assert hist.buckets == (1.0,)
+
+    def test_default_buckets_log_spaced_increasing(self):
+        bounds = DEFAULT_LATENCY_BUCKETS
+        assert list(bounds) == sorted(bounds)
+        assert bounds[0] == pytest.approx(1e-4)
+        assert bounds[-1] == pytest.approx(10.0)
+
+
+class TestRegistry:
+    def test_same_handle_for_same_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", labels={"k": "v"})
+        b = registry.counter("x_total", labels={"k": "v"})
+        assert a is b
+
+    def test_distinct_labels_distinct_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", labels={"k": "1"})
+        b = registry.counter("x_total", labels={"k": "2"})
+        assert a is not b
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+        # Even with different labels: one family, one type.
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("x_total", labels={"k": "v"})
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("1starts_with_digit")
+        with pytest.raises(ValueError):
+            registry.counter("has space")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", labels={"bad-label": "v"})
+
+    def test_collect_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total")
+        registry.counter("a_total", labels={"z": "2"})
+        registry.counter("a_total", labels={"z": "1"})
+        names = [(m.name, m.labels) for m in registry.collect()]
+        assert names == sorted(names)
+
+    def test_as_dict_shapes(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(3)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        data = registry.as_dict()
+        by_name = {entry["name"]: entry for entry in data["metrics"]}
+        assert by_name["c_total"]["value"] == 3
+        assert by_name["h"]["count"] == 1
+        assert by_name["h"]["buckets"] == {"1": 1, "+Inf": 1}
+
+    def test_thread_safety_under_contention(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("contended_total")
+        hist = registry.histogram("contended_seconds", buckets=(0.5,))
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+                hist.observe(0.1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+        assert hist.count == 8000
+        assert hist.cumulative_counts() == [8000, 8000]
+
+
+class TestNullRegistry:
+    def test_null_handles_are_inert_and_shared(self):
+        registry = NullRegistry()
+        counter = registry.counter("anything")
+        counter.inc(5)
+        assert counter.value == 0.0
+        assert registry.counter("other") is counter
+        registry.gauge("g").set(3)
+        registry.histogram("h").observe(1.0)
+        assert registry.collect() == []
+        assert registry.as_dict() == {"metrics": []}
+        assert render_prometheus(registry) == ""
+
+    def test_global_default_is_null(self):
+        previous = set_registry(None)
+        try:
+            assert get_registry() is NULL_REGISTRY
+        finally:
+            set_registry(previous)
+
+    def test_set_registry_returns_previous(self):
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            assert get_registry() is registry
+        finally:
+            restored = set_registry(previous)
+            assert restored is registry
+
+
+class TestExposition:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", help="requests", labels={"worker_id": "0"}).inc(2)
+        registry.gauge("up_seconds", help="uptime").set(1.5)
+        text = render_prometheus(registry)
+        assert "# HELP req_total requests" in text
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{worker_id="0"} 2' in text
+        assert "# TYPE up_seconds gauge" in text
+        assert "up_seconds 1.5" in text
+        assert text.endswith("\n")
+
+    def test_label_value_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        nasty = 'back\\slash "quote"\nnewline'
+        registry.counter("esc_total", labels={"k": nasty}).inc()
+        text = render_prometheus(registry)
+        assert "\\\\" in text and '\\"' in text and "\\n" in text
+        # The raw newline must not appear inside the label value.
+        for line in text.splitlines():
+            assert "\n" not in line
+        parsed = parse_prometheus(text)
+        assert parsed["samples"][("esc_total", (("k", nasty),))] == 1.0
+
+    def test_histogram_bucket_sum_count_invariants(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", labels={"phase": "p"}, buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0, 0.05):
+            hist.observe(value)
+        parsed = parse_prometheus(render_prometheus(registry))
+        samples = parsed["samples"]
+        base = (("phase", "p"),)
+        buckets = [
+            samples[("lat_seconds_bucket", tuple(sorted(base + (("le", le),))))]
+            for le in ("0.1", "1", "+Inf")
+        ]
+        # Cumulative and non-decreasing, +Inf equals _count.
+        assert buckets == [2.0, 3.0, 4.0]
+        assert buckets == sorted(buckets)
+        assert samples[("lat_seconds_count", base)] == buckets[-1] == 4.0
+        assert samples[("lat_seconds_sum", base)] == pytest.approx(5.6)
+        assert parsed["types"]["lat_seconds"] == "histogram"
+
+    def test_le_labels_render_in_ascending_bound_order(self):
+        registry = MetricsRegistry()
+        registry.histogram("h_seconds", buckets=(0.01, 0.1, 1.0)).observe(0.5)
+        text = render_prometheus(registry)
+        le_values = []
+        for line in text.splitlines():
+            if line.startswith("h_seconds_bucket"):
+                start = line.index('le="') + 4
+                le_values.append(line[start : line.index('"', start)])
+        assert le_values == ["0.01", "0.1", "1", "+Inf"]
+
+    def test_parser_round_trip_full_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", help="with help").inc(7)
+        registry.gauge("b", labels={"x": "1", "y": "2"}).set(-2.25)
+        registry.histogram("c_seconds", buckets=(1.0,)).observe(0.5)
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert parsed["helps"]["a_total"] == "with help"
+        assert parsed["samples"][("a_total", ())] == 7.0
+        assert parsed["samples"][("b", (("x", "1"), ("y", "2")))] == -2.25
+        assert parsed["samples"][("c_seconds_bucket", (("le", "1"),))] == 1.0
+        assert parsed["types"] == {"a_total": "counter", "b": "gauge", "c_seconds": "histogram"}
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("not a metric line !!!\n")
+
+    def test_inf_sample_values(self):
+        parsed = parse_prometheus("x_bucket{le=\"+Inf\"} 3\n")
+        assert parsed["samples"][("x_bucket", (("le", "+Inf"),))] == 3.0
+
+
+class TestTimingRecorderBridge:
+    def test_measure_feeds_phase_histogram(self):
+        registry = MetricsRegistry()
+        recorder = TimingRecorder(registry=registry)
+        with recorder.measure("score"):
+            pass
+        recorder.add("score", 0.5)
+        hist = registry.histogram(PHASE_HISTOGRAM, labels={"phase": "score"})
+        assert hist.count == 2
+        assert hist.sum == pytest.approx(recorder.total("score"))
+
+    def test_default_recorder_binds_global_registry(self):
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            recorder = TimingRecorder()
+            recorder.add("phase", 1.0)
+        finally:
+            set_registry(previous)
+        hist = registry.histogram(PHASE_HISTOGRAM, labels={"phase": "phase"})
+        assert hist.count == 1
+
+    def test_null_registry_recorder_still_records_samples(self):
+        recorder = TimingRecorder(registry=NULL_REGISTRY)
+        recorder.add("phase", 2.0)
+        assert recorder.total("phase") == pytest.approx(2.0)

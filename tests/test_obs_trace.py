@@ -1,0 +1,215 @@
+"""Tests for trace spans: nesting, fork-aware files, cross-process merge."""
+
+import json
+import multiprocessing
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    MERGED_TRACE_FILENAME,
+    NULL_TRACER,
+    NullTracer,
+    TraceRecorder,
+    configure_tracing,
+    get_tracer,
+    merge_trace_dir,
+    record_span,
+    set_tracer,
+    span,
+    summarize_spans,
+    write_merged_trace,
+)
+from repro.utils.timing import TimingRecorder
+
+
+def read_all_events(directory):
+    return merge_trace_dir(directory)
+
+
+class TestTraceRecorder:
+    def test_span_writes_one_event_per_completion(self, tmp_path):
+        recorder = TraceRecorder(tmp_path)
+        with recorder.span("outer"):
+            time.sleep(0.001)
+        recorder.close()
+        events = read_all_events(tmp_path)
+        assert len(events) == 1
+        (event,) = events
+        assert event["name"] == "outer"
+        assert event["parent_id"] is None
+        assert event["duration"] >= 0.0005
+        assert event["trace_id"] == event["span_id"]
+
+    def test_nested_spans_carry_parent_links(self, tmp_path):
+        recorder = TraceRecorder(tmp_path)
+        with recorder.span("outer") as outer:
+            with recorder.span("inner"):
+                pass
+        recorder.close()
+        events = {event["name"]: event for event in read_all_events(tmp_path)}
+        assert events["inner"]["parent_id"] == events["outer"]["span_id"]
+        assert events["inner"]["trace_id"] == events["outer"]["trace_id"]
+        # Inner completes first, so it appears in file order first, but the
+        # merge orders by start: outer started earlier.
+        ordered = read_all_events(tmp_path)
+        assert ordered[0]["name"] == "outer"
+        assert outer.span_id == events["outer"]["span_id"]
+
+    def test_attrs_set_inside_block_are_persisted(self, tmp_path):
+        recorder = TraceRecorder(tmp_path)
+        with recorder.span("epoch", attrs={"epoch": 1}) as handle:
+            handle.attrs["loss"] = 0.25
+        recorder.close()
+        (event,) = read_all_events(tmp_path)
+        assert event["attrs"] == {"epoch": 1, "loss": 0.25}
+
+    def test_record_writes_leaf_with_current_parent(self, tmp_path):
+        recorder = TraceRecorder(tmp_path)
+        with recorder.span("outer"):
+            recorder.record("leaf", start=time.monotonic(), duration=0.5)
+        recorder.close()
+        events = {event["name"]: event for event in read_all_events(tmp_path)}
+        assert events["leaf"]["parent_id"] == events["outer"]["span_id"]
+        assert events["leaf"]["duration"] == 0.5
+
+    def test_span_written_when_block_raises(self, tmp_path):
+        recorder = TraceRecorder(tmp_path)
+        with pytest.raises(RuntimeError):
+            with recorder.span("failing"):
+                raise RuntimeError("boom")
+        recorder.close()
+        assert [event["name"] for event in read_all_events(tmp_path)] == ["failing"]
+
+    def test_merge_orders_across_processes_by_monotonic_start(self, tmp_path):
+        """Two pids interleave by start, and parent links survive the merge."""
+        recorder = TraceRecorder(tmp_path)
+
+        def child() -> None:
+            # Forked child inherits the recorder; it must transparently open
+            # its own trace file and keep its own id namespace.
+            with recorder.span("child.outer"):
+                with recorder.span("child.inner"):
+                    time.sleep(0.002)
+
+        with recorder.span("parent.before"):
+            time.sleep(0.001)
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        )
+        process = context.Process(target=child)
+        process.start()
+        process.join()
+        assert process.exitcode == 0
+        with recorder.span("parent.after"):
+            pass
+        recorder.close()
+
+        events = read_all_events(tmp_path)
+        pids = {event["pid"] for event in events}
+        assert len(pids) == 2
+        names = [event["name"] for event in events]
+        assert names[0] == "parent.before"
+        assert names[-1] == "parent.after"
+        assert {"child.outer", "child.inner"} <= set(names)
+        # Monotonic starts are globally ordered.
+        starts = [event["start"] for event in events]
+        assert starts == sorted(starts)
+        # Parent links survive the merge within the child's events.
+        by_name = {event["name"]: event for event in events}
+        assert by_name["child.inner"]["parent_id"] == by_name["child.outer"]["span_id"]
+        assert by_name["child.outer"]["pid"] == by_name["child.inner"]["pid"]
+        assert by_name["parent.before"]["pid"] != by_name["child.outer"]["pid"]
+
+    def test_write_merged_trace_is_sorted_jsonl(self, tmp_path):
+        recorder = TraceRecorder(tmp_path)
+        with recorder.span("a"):
+            pass
+        with recorder.span("b"):
+            pass
+        recorder.close()
+        output = write_merged_trace(tmp_path)
+        assert output == tmp_path / MERGED_TRACE_FILENAME
+        lines = output.read_text(encoding="utf-8").strip().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert [event["name"] for event in events] == ["a", "b"]
+
+    def test_merge_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            merge_trace_dir(tmp_path / "missing")
+
+
+class TestGlobals:
+    def test_default_tracer_is_null_and_inert(self):
+        previous = set_tracer(None)
+        try:
+            assert get_tracer() is NULL_TRACER
+            with span("anything") as handle:
+                handle.attrs["x"] = 1  # must accept writes
+            record_span("leaf", 0.0, 1.0)
+        finally:
+            set_tracer(previous)
+
+    def test_configure_tracing_installs_recorder(self, tmp_path):
+        previous = set_tracer(None)
+        try:
+            recorder = configure_tracing(tmp_path)
+            assert get_tracer() is recorder
+            with span("configured"):
+                pass
+            recorder.close()
+        finally:
+            set_tracer(previous)
+        assert [e["name"] for e in read_all_events(tmp_path)] == ["configured"]
+
+    def test_null_tracer_span_is_reusable(self):
+        tracer = NullTracer()
+        with tracer.span("x") as a:
+            pass
+        with tracer.span("y") as b:
+            pass
+        assert a is b
+
+
+class TestSummarize:
+    def test_summary_counts_totals_means_pids(self):
+        events = [
+            {"name": "train", "duration": 1.0, "pid": 1},
+            {"name": "train", "duration": 3.0, "pid": 2},
+            {"name": "eval", "duration": 0.5, "pid": 1},
+        ]
+        summary = summarize_spans(events)
+        assert summary["train"]["count"] == 2
+        assert summary["train"]["total"] == pytest.approx(4.0)
+        assert summary["train"]["mean"] == pytest.approx(2.0)
+        assert summary["train"]["pids"] == [1, 2]
+        assert summary["eval"]["pids"] == [1]
+
+    def test_summarize_agrees_with_timing_recorder(self, tmp_path):
+        """`repro trace summarize` totals == TimingRecorder totals, exactly.
+
+        TimingRecorder.measure takes ONE monotonic reading and feeds it to
+        both the sample list and the tracer, so the agreement is exact, not
+        just within timer resolution.
+        """
+        tracer = TraceRecorder(tmp_path)
+        previous = set_tracer(tracer)
+        try:
+            recorder = TimingRecorder(registry=MetricsRegistry())
+            for _ in range(3):
+                with recorder.measure("project"):
+                    time.sleep(0.001)
+            with recorder.measure("score"):
+                time.sleep(0.002)
+            tracer.close()
+        finally:
+            set_tracer(previous)
+        summary = summarize_spans(merge_trace_dir(tmp_path))
+        assert summary["project"]["count"] == recorder.count("project") == 3
+        assert summary["project"]["total"] == pytest.approx(
+            recorder.total("project"), abs=0.0
+        )
+        assert summary["score"]["total"] == pytest.approx(
+            recorder.total("score"), abs=0.0
+        )

@@ -8,6 +8,11 @@ import urllib.request
 import pytest
 
 from repro.kge import train_model
+from repro.obs.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+    parse_prometheus,
+)
 from repro.serving import (
     InferenceEngine,
     QueryRequest,
@@ -186,3 +191,96 @@ class TestHTTPService:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             self._get(server, "/nope")
         assert excinfo.value.code == 404
+
+    def test_uptime_is_monotonic_and_non_negative(self, server):
+        _, first = self._get(server, "/stats")
+        _, second = self._get(server, "/stats")
+        assert first["uptime_s"] >= 0.0
+        assert second["uptime_s"] >= first["uptime_s"]
+
+
+class TestMetricsEndpoint:
+    @pytest.fixture()
+    def server(self, artifact):
+        registry = MetricsRegistry()
+        engine = InferenceEngine.from_artifact(artifact, registry=registry)
+        server = create_server(
+            engine, artifact, host="127.0.0.1", port=0, worker_id=3, registry=registry
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    @staticmethod
+    def _scrape(server):
+        url = f"http://127.0.0.1:{server.server_address[1]}/metrics"
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return (
+                response.status,
+                response.headers.get("Content-Type"),
+                response.read().decode("utf-8"),
+            )
+
+    @staticmethod
+    def _query(server):
+        url = f"http://127.0.0.1:{server.server_address[1]}/query"
+        request = urllib.request.Request(
+            url,
+            data=json.dumps(
+                {"direction": "tail", "entity": 0, "relation": 0, "top_k": 2}
+            ).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            response.read()
+
+    def test_metrics_parse_and_carry_worker_series(self, server):
+        self._query(server)
+        status, content_type, text = self._scrape(server)
+        assert status == 200
+        assert content_type == PROMETHEUS_CONTENT_TYPE
+        parsed = parse_prometheus(text)  # raises on any malformed line
+        samples = parsed["samples"]
+        assert samples[("repro_http_requests_total", (("worker_id", "3"),))] >= 2.0
+        assert samples[("repro_serving_queries_total", ())] >= 1.0
+        assert samples[("repro_worker_uptime_seconds", (("worker_id", "3"),))] >= 0.0
+        info_labels = dict(
+            next(
+                labels
+                for name, labels in samples
+                if name == "repro_worker_info"
+            )
+        )
+        assert info_labels["worker_id"] == "3"
+        assert int(info_labels["pid"]) > 0
+        assert parsed["types"]["repro_http_requests_total"] == "counter"
+
+    def test_request_counter_monotone_across_scrapes(self, server):
+        self._query(server)
+        _, _, first = self._scrape(server)
+        self._query(server)
+        _, _, second = self._scrape(server)
+        key = ("repro_http_requests_total", (("worker_id", "3"),))
+        before = parse_prometheus(first)["samples"][key]
+        after = parse_prometheus(second)["samples"][key]
+        assert after > before
+
+    def test_phase_histogram_has_bucket_invariants(self, server):
+        self._query(server)
+        _, _, text = self._scrape(server)
+        parsed = parse_prometheus(text)
+        phases = {
+            dict(labels).get("phase")
+            for name, labels in parsed["samples"]
+            if name == "repro_phase_seconds_bucket"
+        }
+        assert "score" in phases
+        base = (("phase", "score"),)
+        count = parsed["samples"][("repro_phase_seconds_count", base)]
+        inf_bucket = parsed["samples"][
+            ("repro_phase_seconds_bucket", tuple(sorted(base + (("le", "+Inf"),))))
+        ]
+        assert inf_bucket == count >= 1.0

@@ -83,6 +83,27 @@ class TestTimingRecorder:
         assert set(summary) == {"a", "b"}
         assert summary["b"]["total"] == pytest.approx(2.0)
 
+    def test_summary_count_is_int(self):
+        recorder = TimingRecorder()
+        recorder.add("a", 1.0)
+        recorder.add("a", 2.0)
+        count = recorder.summary()["a"]["count"]
+        assert count == 2
+        assert isinstance(count, int)
+
+    def test_merge_combines_samples(self):
+        left = TimingRecorder()
+        left.add("train", 1.0)
+        right = TimingRecorder()
+        right.add("train", 3.0)
+        right.add("evaluate", 0.5)
+        left.merge(right)
+        assert left.count("train") == 2
+        assert left.total("train") == pytest.approx(4.0)
+        assert left.count("evaluate") == 1
+        # The source recorder is untouched.
+        assert right.count("train") == 1
+
     def test_measure_records_on_exception(self):
         recorder = TimingRecorder()
         with pytest.raises(RuntimeError):
