@@ -40,6 +40,7 @@ AREAS = {
     "search": "bench_search_strategies.py",
     "dataset": "bench_dataset_pipeline.py",
     "serving": "bench_serving_load.py",
+    "live": "bench_live_ingest.py",
     "obs": "obs_smoke.py",
 }
 

@@ -16,6 +16,9 @@ The subcommands cover the common workflows without writing any Python:
   every dataset-taking subcommand then accepts ``--store DIR`` next to
   ``--benchmark``/``--data``, and ``run`` can override a spec's dataset
   section with ``--store``;
+* ``repro-autosf compact`` — fold a live store's pending delta shards
+  (written by :meth:`TripleStore.apply_delta`) back into base shards,
+  bit-identical to re-ingesting the merged TSV;
 * ``repro-autosf stats``  — print the Table III-style relation-pattern
   statistics of a built-in miniature benchmark or a TSV dataset directory;
 * ``repro-autosf train``  — train one named scoring function and report the
@@ -85,6 +88,7 @@ from repro.kge import (
 from repro.kge.scoring import available_scoring_functions
 from repro.serving import (
     ArtifactError,
+    EngineReloader,
     InferenceEngine,
     ServingFleet,
     answer_queries,
@@ -271,6 +275,27 @@ def command_ingest(args: argparse.Namespace) -> int:
     print(format_table([row], title="Sharded triple store"))
     print(f"use it with: repro-autosf train --store {store.directory}  "
           f"(or a dataset.store spec section)")
+    return 0
+
+
+def command_compact(args: argparse.Namespace) -> int:
+    from repro.live import compact_store
+
+    try:
+        store = TripleStore.open(args.store_dir)
+        pending = len(store.delta_entries())
+        generation = store.generation
+        compacted = compact_store(store, output_dir=args.output)
+    except DatasetError as error:
+        raise SystemExit(str(error))
+    if args.output is None and pending == 0:
+        print(f"{store.directory} has no pending deltas; nothing to do")
+        return 0
+    print(f"compacted {pending} delta shard(s) at generation {generation} "
+          f"into {compacted.directory}")
+    row = {"store": compacted.name}
+    row.update(compacted.summary())
+    print(format_table([row], title="Compacted triple store"))
     return 0
 
 
@@ -528,7 +553,8 @@ def command_export(args: argparse.Namespace) -> int:
                 metrics[f"{split}_{key}"] = value
     try:
         path = export_artifact(
-            model, args.output, graph=graph, metrics=metrics, model_directory=model_directory
+            model, args.output, graph=graph, metrics=metrics,
+            model_directory=model_directory, generation=args.generation,
         )
     except ArtifactError as error:
         raise SystemExit(str(error))
@@ -595,13 +621,26 @@ def command_serve(args: argparse.Namespace) -> int:
     registry = MetricsRegistry()
     set_registry(registry)
     engine = _build_engine(args, artifact)
+    # The reloader rebuilds from the artifact directory on POST /reload or
+    # SIGHUP; note it does not re-derive a --filter index from the dataset
+    # flags — save one beside the artifact (<dir>/filter_index) to keep
+    # filtered queries working across hot swaps.
+    reloader = EngineReloader(
+        artifact_dir=args.artifact,
+        batch_size=args.batch_size,
+        entity_chunk_size=args.entity_chunk_size,
+        micro_batch_window_s=window_ms / 1000.0,
+        registry=registry,
+    )
     print(f"serving {artifact.scoring_function.name} "
-          f"({artifact.num_entities} entities, {artifact.num_relations} relations) "
-          f"on http://{args.host}:{args.port} — POST /query, GET /stats, "
-          f"GET /metrics, GET /healthz")
+          f"({artifact.num_entities} entities, {artifact.num_relations} relations, "
+          f"generation {artifact.generation}, schema v{artifact.schema_version}) "
+          f"on http://{args.host}:{args.port} — POST /query, POST /reload, "
+          f"GET /stats, GET /metrics, GET /healthz")
     serve_forever(  # pragma: no cover - blocking loop
         engine, artifact, host=args.host, port=args.port,
         micro_batch_window_s=window_ms / 1000.0, registry=registry,
+        reloader=reloader,
     )
     return 0  # pragma: no cover
 
@@ -732,6 +771,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ingest_parser.set_defaults(handler=command_ingest)
 
+    compact_parser = subparsers.add_parser(
+        "compact",
+        help="fold a live store's pending delta shards back into base shards",
+    )
+    compact_parser.add_argument("store_dir", help="sharded triple-store directory")
+    compact_parser.add_argument(
+        "--output",
+        help="write the compacted store here instead of rewriting in place",
+    )
+    compact_parser.set_defaults(handler=command_compact)
+
     compare_parser = subparsers.add_parser(
         "compare", help="compare experiment run directories (table + any-time curves)"
     )
@@ -798,6 +848,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--run", help="experiment run directory written by 'run' (exports best/)"
     )
     export_parser.add_argument("--output", required=True, help="artifact output directory")
+    export_parser.add_argument(
+        "--generation",
+        type=_non_negative_int,
+        default=0,
+        help="artifact generation stamp for live hot-swap deployments "
+        "(default: 0); 'serve' reports it in the banner and /stats",
+    )
     export_parser.add_argument(
         "--with-metrics",
         action="store_true",

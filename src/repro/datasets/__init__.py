@@ -29,6 +29,8 @@ from repro.datasets.generators import (
 )
 from repro.datasets.pipeline import (
     DEFAULT_SHARD_SIZE,
+    DELTA_DIRNAME,
+    STORE_SCHEMA_VERSION,
     StoreWriter,
     TripleStore,
     TripleStream,
@@ -63,6 +65,8 @@ __all__ = [
     "generate_relation_triples",
     "generate_streaming_store",
     "DEFAULT_SHARD_SIZE",
+    "DELTA_DIRNAME",
+    "STORE_SCHEMA_VERSION",
     "StoreWriter",
     "TripleStore",
     "TripleStream",

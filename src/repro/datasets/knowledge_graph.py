@@ -33,7 +33,14 @@ class _DirectionIndex:
 
     @classmethod
     def build(cls, query_codes: np.ndarray, entities: np.ndarray) -> "_DirectionIndex":
-        order = np.argsort(query_codes, kind="stable")
+        # Canonical (code, entity) lexicographic order: the entities of one
+        # code group are sorted too, so the index built from any input order
+        # of the same pairs is array-identical.  That canonical form is what
+        # lets repro.live.index_delta apply append/delete deltas by sorted
+        # merge and assert exact equality against a from-scratch build.
+        # Consumers only ever treat a group as a set (masking known
+        # positives), so the within-group order is free to choose.
+        order = np.lexsort((entities, query_codes))
         sorted_codes = query_codes[order]
         sorted_entities = entities[order]
         unique_codes, starts = np.unique(sorted_codes, return_index=True)

@@ -24,6 +24,13 @@ million).  This module provides the on-disk counterpart:
   pools the Bernoulli negative sampler needs, so training, evaluation and
   serving all consume the same store without materializing ``(n, 3)``
   arrays for every split at once.
+* :meth:`TripleStore.apply_delta` — append/delete delta shards on top of
+  the frozen base shards, with a manifest ``generation`` counter.  Readers
+  (:meth:`~TripleStore.load_split`, :func:`build_filter_index`,
+  :meth:`~TripleStore.to_graph`) see the merged view; the streaming
+  training path refuses stores with pending deltas (compact first with
+  :func:`repro.live.compaction.compact_store`, whose output is
+  bit-identical to re-ingesting the merged TSV).
 
 All failure modes (missing manifest, schema mismatch, shard/manifest count
 disagreement, malformed TSV lines, duplicate triples) raise
@@ -34,6 +41,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -51,7 +59,10 @@ from repro.datasets.knowledge_graph import (
 PathLike = Union[str, Path]
 
 #: Current store layout version; bumped on incompatible changes.
-STORE_SCHEMA_VERSION = 1
+#: v1: base shards only.  v2: optional ``generation`` counter and
+#: ``deltas`` list (append/delete delta shards under ``deltas/``); a v1
+#: manifest loads as ``generation=0`` with no deltas.
+STORE_SCHEMA_VERSION = 2
 
 #: Default triples per shard.  64k rows of int64 ``(h, r, t)`` is ~1.5 MB —
 #: small enough that a permuted shard stays cache-friendly, large enough
@@ -61,7 +72,11 @@ DEFAULT_SHARD_SIZE = 65536
 MANIFEST_FILENAME = "manifest.json"
 VOCAB_FILENAME = "vocab.json"
 
+#: Subdirectory holding append/delete delta shards.
+DELTA_DIRNAME = "deltas"
+
 _SPLITS = ("train", "valid", "test")
+_DELTA_OPS = ("delete", "append")
 
 
 def _require(condition: bool, message: str) -> None:
@@ -95,6 +110,45 @@ def vocab_hash(
 
 def _shard_filename(split: str, index: int) -> str:
     return f"{split}-{index:05d}.npy"
+
+
+def _delta_filename(generation: int, op: str, split: str) -> str:
+    return f"delta-{generation:05d}-{op}-{split}.npy"
+
+
+def _triple_keys(
+    rows: np.ndarray, num_entities: int, num_relations: int, context: str
+) -> np.ndarray:
+    """Pack ``(h, r, t)`` rows into one int64 key each: ``(h*R + r)*E + t``.
+
+    Used for delta bookkeeping (delete matching, duplicate checks).  The
+    packing is exact whenever ``E*R*E`` fits an int64; beyond that the
+    store is far outside this project's scale, so it raises instead of
+    silently colliding.
+    """
+    _require(
+        int(num_entities) * int(num_relations) * int(num_entities) < (1 << 62),
+        f"{context}: vocabulary too large for packed delta bookkeeping "
+        f"({num_entities} entities x {num_relations} relations)",
+    )
+    rows = np.asarray(rows, dtype=np.int64)
+    return (rows[:, 0] * np.int64(num_relations) + rows[:, 1]) * np.int64(
+        num_entities
+    ) + rows[:, 2]
+
+
+def _as_delta_rows(rows: Optional[np.ndarray], context: str) -> np.ndarray:
+    if rows is None:
+        return np.zeros((0, 3), dtype=np.int64)
+    array = np.asarray(rows, dtype=np.int64)
+    if array.size == 0:
+        return np.zeros((0, 3), dtype=np.int64)
+    _require(
+        array.ndim == 2 and array.shape[1] == 3,
+        f"{context} must be an (n, 3) array of triples, got shape {array.shape}",
+    )
+    _require(int(array.min()) >= 0, f"{context} must not contain negative ids")
+    return np.ascontiguousarray(array, dtype=np.int64)
 
 
 class ShardWriter:
@@ -184,6 +238,14 @@ class StoreWriter:
         for split in _SPLITS:
             for stale in self.directory.glob(f"{split}-*.npy"):
                 stale.unlink()
+        delta_dir = self.directory / DELTA_DIRNAME
+        if delta_dir.is_dir():
+            for stale in delta_dir.glob("delta-*.npy"):
+                stale.unlink()
+            try:
+                delta_dir.rmdir()
+            except OSError:
+                pass
         self.name = name
         self.shard_size = int(shard_size)
         self._writers: Dict[str, ShardWriter] = {
@@ -201,16 +263,25 @@ class StoreWriter:
         num_relations: int,
         entity_names: Optional[Sequence[str]] = None,
         relation_names: Optional[Sequence[str]] = None,
+        generation: int = 0,
     ) -> "TripleStore":
-        """Write the manifest (and vocab file, when names exist); open the store."""
+        """Write the manifest (and vocab file, when names exist); open the store.
+
+        ``generation`` seeds the manifest's generation counter — 0 for a
+        fresh ingest; compaction passes the source store's generation so
+        the counter keeps monotonically recording applied deltas.
+        """
         _require(num_entities > 0, "num_entities must be positive")
         _require(num_relations > 0, "num_relations must be positive")
+        _require(generation >= 0, "generation must be non-negative")
         manifest = {
             "store_schema_version": STORE_SCHEMA_VERSION,
             "name": self.name,
             "num_entities": int(num_entities),
             "num_relations": int(num_relations),
             "shard_size": self.shard_size,
+            "generation": int(generation),
+            "deltas": [],
             "splits": {split: writer.close() for split, writer in self._writers.items()},
             "vocab_hash": vocab_hash(num_entities, num_relations, entity_names, relation_names),
         }
@@ -299,6 +370,34 @@ class TripleStore:
                     f"{base}: incomplete store, shard {entry['file']} "
                     f"({split}) listed in the manifest is missing",
                 )
+        generation = manifest.get("generation", 0)
+        _require(
+            isinstance(generation, int) and generation >= 0,
+            f"{manifest_path}: 'generation' must be a non-negative integer "
+            f"(got {generation!r})",
+        )
+        deltas = manifest.get("deltas", [])
+        _require(
+            isinstance(deltas, list),
+            f"{manifest_path}: 'deltas' must be a list of delta entries",
+        )
+        for entry in deltas:
+            _require(
+                isinstance(entry, dict)
+                and isinstance(entry.get("file"), str)
+                and isinstance(entry.get("count"), int)
+                and entry.get("op") in _DELTA_OPS
+                and entry.get("split") in splits
+                and isinstance(entry.get("generation"), int),
+                f"{manifest_path}: delta entries must carry 'file', 'count', "
+                f"'op' ({'/'.join(_DELTA_OPS)}), 'split' and 'generation' "
+                f"(got {entry!r})",
+            )
+            _require(
+                (base / entry["file"]).exists(),
+                f"{base}: incomplete store, delta shard {entry['file']} "
+                f"listed in the manifest is missing",
+            )
         return cls(directory=base, manifest=manifest, mmap=mmap)
 
     # ------------------------------------------------------------------
@@ -325,6 +424,30 @@ class TripleStore:
         value = self.manifest.get("vocab_hash")
         return str(value) if value is not None else None
 
+    @property
+    def generation(self) -> int:
+        """Delta generation counter (0 for a fresh ingest or v1 manifest)."""
+        return int(self.manifest.get("generation", 0))
+
+    @property
+    def schema_version(self) -> int:
+        return int(self.manifest["store_schema_version"])
+
+    def vocab_names(self) -> Dict[str, Optional[List[str]]]:
+        """Entity/relation name lists from ``vocab.json`` (``None`` when nameless)."""
+        names: Dict[str, Optional[List[str]]] = {"entity_names": None, "relation_names": None}
+        vocab_path = self.directory / VOCAB_FILENAME
+        if vocab_path.exists():
+            try:
+                vocab = json.loads(vocab_path.read_text(encoding="utf-8"))
+            except ValueError as error:
+                raise DatasetError(f"{vocab_path}: not valid JSON: {error}") from error
+            for key in names:
+                value = vocab.get(key)
+                if value is not None:
+                    names[key] = [str(item) for item in value]
+        return names
+
     def _entries(self, split: str) -> List[Dict[str, Any]]:
         splits = self.manifest["splits"]
         if split not in splits:
@@ -341,13 +464,79 @@ class TripleStore:
         return [int(entry["count"]) for entry in self._entries(split)]
 
     def split_count(self, split: str) -> int:
-        return sum(self.shard_counts(split))
+        """Live triple count of a split: base shards plus pending deltas."""
+        count = sum(self.shard_counts(split))
+        for entry in self.delta_entries(split):
+            if entry["op"] == "append":
+                count += int(entry["count"])
+            else:
+                count -= int(entry["count"])
+        return count
+
+    # ------------------------------------------------------------------
+    # Delta accessors
+    # ------------------------------------------------------------------
+    def delta_entries(self, split: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Manifest delta entries, in application order (oldest first)."""
+        entries = self.manifest.get("deltas", [])
+        if split is None:
+            return list(entries)
+        if split not in self.manifest["splits"]:
+            raise DatasetError(
+                f"{self.directory}: unknown split {split!r} "
+                f"(available: {', '.join(sorted(self.manifest['splits']))})"
+            )
+        return [entry for entry in entries if entry["split"] == split]
+
+    def has_deltas(self, split: Optional[str] = None) -> bool:
+        return bool(self.delta_entries(split))
+
+    def delta_array(self, entry: Dict[str, Any]) -> np.ndarray:
+        """The ``(count, 3)`` int64 rows of one manifest delta entry."""
+        cache_key = ("delta", entry["file"])
+        if self.mmap:
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                return cached
+        path = self.directory / entry["file"]
+        try:
+            array = np.load(path, mmap_mode="r" if self.mmap else None)
+        except (OSError, ValueError) as error:
+            raise DatasetError(f"{path}: cannot read delta shard: {error}") from error
+        if array.ndim != 2 or array.shape[1] != 3 or array.dtype != np.int64:
+            raise DatasetError(
+                f"{path}: delta shard must be an (n, 3) int64 array, "
+                f"got shape {array.shape} dtype {array.dtype}"
+            )
+        if array.shape[0] != int(entry["count"]):
+            raise DatasetError(
+                f"{path}: delta shard holds {array.shape[0]} triples but the "
+                f"manifest declares {entry['count']}"
+            )
+        if self.mmap:
+            self._cache[cache_key] = array
+        return array
+
+    def delta_triples(self, split: str, op: str) -> np.ndarray:
+        """All pending rows of one op (``append``/``delete``) for a split."""
+        if op not in _DELTA_OPS:
+            raise DatasetError(f"unknown delta op {op!r} (expected one of {_DELTA_OPS})")
+        parts = [
+            np.asarray(self.delta_array(entry))
+            for entry in self.delta_entries(split)
+            if entry["op"] == op
+        ]
+        if not parts:
+            return np.zeros((0, 3), dtype=np.int64)
+        return np.concatenate(parts, axis=0)
 
     def summary(self) -> Dict[str, int]:
         data = {"entities": self.num_entities, "relations": self.num_relations}
         for split in _SPLITS:
             data[split] = self.split_count(split)
             data[f"{split}_shards"] = self.num_shards(split)
+        data["generation"] = self.generation
+        data["pending_deltas"] = len(self.delta_entries())
         return data
 
     # ------------------------------------------------------------------
@@ -392,39 +581,223 @@ class TripleStore:
             yield self.shard(split, index)
 
     def load_split(self, split: str) -> np.ndarray:
-        """Materialize one split as a single in-memory array.
+        """Materialize one split as a single in-memory array (merged view).
 
-        This is the parity-oracle path (and what :meth:`to_graph` uses); the
+        Pending deltas are applied in manifest order on top of the base
+        shards: deleted rows are removed in place (original order kept),
+        appended rows follow in generation order.  This is the
+        parity-oracle path (and what :meth:`to_graph` uses); the
         bounded-memory way to consume a split is :class:`TripleStream` /
-        :meth:`iter_shards`.
+        :meth:`iter_shards`, both of which are base-only and therefore
+        refuse / ignore pending deltas.
         """
         shards = [np.asarray(shard) for shard in self.iter_shards(split)]
         if not shards:
-            return np.zeros((0, 3), dtype=np.int64)
-        if len(shards) == 1:
-            return shards[0]
-        return np.concatenate(shards, axis=0)
+            merged = np.zeros((0, 3), dtype=np.int64)
+        elif len(shards) == 1:
+            merged = shards[0]
+        else:
+            merged = np.concatenate(shards, axis=0)
+        deltas = self.delta_entries(split)
+        if not deltas:
+            return merged
+        num_entities = self.num_entities
+        num_relations = self.num_relations
+        for entry in deltas:
+            rows = np.asarray(self.delta_array(entry))
+            if entry["op"] == "append":
+                merged = np.concatenate([merged, rows], axis=0)
+            else:
+                keys = _triple_keys(merged, num_entities, num_relations, str(self.directory))
+                drop = _triple_keys(rows, num_entities, num_relations, str(self.directory))
+                merged = merged[~np.isin(keys, drop)]
+        return merged
 
     def stream(self, split: str = "train", **kwargs: Any) -> "TripleStream":
         """A :class:`TripleStream` over one split (see its docstring)."""
         return TripleStream(self, split=split, **kwargs)
 
     # ------------------------------------------------------------------
+    # Mutation: append/delete deltas
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        split: str = "train",
+        appends: Optional[np.ndarray] = None,
+        deletes: Optional[np.ndarray] = None,
+        new_entity_names: Optional[Sequence[str]] = None,
+        new_relation_names: Optional[Sequence[str]] = None,
+    ) -> int:
+        """Commit one append/delete delta batch; returns the new generation.
+
+        Within a generation, deletes are applied before appends (so a
+        delta can atomically replace a triple).  Appended triples may
+        introduce new entity/relation ids — ids must be dense (growing the
+        vocabulary by exactly the new contiguous range), and a store with
+        symbol names requires one new name per new id.  Deleting a triple
+        that is not present, or re-appending one that is, raises
+        :class:`DatasetError` naming the offending triple.
+
+        The delta rows are written as ``deltas/delta-<gen>-<op>-<split>.npy``
+        and the manifest is rewritten atomically (temp file + rename), so a
+        crash mid-commit leaves the previous generation intact.
+        """
+        from repro.obs import get_registry
+
+        entries = self._entries(split)
+        del entries  # validates the split name
+        append_rows = _as_delta_rows(appends, f"{self.directory}: appends")
+        delete_rows = _as_delta_rows(deletes, f"{self.directory}: deletes")
+        _require(
+            append_rows.shape[0] > 0 or delete_rows.shape[0] > 0,
+            f"{self.directory}: delta must carry at least one appended or deleted triple",
+        )
+        context = str(self.directory)
+        merged = self.load_split(split)
+        old_entities = self.num_entities
+        old_relations = self.num_relations
+
+        new_entities = old_entities
+        new_relations = old_relations
+        if append_rows.shape[0]:
+            new_entities = max(old_entities, int(append_rows[:, [0, 2]].max()) + 1)
+            new_relations = max(old_relations, int(append_rows[:, 1].max()) + 1)
+        if delete_rows.shape[0]:
+            _require(
+                int(delete_rows[:, [0, 2]].max()) < old_entities
+                and int(delete_rows[:, 1].max()) < old_relations,
+                f"{context}: deletes reference ids outside the current vocabulary "
+                f"({old_entities} entities, {old_relations} relations)",
+            )
+
+        names = self.vocab_names()
+        updated_names: Dict[str, Optional[List[str]]] = dict(names)
+        for key, grown, old_count, new_count in (
+            ("entity_names", new_entity_names, old_entities, new_entities),
+            ("relation_names", new_relation_names, old_relations, new_relations),
+        ):
+            growth = new_count - old_count
+            existing = names[key]
+            if grown is not None:
+                _require(
+                    existing is not None,
+                    f"{context}: store has no {key}; cannot attach names to a delta",
+                )
+                _require(
+                    len(grown) == growth,
+                    f"{context}: delta grows the vocabulary by {growth} "
+                    f"{key.split('_')[0]} ids but {len(grown)} names were given",
+                )
+                clashes = set(grown) & set(existing or ())
+                _require(
+                    not clashes,
+                    f"{context}: new {key} already present: {sorted(clashes)[:3]}",
+                )
+                updated_names[key] = list(existing or []) + [str(item) for item in grown]
+            elif growth and existing is not None:
+                raise DatasetError(
+                    f"{context}: delta introduces {growth} new "
+                    f"{key.split('_')[0]} ids but no names were given "
+                    f"(store has {key}; pass new_{key})"
+                )
+
+        merged_keys = _triple_keys(merged, new_entities, new_relations, context)
+        if delete_rows.shape[0]:
+            delete_keys = _triple_keys(delete_rows, new_entities, new_relations, context)
+            _require(
+                np.unique(delete_keys).size == delete_keys.size,
+                f"{context}: delta deletes the same triple twice",
+            )
+            present = np.isin(delete_keys, merged_keys)
+            if not present.all():
+                h, r, t = (int(v) for v in delete_rows[int(np.argmin(present))])
+                raise DatasetError(
+                    f"{context}: cannot delete triple ({h}, {r}, {t}) from "
+                    f"{split!r}: not present in the current generation"
+                )
+        else:
+            delete_keys = np.zeros(0, dtype=np.int64)
+        if append_rows.shape[0]:
+            append_keys = _triple_keys(append_rows, new_entities, new_relations, context)
+            _require(
+                np.unique(append_keys).size == append_keys.size,
+                f"{context}: delta appends the same triple twice",
+            )
+            duplicate = np.isin(append_keys, merged_keys) & ~np.isin(append_keys, delete_keys)
+            if duplicate.any():
+                h, r, t = (int(v) for v in append_rows[int(np.argmax(duplicate))])
+                raise DatasetError(
+                    f"{context}: cannot append triple ({h}, {r}, {t}) to "
+                    f"{split!r}: already present in the current generation"
+                )
+
+        generation = self.generation + 1
+        delta_dir = self.directory / DELTA_DIRNAME
+        delta_dir.mkdir(exist_ok=True)
+        new_entries: List[Dict[str, Any]] = []
+        for op, rows in (("delete", delete_rows), ("append", append_rows)):
+            if not rows.shape[0]:
+                continue
+            filename = _delta_filename(generation, op, split)
+            np.save(delta_dir / filename, rows)
+            new_entries.append(
+                {
+                    "file": f"{DELTA_DIRNAME}/{filename}",
+                    "count": int(rows.shape[0]),
+                    "op": op,
+                    "split": split,
+                    "generation": generation,
+                }
+            )
+
+        manifest = dict(self.manifest)
+        manifest["store_schema_version"] = STORE_SCHEMA_VERSION
+        manifest["generation"] = generation
+        manifest["deltas"] = list(manifest.get("deltas", [])) + new_entries
+        manifest["num_entities"] = int(new_entities)
+        manifest["num_relations"] = int(new_relations)
+        manifest["vocab_hash"] = vocab_hash(
+            new_entities,
+            new_relations,
+            updated_names["entity_names"],
+            updated_names["relation_names"],
+        )
+        if updated_names != names:
+            (self.directory / VOCAB_FILENAME).write_text(
+                json.dumps(updated_names, indent=2), encoding="utf-8"
+            )
+        manifest_path = self.directory / MANIFEST_FILENAME
+        tmp_path = self.directory / (MANIFEST_FILENAME + ".tmp")
+        tmp_path.write_text(json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8")
+        os.replace(tmp_path, manifest_path)
+        self.manifest = manifest
+        self._cache.clear()
+
+        registry = get_registry()
+        deltas_counter = registry.counter(
+            "repro_live_deltas_applied_total",
+            "Triples applied through TripleStore.apply_delta",
+            labels={"op": "append"},
+        )
+        if append_rows.shape[0]:
+            deltas_counter.inc(int(append_rows.shape[0]))
+        if delete_rows.shape[0]:
+            registry.counter(
+                "repro_live_deltas_applied_total",
+                "Triples applied through TripleStore.apply_delta",
+                labels={"op": "delete"},
+            ).inc(int(delete_rows.shape[0]))
+        registry.gauge(
+            "repro_live_generation", "Current TripleStore delta generation"
+        ).set(generation)
+        return generation
+
+    # ------------------------------------------------------------------
     # Derived structures
     # ------------------------------------------------------------------
     def to_graph(self) -> KnowledgeGraph:
-        """Materialize the store as an in-memory :class:`KnowledgeGraph`."""
-        names: Dict[str, Optional[List[str]]] = {"entity_names": None, "relation_names": None}
-        vocab_path = self.directory / VOCAB_FILENAME
-        if vocab_path.exists():
-            try:
-                vocab = json.loads(vocab_path.read_text(encoding="utf-8"))
-            except ValueError as error:
-                raise DatasetError(f"{vocab_path}: not valid JSON: {error}") from error
-            for key in names:
-                value = vocab.get(key)
-                if value is not None:
-                    names[key] = [str(item) for item in value]
+        """Materialize the store (merged view) as an in-memory :class:`KnowledgeGraph`."""
+        names = self.vocab_names()
         splits = {}
         for split in _SPLITS:
             array = self.load_split(split)
@@ -573,6 +946,14 @@ class TripleStream:
     ) -> None:
         if batch_size <= 0:
             raise DatasetError(f"batch_size must be positive, got {batch_size}")
+        if store.has_deltas(split):
+            raise DatasetError(
+                f"{store.directory}: split {split!r} has "
+                f"{len(store.delta_entries(split))} pending delta(s); "
+                f"streaming only covers base shards — compact first "
+                f"(repro.live.compaction.compact_store) or fine-tune on the "
+                f"delta batch (repro.live.finetune)"
+            )
         self.store = store
         self.split = split
         self.batch_size = int(batch_size)
@@ -691,7 +1072,9 @@ def build_filter_index(store: TripleStore, splits: Sequence[str] = _SPLITS) -> F
     Streams every shard once, accumulating only the query codes and answer
     entities (the index's own O(n) state) instead of a concatenated
     ``(n, 3)`` array of all splits.  Produces exactly the same index as
-    ``FilterIndex.build(concatenated_triples, num_relations)``.
+    ``FilterIndex.build(concatenated_triples, num_relations)``.  A split
+    with pending deltas is materialized as its merged view instead (the
+    deltas must be folded into the pair lists, not streamed shard-wise).
     """
     num_relations = store.num_relations
     tail_codes: List[np.ndarray] = []
@@ -699,7 +1082,11 @@ def build_filter_index(store: TripleStore, splits: Sequence[str] = _SPLITS) -> F
     head_codes: List[np.ndarray] = []
     head_entities: List[np.ndarray] = []
     for split in splits:
-        for shard in store.iter_shards(split):
+        if store.has_deltas(split):
+            sources: Any = [store.load_split(split)]
+        else:
+            sources = store.iter_shards(split)
+        for shard in sources:
             heads = np.asarray(shard[:, 0])
             relations = np.asarray(shard[:, 1])
             tails = np.asarray(shard[:, 2])
@@ -728,11 +1115,16 @@ def entities_by_relation(
     The same pools :class:`repro.kge.negative_sampling.BernoulliNegativeSampler`
     computes from an in-memory graph: for every relation, the sorted unique
     entities observed as head or tail in the chosen splits; relations with
-    no triples fall back to the full entity range.
+    no triples fall back to the full entity range.  Splits with pending
+    deltas contribute their merged view.
     """
     collected: Dict[int, List[np.ndarray]] = {}
     for split in splits:
-        for shard in store.iter_shards(split):
+        if store.has_deltas(split):
+            sources: Any = [store.load_split(split)]
+        else:
+            sources = store.iter_shards(split)
+        for shard in sources:
             shard = np.asarray(shard)
             if not shard.shape[0]:
                 continue

@@ -1,0 +1,39 @@
+"""Live-index subsystem: mutation support for the frozen batch pipeline.
+
+The batch stack (ingest → train → export → serve) assumes immutable
+splits.  This package adds the online-update path beside it, keeping the
+batch path as the parity oracle at every layer:
+
+- :mod:`repro.live.compaction` — fold a store's append/delete delta
+  shards (:meth:`repro.datasets.TripleStore.apply_delta`) into fresh base
+  shards; the output is bit-identical to re-ingesting the merged TSV.
+- :mod:`repro.live.index_delta` — apply a delta batch to an existing
+  :class:`~repro.datasets.FilterIndex` by sorted merge, array-identical
+  to rebuilding the index from scratch.
+- :mod:`repro.live.finetune` — warm-start fine-tuning on a delta batch:
+  new-entity embeddings initialized from relation-neighborhood means,
+  then sparse updates that leave every untouched row bitwise unchanged.
+
+Serving-side hot swap (artifact generations, ``/reload``, fleet SIGHUP
+coordination) lives in :mod:`repro.serving`.
+"""
+
+from repro.live.compaction import compact_store
+from repro.live.finetune import (
+    FinetuneReport,
+    PooledNegativeSampler,
+    delta_touched,
+    finetune_delta,
+    warm_start_entities,
+)
+from repro.live.index_delta import apply_index_delta
+
+__all__ = [
+    "compact_store",
+    "apply_index_delta",
+    "FinetuneReport",
+    "PooledNegativeSampler",
+    "delta_touched",
+    "finetune_delta",
+    "warm_start_entities",
+]

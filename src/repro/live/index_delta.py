@@ -1,0 +1,161 @@
+"""Incremental FilterIndex maintenance: apply a delta without a rebuild.
+
+A :class:`~repro.datasets.FilterIndex` holds, per query direction, the
+``(query_code, entity)`` pairs of every observed triple in canonical
+lexicographic order (``_DirectionIndex.build`` sorts by code then
+entity).  That canonical form makes delta application a pair of O(n)
+sorted-merge passes — delete by ranked ``searchsorted`` lookup, insert
+by ``np.insert`` at the merge positions — instead of re-sorting the full
+pair lists, and it makes the result **array-identical** to
+:func:`~repro.datasets.pipeline.build_filter_index` on the mutated
+store, which is the parity oracle the tier-1 suite asserts.
+
+Relation-vocabulary growth is out of scope: query codes are packed with
+the index's ``num_relations``, so a delta introducing a new relation id
+requires a from-scratch rebuild (the error says so).  New *entity* ids
+are fine — codes do not depend on the entity count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.errors import DatasetError
+from repro.datasets.knowledge_graph import FilterIndex, _DirectionIndex
+
+
+def _as_rows(rows: Optional[np.ndarray]) -> np.ndarray:
+    if rows is None:
+        return np.zeros((0, 3), dtype=np.int64)
+    array = np.asarray(rows, dtype=np.int64)
+    if array.size == 0:
+        return np.zeros((0, 3), dtype=np.int64)
+    if array.ndim != 2 or array.shape[1] != 3:
+        raise DatasetError(
+            f"index delta expects (n, 3) triple arrays, got shape {array.shape}"
+        )
+    return array
+
+
+def _pair_keys(
+    codes: np.ndarray, entities: np.ndarray, num_entities: int, num_relations: int
+) -> np.ndarray:
+    """Pack ``(code, entity)`` into one int64 key preserving lex order."""
+    if int(num_entities) * int(num_relations) * int(num_entities) >= (1 << 62):
+        raise DatasetError(
+            f"vocabulary too large for packed index-delta keys "
+            f"({num_entities} entities x {num_relations} relations)"
+        )
+    return np.asarray(codes, dtype=np.int64) * np.int64(num_entities) + np.asarray(
+        entities, dtype=np.int64
+    )
+
+
+def _apply_direction(
+    direction: _DirectionIndex,
+    add: Tuple[np.ndarray, np.ndarray],
+    drop: Tuple[np.ndarray, np.ndarray],
+    num_entities: int,
+    num_relations: int,
+    label: str,
+) -> _DirectionIndex:
+    counts = np.diff(np.asarray(direction.indptr))
+    codes = np.repeat(np.asarray(direction.codes), counts)
+    entities = np.asarray(direction.entities)
+    keys = _pair_keys(codes, entities, num_entities, num_relations)
+
+    drop_codes, drop_entities = drop
+    if drop_codes.size:
+        drop_keys = _pair_keys(drop_codes, drop_entities, num_entities, num_relations)
+        order = np.argsort(drop_keys, kind="stable")
+        sorted_drop = drop_keys[order]
+        # The i-th occurrence of an equal drop key removes the i-th entry
+        # of that key's run, so duplicate pairs (the same triple observed
+        # in two splits) are removed one occurrence per delete.
+        positions = np.searchsorted(keys, sorted_drop, side="left")
+        ranks = np.arange(sorted_drop.size) - np.searchsorted(
+            sorted_drop, sorted_drop, side="left"
+        )
+        remove = positions + ranks
+        in_bounds = remove < keys.size
+        valid = in_bounds & (keys[np.minimum(remove, keys.size - 1)] == sorted_drop)
+        if not valid.all():
+            bad = int(np.argmin(valid))
+            raise DatasetError(
+                f"cannot delete ({int(sorted_drop[bad]) // num_entities}, "
+                f"{int(sorted_drop[bad]) % num_entities}) from the {label} "
+                f"index: (code, entity) pair not present"
+            )
+        keep = np.ones(keys.size, dtype=bool)
+        keep[remove] = False
+        codes, entities, keys = codes[keep], entities[keep], keys[keep]
+
+    add_codes, add_entities = add
+    if add_codes.size:
+        add_keys = _pair_keys(add_codes, add_entities, num_entities, num_relations)
+        order = np.argsort(add_keys, kind="stable")
+        positions = np.searchsorted(keys, add_keys[order], side="left")
+        codes = np.insert(codes, positions, add_codes[order])
+        entities = np.insert(entities, positions, add_entities[order])
+
+    unique_codes, starts = np.unique(codes, return_index=True)
+    indptr = np.concatenate([starts, [codes.size]]).astype(np.int64)
+    return _DirectionIndex(codes=unique_codes, indptr=indptr, entities=entities)
+
+
+def apply_index_delta(
+    index: FilterIndex,
+    num_entities: int,
+    appends: Optional[np.ndarray] = None,
+    deletes: Optional[np.ndarray] = None,
+) -> FilterIndex:
+    """A new :class:`FilterIndex` with the delta batch applied.
+
+    ``num_entities`` is the entity count *after* the delta (it bounds the
+    packed merge keys; appends may reference new entity ids).  Both
+    directions are updated by sorted merge; the result equals a
+    from-scratch build over the mutated triples exactly, array for array.
+    Deleting a pair that is not present raises :class:`DatasetError`.
+    """
+    append_rows = _as_rows(appends)
+    delete_rows = _as_rows(deletes)
+    num_relations = index.num_relations
+    for name, rows in (("appends", append_rows), ("deletes", delete_rows)):
+        if rows.size and int(rows[:, 1].max()) >= num_relations:
+            raise DatasetError(
+                f"index delta {name} reference relation id "
+                f"{int(rows[:, 1].max())} >= num_relations ({num_relations}); "
+                f"relation growth requires rebuilding the index from scratch"
+            )
+        if rows.size and int(rows[:, [0, 2]].max()) >= num_entities:
+            raise DatasetError(
+                f"index delta {name} reference entity id "
+                f"{int(rows[:, [0, 2]].max())} >= num_entities ({num_entities})"
+            )
+
+    def pairs(rows: np.ndarray, direction: str) -> Tuple[np.ndarray, np.ndarray]:
+        if direction == "tails":
+            return rows[:, 0] * num_relations + rows[:, 1], rows[:, 2]
+        return rows[:, 2] * num_relations + rows[:, 1], rows[:, 0]
+
+    return FilterIndex(
+        num_relations=num_relations,
+        tails=_apply_direction(
+            index.tails,
+            pairs(append_rows, "tails"),
+            pairs(delete_rows, "tails"),
+            num_entities,
+            num_relations,
+            "tails",
+        ),
+        heads=_apply_direction(
+            index.heads,
+            pairs(append_rows, "heads"),
+            pairs(delete_rows, "heads"),
+            num_entities,
+            num_relations,
+            "heads",
+        ),
+    )

@@ -26,6 +26,7 @@ from repro.serving.artifact import (
     load_artifact,
 )
 from repro.serving.engine import (
+    FILTER_INDEX_DIRNAME,
     HotRelationCache,
     InferenceEngine,
     MicroBatcher,
@@ -39,6 +40,7 @@ from repro.serving.fleet import (
     wait_until_healthy,
 )
 from repro.serving.service import (
+    EngineReloader,
     QueryRequest,
     QueryResponse,
     QueryServer,
@@ -53,6 +55,8 @@ from repro.serving.service import (
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
     "ArtifactError",
+    "EngineReloader",
+    "FILTER_INDEX_DIRNAME",
     "ModelArtifact",
     "export_artifact",
     "load_artifact",

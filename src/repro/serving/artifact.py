@@ -53,7 +53,9 @@ PathLike = Union[str, Path]
 #: Current artifact schema version; bumped on incompatible layout changes.
 #: v1: all parameters in one ``params.npz`` archive (not memory-mappable).
 #: v2: one raw ``params/<key>.npy`` file per array, mmap-loadable.
-ARTIFACT_SCHEMA_VERSION = 2
+#: v3: v2 layout plus a ``generation`` counter for live hot-swaps; a v2
+#: manifest (no key) loads as ``generation=0``.
+ARTIFACT_SCHEMA_VERSION = 3
 
 MANIFEST_FILENAME = "manifest.json"
 PARAMS_DIRNAME = "params"
@@ -93,6 +95,9 @@ class ModelArtifact:
     entity_names: Optional[Tuple[str, ...]] = None
     relation_names: Optional[Tuple[str, ...]] = None
     schema_version: int = ARTIFACT_SCHEMA_VERSION
+    #: Live-index generation the artifact was exported at (0 = initial
+    #: batch export / pre-v3 artifact).
+    generation: int = 0
     path: Optional[Path] = None
     #: Whether the parameter arrays are memmap-backed views of the artifact
     #: files (True only for ``load_artifact(mmap=True)`` on a v2 artifact).
@@ -169,6 +174,7 @@ class ModelArtifact:
         """Headline facts for logs and the serve endpoint's health check."""
         return {
             "schema_version": self.schema_version,
+            "generation": self.generation,
             "scoring_function": self.scoring_function.name,
             "num_entities": self.num_entities,
             "num_relations": self.num_relations,
@@ -200,6 +206,7 @@ def export_artifact(
     graph: Optional[KnowledgeGraph] = None,
     metrics: Optional[Dict[str, float]] = None,
     model_directory: Optional[PathLike] = None,
+    generation: int = 0,
 ) -> Path:
     """Write a serving artifact for a trained model.
 
@@ -214,9 +221,16 @@ def export_artifact(
     model_directory:
         Optional directory the model was loaded from; its ``vocab.json`` is
         reused when no ``graph`` is given.
+    generation:
+        Live-index generation the parameters correspond to (the source
+        store's :attr:`~repro.datasets.TripleStore.generation` after a
+        fine-tune); surfaced by ``/stats`` and the serve banner so rolling
+        hot-swaps are auditable.
     """
     if model.params is None:
         raise ArtifactError("cannot export an untrained model (no parameters)")
+    if generation < 0:
+        raise ArtifactError(f"generation must be non-negative, got {generation}")
     params = model.params
     if graph is not None:
         require_graph_matches_params(params, graph, error_cls=ArtifactError)
@@ -227,6 +241,7 @@ def export_artifact(
     manifest.update(
         {
             "schema_version": ARTIFACT_SCHEMA_VERSION,
+            "generation": int(generation),
             "num_entities": int(params["entities"].shape[0]),
             "num_relations": int(params["relations"].shape[0]),
             "config": model.config.to_dict(),
@@ -392,6 +407,12 @@ def load_artifact(directory: PathLike, mmap: bool = False) -> ModelArtifact:
 
     num_entities = int(manifest["num_entities"])
     num_relations = int(manifest["num_relations"])
+    generation = manifest.get("generation", 0)
+    if not isinstance(generation, int) or generation < 0:
+        raise ArtifactError(
+            f"artifact {base}: 'generation' must be a non-negative integer "
+            f"(got {generation!r})"
+        )
     entity_names = relation_names = None
     vocab_path = base / VOCAB_FILENAME
     if vocab_path.exists():
@@ -423,6 +444,7 @@ def load_artifact(directory: PathLike, mmap: bool = False) -> ModelArtifact:
         entity_names=tuple(entity_names) if entity_names else None,
         relation_names=tuple(relation_names) if relation_names else None,
         schema_version=schema_version,
+        generation=int(generation),
         path=base,
         params_memmap=params_memmap,
     )

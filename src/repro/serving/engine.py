@@ -93,6 +93,9 @@ def known_positive_index(
 #: Metadata file of a saved known-positive index directory.
 FILTER_INDEX_META_FILENAME = "filter_index.json"
 
+#: Conventional name of the saved index directory beside an artifact.
+FILTER_INDEX_DIRNAME = "filter_index"
+
 #: The six CSR arrays a FilterIndex is made of, as (direction, field) pairs.
 _FILTER_INDEX_ARRAYS = tuple(
     (direction, name)
@@ -127,10 +130,17 @@ def load_filter_index(directory: PathLike, mmap: bool = True) -> FilterIndex:
     on anything missing.
     """
     base = Path(directory)
+    # Name the artifact directory too, not just the missing file: the index
+    # conventionally lives at <artifact>/filter_index, and "which artifact
+    # is broken" is the question the operator is actually asking.
+    artifact_hint = (
+        f" (artifact directory {base.parent})" if base.name == FILTER_INDEX_DIRNAME else ""
+    )
     meta_path = base / FILTER_INDEX_META_FILENAME
     if not meta_path.exists():
         raise ValueError(
-            f"filter-index directory {base} is missing {FILTER_INDEX_META_FILENAME} "
+            f"filter-index directory {base}{artifact_hint} is missing "
+            f"{FILTER_INDEX_META_FILENAME} "
             f"(expected a directory written by save_filter_index)"
         )
     meta = from_json_file(meta_path)
@@ -138,7 +148,9 @@ def load_filter_index(directory: PathLike, mmap: bool = True) -> FilterIndex:
     for direction, name in _FILTER_INDEX_ARRAYS:
         path = base / f"{direction}_{name}.npy"
         if not path.exists():
-            raise ValueError(f"filter-index directory {base} is missing {path.name}")
+            raise ValueError(
+                f"filter-index directory {base}{artifact_hint} is missing {path.name}"
+            )
         arrays[direction][name] = np.load(path, mmap_mode="r" if mmap else None)
     return FilterIndex(
         num_relations=int(meta["num_relations"]),
@@ -326,6 +338,17 @@ class InferenceEngine:
             help="Queries per engine batch call.",
             buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
         )
+        # Hot-relation operator-cache telemetry.  The cache keeps plain int
+        # counters (it predates the registry); the engine mirrors them onto
+        # /metrics by syncing deltas after each batch.
+        self._m_hot_cache = {
+            name: self.registry.counter(
+                f"repro_serving_hot_cache_{name}_total",
+                help=f"Hot relation-operator cache {name}.",
+            )
+            for name in ("hits", "misses", "admissions", "rejections", "evictions")
+        }
+        self._hot_cache_seen = {name: 0 for name in self._m_hot_cache}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -497,7 +520,17 @@ class InferenceEngine:
                     for position in pending[query]:
                         results[position] = answer
 
+        self._sync_hot_cache_metrics()
         return [list(result) for result in results]
+
+    def _sync_hot_cache_metrics(self) -> None:
+        """Mirror HotRelationCache counter deltas onto the registry."""
+        for name, counter in self._m_hot_cache.items():
+            current = int(getattr(self._operators, name))
+            delta = current - self._hot_cache_seen[name]
+            if delta:
+                counter.inc(delta)
+                self._hot_cache_seen[name] = current
 
     # ------------------------------------------------------------------
     # Introspection

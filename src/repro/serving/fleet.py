@@ -18,6 +18,12 @@ the shared-store/worker split of DGL's ``contrib/graph_store.py``:
 * SIGTERM/SIGINT to the parent is forwarded to every worker, each of which
   stops accepting, drains in-flight requests, and exits; the parent reaps
   them and closes the listener.
+* SIGHUP to the parent (or :meth:`ServingFleet.signal_reload`) is forwarded
+  too: each worker rebuilds its engine stack from the artifact directory
+  off-thread via its :class:`~repro.serving.service.EngineReloader` and
+  atomically swaps it in — a fleet-wide artifact hot-swap with zero dropped
+  requests (publish the new generation at the same path, e.g. by flipping a
+  symlink, then send SIGHUP).
 
 ``repro-autosf serve --workers N`` is the CLI entry point; the
 single-process in-memory engine remains the exact parity oracle (the
@@ -37,13 +43,11 @@ from typing import Dict, List, Optional, Union
 from repro.obs.metrics import MetricsRegistry, set_registry
 from repro.serving.artifact import ModelArtifact, load_artifact
 from repro.serving.engine import (
+    FILTER_INDEX_DIRNAME,
     FilterIndex,
-    InferenceEngine,
-    MicroBatcher,
-    load_filter_index,
     save_filter_index,
 )
-from repro.serving.service import create_server
+from repro.serving.service import EngineReloader, create_server
 from repro.utils.config import ConfigError
 
 PathLike = Union[str, Path]
@@ -54,9 +58,6 @@ MAX_WORKERS = 64
 
 #: Valid TCP port range for ``--port`` (0 asks the OS for a free port).
 PORT_RANGE = (0, 65535)
-
-#: Subdirectory of the artifact holding the precomputed filter index.
-FILTER_INDEX_DIRNAME = "filter_index"
 
 
 def validate_serve_options(
@@ -165,22 +166,19 @@ class ServingFleet:
         # Re-open the artifact *after* the fork: np.load(mmap_mode="r") pages
         # are file-backed and shared across the fleet via the page cache,
         # whereas the parent's arrays would be duplicated copy-on-write.
-        artifact = load_artifact(self.artifact_dir, mmap=True)
-        filter_index = None
-        if self._filter_index_path is not None:
-            filter_index = load_filter_index(self._filter_index_path, mmap=True)
-        engine = InferenceEngine.from_artifact(
-            artifact,
-            filter_index=filter_index,
+        # The same reloader recipe rebuilds the stack on SIGHUP hot-swaps,
+        # so a reloaded engine is configured identically to a fresh worker.
+        reloader = EngineReloader(
+            artifact_dir=self.artifact_dir,
+            mmap=True,
             batch_size=self.batch_size,
             entity_chunk_size=self.entity_chunk_size,
             operator_cache_size=self.operator_cache_size,
             result_cache_size=self.result_cache_size,
+            micro_batch_window_s=self.micro_batch_window_ms / 1000.0,
             registry=registry,
         )
-        batcher = None
-        if self.micro_batch_window_ms > 0:
-            batcher = MicroBatcher(engine, window_s=self.micro_batch_window_ms / 1000.0)
+        artifact, engine, batcher = reloader.build()
         server = create_server(
             engine,
             artifact,
@@ -189,8 +187,10 @@ class ServingFleet:
             batcher=batcher,
             worker_id=worker_id,
             registry=registry,
+            reloader=reloader,
         )
         server.install_signal_handlers()
+        server.install_reload_handler()
         try:
             server.serve_forever()
         finally:
@@ -203,6 +203,16 @@ class ServingFleet:
                 os.kill(pid, signum)
             except ProcessLookupError:
                 pass
+
+    def signal_reload(self) -> None:
+        """Ask every worker to hot-swap to the artifact now on disk.
+
+        Publish the new generation at ``artifact_dir`` first (atomic
+        symlink flip or in-place rewrite), then call this; each worker
+        rebuilds off-thread and swaps atomically, so queries keep being
+        answered — by the old generation until the instant of its swap.
+        """
+        self.terminate(signal.SIGHUP)
 
     def wait(self) -> int:
         """Reap all workers; returns the worst exit status."""
@@ -229,7 +239,10 @@ class ServingFleet:
             pids = ", ".join(str(pid) for pid in self.worker_pids)
             print(
                 f"fleet of {self.workers} worker(s) on http://{self.host}:{port} "
-                f"(pids {pids}) — POST /query, GET /stats, GET /healthz, GET /metrics",
+                f"(pids {pids}, generation {self.artifact.generation}, "
+                f"schema v{self.artifact.schema_version}) — POST /query, "
+                f"POST /reload, GET /stats, GET /healthz, GET /metrics; "
+                f"SIGHUP hot-swaps the artifact",
                 file=sys.stderr,
             )
 
@@ -238,7 +251,7 @@ class ServingFleet:
 
         previous = {
             signum: signal.signal(signum, forward)
-            for signum in (signal.SIGTERM, signal.SIGINT)
+            for signum in (signal.SIGTERM, signal.SIGINT, signal.SIGHUP)
         }
         try:
             while True:

@@ -10,7 +10,9 @@ Three consumption styles over the same :class:`InferenceEngine`:
   entities/relations given as vocabulary labels or integer ids;
 * **HTTP** — ``repro-autosf serve`` runs a dependency-free
   ``http.server``-based JSON endpoint: ``POST /query`` answers a single
-  query or a ``{"queries": [...]}`` batch, ``GET /stats`` reports the
+  query or a ``{"queries": [...]}`` batch, ``POST /reload`` hot-swaps the
+  served artifact generation (servers built with an
+  :class:`EngineReloader`), ``GET /stats`` reports the
   engine's latency/throughput counters (via ``TimingRecorder``),
   ``GET /healthz`` describes the loaded artifact, and ``GET /metrics``
   exposes the worker's metrics registry in the Prometheus text format.
@@ -38,14 +40,21 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.kge.scoring.base import HEAD, TAIL, validate_direction
+from repro.obs import span
 from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
     PROMETHEUS_CONTENT_TYPE,
     AnyRegistry,
     get_registry,
     render_prometheus,
 )
-from repro.serving.artifact import ModelArtifact
-from repro.serving.engine import InferenceEngine, MicroBatcher
+from repro.serving.artifact import ModelArtifact, load_artifact
+from repro.serving.engine import (
+    FILTER_INDEX_DIRNAME,
+    InferenceEngine,
+    MicroBatcher,
+    load_filter_index,
+)
 
 PathLike = Union[str, Path]
 
@@ -259,6 +268,57 @@ def process_memory_info() -> Dict[str, int]:
     }
 
 
+@dataclass
+class EngineReloader:
+    """Recipe for (re)building an engine stack from an artifact directory.
+
+    A server built with a reloader can hot-swap generations: ``build()``
+    loads the artifact, its saved filter index (``<dir>/filter_index``,
+    when present) and a fresh :class:`InferenceEngine` + optional
+    :class:`MicroBatcher`, entirely off to the side of the serving one.
+    The swap itself is :meth:`QueryServer.reload` — a single pointer
+    flip, so in-flight queries finish on the old generation and nothing
+    is ever answered by a half-built engine.
+    """
+
+    artifact_dir: PathLike
+    mmap: bool = False
+    batch_size: int = 256
+    entity_chunk_size: int = 0
+    operator_cache_size: int = 256
+    result_cache_size: int = 4096
+    micro_batch_window_s: float = 0.0
+    registry: Optional[AnyRegistry] = None
+
+    def build(
+        self, artifact_dir: Optional[PathLike] = None
+    ) -> Tuple[ModelArtifact, InferenceEngine, Optional[MicroBatcher]]:
+        """Construct a full engine stack; records ``artifact_dir`` for next time."""
+        if artifact_dir is not None:
+            self.artifact_dir = artifact_dir
+        target = Path(self.artifact_dir)
+        artifact = load_artifact(target, mmap=self.mmap)
+        index_dir = target / FILTER_INDEX_DIRNAME
+        filter_index = (
+            load_filter_index(index_dir, mmap=self.mmap) if index_dir.is_dir() else None
+        )
+        engine = InferenceEngine.from_artifact(
+            artifact,
+            filter_index=filter_index,
+            batch_size=self.batch_size,
+            entity_chunk_size=self.entity_chunk_size,
+            operator_cache_size=self.operator_cache_size,
+            result_cache_size=self.result_cache_size,
+            registry=self.registry,
+        )
+        batcher = (
+            MicroBatcher(engine, window_s=self.micro_batch_window_s)
+            if self.micro_batch_window_s > 0
+            else None
+        )
+        return artifact, engine, batcher
+
+
 class QueryServer(ThreadingHTTPServer):
     """A threading HTTP server bound to one engine + artifact.
 
@@ -284,6 +344,7 @@ class QueryServer(ThreadingHTTPServer):
         batcher: Optional[MicroBatcher] = None,
         worker_id: int = 0,
         registry: Optional[AnyRegistry] = None,
+        reloader: Optional[EngineReloader] = None,
     ) -> None:
         if listen_socket is not None:
             # Adopt the inherited listener: skip bind/listen entirely.
@@ -295,10 +356,18 @@ class QueryServer(ThreadingHTTPServer):
             self.server_port = self.server_address[1]
         else:
             super().__init__(address, QueryHandler)
-        self.engine = engine
-        self.artifact = artifact
+        # The engine stack is one tuple so a hot swap is a single pointer
+        # flip: handler threads that already grabbed the old tuple finish
+        # their request on the old generation, never on a mixed stack.
+        self._mount: Tuple[InferenceEngine, Optional[ModelArtifact], Optional[MicroBatcher]] = (
+            engine,
+            artifact,
+            batcher,
+        )
+        self.reloader = reloader
+        self.reloads = 0
+        self._reload_lock = threading.Lock()
         self.quiet = quiet
-        self.batcher = batcher
         self.worker_id = int(worker_id)
         # Monotonic clock for uptime: wall-clock steps (NTP, DST) must
         # never produce a negative or jumping uptime_s in /stats.
@@ -330,6 +399,36 @@ class QueryServer(ThreadingHTTPServer):
             help="Static worker identity (value is always 1).",
             labels={"worker_id": str(self.worker_id), "pid": str(os.getpid())},
         ).set(1)
+        self._m_reloads = self.registry.counter(
+            "repro_live_reloads_total",
+            help="Successful artifact hot-swaps.",
+            labels=worker_labels,
+        )
+        self._m_reload_seconds = self.registry.histogram(
+            "repro_live_reload_seconds",
+            help="Wall time to build and swap in a new artifact generation.",
+            labels=worker_labels,
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._m_generation = self.registry.gauge(
+            "repro_live_generation",
+            help="Artifact generation currently being served.",
+            labels=worker_labels,
+        )
+        if artifact is not None:
+            self._m_generation.set(artifact.generation)
+
+    @property
+    def engine(self) -> InferenceEngine:
+        return self._mount[0]
+
+    @property
+    def artifact(self) -> Optional[ModelArtifact]:
+        return self._mount[1]
+
+    @property
+    def batcher(self) -> Optional[MicroBatcher]:
+        return self._mount[2]
 
     @property
     def uptime_s(self) -> float:
@@ -338,7 +437,59 @@ class QueryServer(ThreadingHTTPServer):
     @property
     def query_target(self) -> Union[InferenceEngine, MicroBatcher]:
         """What handler threads submit queries through."""
-        return self.batcher if self.batcher is not None else self.engine
+        mount = self._mount
+        return mount[2] if mount[2] is not None else mount[0]
+
+    def reload(self, artifact_dir: Optional[PathLike] = None) -> ModelArtifact:
+        """Hot-swap to the artifact at ``artifact_dir`` (default: last one).
+
+        The new engine stack is fully constructed *before* the swap; the
+        swap itself is an atomic ``_mount`` rebind, so requests in flight
+        keep the old generation and no request ever observes a half-built
+        engine.  On any load/validation error the old stack stays mounted
+        and the error propagates to the caller.
+        """
+        if self.reloader is None:
+            raise RuntimeError(
+                "this server was built without an EngineReloader; "
+                "pass reloader= to create_server() to enable /reload"
+            )
+        with self._reload_lock:
+            started = time.perf_counter()
+            with span("live.reload") as handle:
+                artifact, engine, batcher = self.reloader.build(artifact_dir)
+                # The old stack is not torn down: callers already inside it
+                # (micro-batch followers included) drain on their own.
+                self._mount = (engine, artifact, batcher)
+                handle.attrs["generation"] = artifact.generation
+                handle.attrs["worker_id"] = self.worker_id
+            self.reloads += 1
+            self._m_reloads.inc()
+            self._m_reload_seconds.observe(time.perf_counter() - started)
+            self._m_generation.set(artifact.generation)
+            return artifact
+
+    def _reload_from_signal(self) -> None:
+        """Reload on a coordination signal; never kill the serving loop."""
+        try:
+            self.reload()
+        except Exception as error:  # noqa: BLE001 - keep serving the old generation
+            if not self.quiet:  # pragma: no cover - console logging only
+                print(f"[serve] reload failed, keeping old generation: {error}")
+
+    def install_reload_handler(self, signum: int = signal.SIGHUP) -> None:
+        """Route ``signum`` (default SIGHUP) into an off-thread :meth:`reload`.
+
+        The fleet parent sends SIGHUP to every worker after publishing a
+        new generation; the handler thread rebuilds while the main thread
+        keeps accepting queries against the old mount.
+        """
+        signal.signal(
+            signum,
+            lambda *_args: threading.Thread(
+                target=self._reload_from_signal, name="query-server-reload", daemon=True
+            ).start(),
+        )
 
     def request_shutdown(self) -> None:
         """Trigger a graceful stop from any thread or signal handler.
@@ -403,17 +554,27 @@ class QueryHandler(BaseHTTPRequestHandler):
                 payload["scoring_function"] = self.server.engine.scoring_function.name
             self._send_json(200, payload)
         elif self.path == "/stats":
-            stats = self.server.engine.stats()
+            # One mount snapshot for the whole response, so a concurrent
+            # reload cannot mix old-engine stats with a new artifact.
+            engine, artifact, batcher = self.server._mount
+            stats = engine.stats()
             stats["uptime_s"] = self.server.uptime_s
             stats["http_requests"] = self.server.requests_served
             stats["http_errors"] = self.server.errors
+            stats["reloads"] = self.server.reloads
+            if artifact is not None:
+                stats["artifact"] = {
+                    "generation": artifact.generation,
+                    "schema_version": artifact.schema_version,
+                    "scoring_function": artifact.scoring_function.name,
+                }
             stats["worker"] = {
                 "worker_id": self.server.worker_id,
                 "pid": os.getpid(),
                 **process_memory_info(),
             }
-            if self.server.batcher is not None:
-                stats["micro_batcher"] = self.server.batcher.stats()
+            if batcher is not None:
+                stats["micro_batcher"] = batcher.stats()
             self._send_json(200, stats)
         elif self.path == "/metrics":
             self.server.count_request()
@@ -430,7 +591,43 @@ class QueryHandler(BaseHTTPRequestHandler):
             )
 
     # -- POST -------------------------------------------------------------
+    def _do_reload(self) -> None:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(payload, dict):
+                raise ValueError("reload body must be a JSON object")
+        except (ValueError, TypeError) as error:
+            self._send_error_json(400, f"invalid JSON body: {error}")
+            return
+        artifact_dir = payload.get("artifact")
+        if self.server.reloader is None:
+            self._send_error_json(
+                400,
+                "this server was built without an EngineReloader; "
+                "pass reloader= to create_server() to enable /reload",
+            )
+            return
+        try:
+            artifact = self.server.reload(artifact_dir)
+        except Exception as error:  # noqa: BLE001 - old generation stays mounted
+            self._send_error_json(500, f"reload failed, still serving the old generation: {error}")
+            return
+        self.server.count_request()
+        self._send_json(
+            200,
+            {
+                "status": "reloaded",
+                "generation": artifact.generation,
+                "schema_version": artifact.schema_version,
+                "reloads": self.server.reloads,
+            },
+        )
+
     def do_POST(self) -> None:  # noqa: N802 - http.server naming contract
+        if self.path == "/reload":
+            self._do_reload()
+            return
         if self.path != "/query":
             self._send_error_json(404, f"unknown path {self.path!r}; POST to /query")
             return
@@ -478,6 +675,7 @@ def create_server(
     batcher: Optional[MicroBatcher] = None,
     worker_id: int = 0,
     registry: Optional[AnyRegistry] = None,
+    reloader: Optional[EngineReloader] = None,
 ) -> QueryServer:
     """Bind a :class:`QueryServer` (port 0 picks a free port, handy in tests)."""
     return QueryServer(
@@ -489,6 +687,7 @@ def create_server(
         batcher=batcher,
         worker_id=worker_id,
         registry=registry,
+        reloader=reloader,
     )
 
 
@@ -499,13 +698,17 @@ def serve_forever(
     port: int = 8080,
     micro_batch_window_s: float = 0.0,
     registry: Optional[AnyRegistry] = None,
+    reloader: Optional[EngineReloader] = None,
 ) -> None:  # pragma: no cover - blocking loop, exercised manually via the CLI
     """Run the single-process query service until SIGTERM/SIGINT, then drain."""
     batcher = MicroBatcher(engine, window_s=micro_batch_window_s) if micro_batch_window_s > 0 else None
     server = create_server(
-        engine, artifact, host, port, quiet=False, batcher=batcher, registry=registry
+        engine, artifact, host, port, quiet=False, batcher=batcher, registry=registry,
+        reloader=reloader,
     )
     server.install_signal_handlers()
+    if reloader is not None:
+        server.install_reload_handler()
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -1,0 +1,148 @@
+"""Tests for incremental FilterIndex maintenance (repro.live.index_delta).
+
+The from-scratch build over the mutated triples is the exact parity
+oracle: after ``apply_index_delta``, every array of both direction
+indexes must equal the rebuilt index's — not just semantically, but
+element for element, which is what the canonical (code, entity) sort
+order in ``_DirectionIndex.build`` guarantees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import DatasetError, load_benchmark
+from repro.datasets.knowledge_graph import FilterIndex
+from repro.live import apply_index_delta
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_benchmark("fb15k237", scale=0.4)
+
+
+@pytest.fixture(scope="module")
+def observed(graph):
+    """train+valid triples — the known-positive index's usual coverage."""
+    return np.concatenate([graph.train, graph.valid])
+
+
+def assert_indexes_equal(got: FilterIndex, want: FilterIndex) -> None:
+    assert got.num_relations == want.num_relations
+    for direction in ("tails", "heads"):
+        got_dir, want_dir = getattr(got, direction), getattr(want, direction)
+        np.testing.assert_array_equal(got_dir.codes, want_dir.codes, err_msg=direction)
+        np.testing.assert_array_equal(got_dir.indptr, want_dir.indptr, err_msg=direction)
+        np.testing.assert_array_equal(
+            got_dir.entities, want_dir.entities, err_msg=direction
+        )
+
+
+class TestIncrementalEqualsRebuild:
+    def test_appends_only(self, graph, observed):
+        index = FilterIndex.build(observed, graph.num_relations)
+        rng = np.random.default_rng(0)
+        appends = np.stack(
+            [
+                rng.integers(graph.num_entities, size=40),
+                rng.integers(graph.num_relations, size=40),
+                rng.integers(graph.num_entities, size=40),
+            ],
+            axis=1,
+        ).astype(np.int64)
+        updated = apply_index_delta(index, graph.num_entities, appends=appends)
+        oracle = FilterIndex.build(
+            np.concatenate([observed, appends]), graph.num_relations
+        )
+        assert_indexes_equal(updated, oracle)
+
+    def test_deletes_only(self, graph, observed):
+        index = FilterIndex.build(observed, graph.num_relations)
+        drop = np.asarray([5, 17, 101, 333, len(observed) - 1])
+        keep = np.ones(len(observed), dtype=bool)
+        keep[drop] = False
+        updated = apply_index_delta(index, graph.num_entities, deletes=observed[drop])
+        oracle = FilterIndex.build(observed[keep], graph.num_relations)
+        assert_indexes_equal(updated, oracle)
+
+    def test_mixed_delta_with_new_entities(self, graph, observed):
+        index = FilterIndex.build(observed, graph.num_relations)
+        new_entities = graph.num_entities + 2
+        appends = np.asarray(
+            [
+                [graph.num_entities, 0, 3],
+                [graph.num_entities + 1, 1, graph.num_entities],
+                [0, 2, 1],
+            ],
+            dtype=np.int64,
+        )
+        deletes = observed[[2, 9, 50]]
+        keep = np.ones(len(observed), dtype=bool)
+        keep[[2, 9, 50]] = False
+        updated = apply_index_delta(
+            index, new_entities, appends=appends, deletes=deletes
+        )
+        oracle = FilterIndex.build(
+            np.concatenate([observed[keep], appends]), graph.num_relations
+        )
+        assert_indexes_equal(updated, oracle)
+
+    def test_duplicate_pair_across_splits_removed_once_per_delete(self, graph):
+        # The same triple observed in two splits contributes its pair twice;
+        # deleting it once must leave exactly one occurrence.
+        row = graph.train[:1]
+        doubled = np.concatenate([graph.train, row])
+        index = FilterIndex.build(doubled, graph.num_relations)
+        updated = apply_index_delta(index, graph.num_entities, deletes=row)
+        oracle = FilterIndex.build(graph.train, graph.num_relations)
+        assert_indexes_equal(updated, oracle)
+
+    def test_input_order_is_irrelevant(self, graph, observed):
+        index = FilterIndex.build(observed, graph.num_relations)
+        appends = observed[:0]
+        rng = np.random.default_rng(3)
+        fresh = np.stack(
+            [
+                rng.integers(graph.num_entities, size=12),
+                rng.integers(graph.num_relations, size=12),
+                rng.integers(graph.num_entities, size=12),
+            ],
+            axis=1,
+        ).astype(np.int64)
+        forward = apply_index_delta(index, graph.num_entities, appends=fresh)
+        backward = apply_index_delta(index, graph.num_entities, appends=fresh[::-1])
+        assert_indexes_equal(forward, backward)
+
+
+class TestErrors:
+    def test_missing_pair_delete(self, graph, observed):
+        index = FilterIndex.build(observed, graph.num_relations)
+        known = {tuple(row) for row in observed}
+        bogus = next(
+            np.asarray([[h, 0, t]], dtype=np.int64)
+            for h in range(graph.num_entities)
+            for t in range(graph.num_entities)
+            if h != t and (h, 0, t) not in known
+        )
+        with pytest.raises(DatasetError, match="pair not present"):
+            apply_index_delta(index, graph.num_entities, deletes=bogus)
+
+    def test_relation_growth_requires_rebuild(self, graph, observed):
+        index = FilterIndex.build(observed, graph.num_relations)
+        grown = np.asarray([[0, graph.num_relations, 1]], dtype=np.int64)
+        with pytest.raises(DatasetError, match="rebuilding the index from scratch"):
+            apply_index_delta(index, graph.num_entities, appends=grown)
+
+    def test_entity_out_of_range(self, graph, observed):
+        index = FilterIndex.build(observed, graph.num_relations)
+        grown = np.asarray([[graph.num_entities, 0, 1]], dtype=np.int64)
+        with pytest.raises(DatasetError, match="num_entities"):
+            apply_index_delta(index, graph.num_entities, appends=grown)
+
+    def test_bad_shape(self, graph, observed):
+        index = FilterIndex.build(observed, graph.num_relations)
+        with pytest.raises(DatasetError, match=r"\(n, 3\)"):
+            apply_index_delta(
+                index, graph.num_entities, appends=np.zeros((2, 2), dtype=np.int64)
+            )

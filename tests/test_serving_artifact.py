@@ -99,7 +99,7 @@ class TestRoundTrip:
 
 
 class TestSchemaV2Layout:
-    """Schema v2: raw per-array .npy files, mmap-loadable, v1 still readable."""
+    """Raw per-array .npy layout (v2, unchanged in v3), mmap-loadable, v1 readable."""
 
     @pytest.fixture()
     def artifact_dir(self, family_models, tiny_graph, tmp_path):
@@ -107,7 +107,7 @@ class TestSchemaV2Layout:
 
     def test_raw_npy_layout_on_disk(self, artifact_dir):
         manifest = from_json_file(artifact_dir / "manifest.json")
-        assert manifest["schema_version"] == ARTIFACT_SCHEMA_VERSION == 2
+        assert manifest["schema_version"] == ARTIFACT_SCHEMA_VERSION == 3
         assert set(manifest["params"]) >= {"entities", "relations"}
         for relative in manifest["params"].values():
             assert (artifact_dir / relative).exists()
