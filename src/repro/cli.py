@@ -683,6 +683,33 @@ def command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_worker(args: argparse.Namespace) -> int:
+    from repro.core.distributed import serve_worker
+
+    host, sep, port_text = args.connect.rpartition(":")
+    if not sep or not host:
+        raise SystemExit(
+            f"--connect expects HOST:PORT (e.g. 192.168.1.10:5000), got {args.connect!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SystemExit(f"--connect port must be an integer, got {port_text!r}")
+    if not 0 < port < 65536:
+        raise SystemExit(f"--connect port must be in 1..65535, got {port}")
+    print(f"worker connecting to coordinator at {host}:{port} "
+          f"(reconnect every {args.reconnect_interval:g}s, "
+          f"idle exit after {args.max_idle:g}s)")
+    completed = serve_worker(
+        host,
+        port,
+        reconnect_interval=args.reconnect_interval,
+        max_idle=args.max_idle,
+    )
+    print(f"worker finished: {completed} task(s) evaluated")
+    return 0
+
+
 def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--artifact", required=True, help="serving artifact directory")
     parser.add_argument(
@@ -905,6 +932,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_dataset_arguments(serve_parser)
     serve_parser.set_defaults(handler=command_serve)
+
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help="connect to a queue-backend search coordinator and evaluate "
+        "candidates dispatched to this host",
+    )
+    worker_parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address: the host running a search with "
+        "backend 'queue' and a fixed backend.port",
+    )
+    worker_parser.add_argument(
+        "--reconnect-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="delay between connection attempts; the coordinator opens a "
+        "fresh listener for every dispatch round, so workers poll "
+        "(default: 0.5)",
+    )
+    worker_parser.add_argument(
+        "--max-idle",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="exit after this long without a successful connection "
+        "(default: 60; 0 keeps polling forever)",
+    )
+    worker_parser.set_defaults(handler=command_worker)
 
     trace_parser = subparsers.add_parser(
         "trace", help="merge or summarize the trace spans of an --obs run"

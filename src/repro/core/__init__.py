@@ -24,6 +24,7 @@ This package implements the paper's contribution proper:
 
 from repro.core.baselines import BayesSearch, RandomSearch, general_approximator_baseline
 from repro.core.constraints import ConstraintReport, check_structure, satisfies_c1, satisfies_c2
+from repro.core.distributed import QueueBackend, run_worker, serve_worker
 from repro.core.evaluator import (
     CandidateEvaluation,
     CandidateEvaluator,
@@ -34,6 +35,7 @@ from repro.core.execution import (
     EvaluationOutcome,
     EvaluationTask,
     ExecutionBackend,
+    ExecutionError,
     ProcessPoolBackend,
     SerialBackend,
     create_backend,
@@ -91,9 +93,13 @@ __all__ = [
     "EvaluationStore",
     "EvaluationTask",
     "ExecutionBackend",
+    "ExecutionError",
     "FilterStatistics",
     "ProcessPoolBackend",
+    "QueueBackend",
     "SerialBackend",
+    "run_worker",
+    "serve_worker",
     "create_backend",
     "derive_candidate_seed",
     "evaluate_candidate",

@@ -26,6 +26,7 @@ from repro.core.execution import (
     EvaluationContext,
     EvaluationTask,
     ExecutionBackend,
+    ExecutionError,
     SerialBackend,
     derive_candidate_seed,
 )
@@ -218,8 +219,19 @@ class CandidateEvaluator:
             def absorb(index: int, outcome) -> None:
                 if index in absorbed:
                     return
-                absorbed.add(index)
                 key = task_keys[index]
+                outcome_key = canonical_key(outcome.structure)
+                if outcome_key != key:
+                    # A backend delivering outcome i under index j would
+                    # silently poison the cache for candidate j; refuse it.
+                    raise ExecutionError(
+                        f"execution backend delivered an outcome for candidate "
+                        f"{outcome.structure.name or outcome.structure.blocks!r} "
+                        f"at task index {index}, which belongs to a different "
+                        f"candidate — the backend violated the outcome-alignment "
+                        f"contract"
+                    )
+                absorbed.add(index)
                 self.timing.add("train", outcome.train_seconds)
                 self.timing.add("evaluate", outcome.evaluate_seconds)
                 evaluation = CandidateEvaluation(
@@ -238,6 +250,18 @@ class CandidateEvaluator:
             # on_result is an optimization, not part of the backend contract:
             # absorb anything a callback-less backend only returned.
             outcomes = backend.run(self._context(), tasks, on_result=absorb)
+            # Contract check: a backend either returns one slot per task
+            # (``None`` holes for lost tasks) or an empty list (relying
+            # entirely on on_result).  A truncated/oversized list would
+            # mis-assign outcomes to the wrong candidates via positional
+            # indexing, so fail loudly instead.
+            if outcomes and len(outcomes) != len(tasks):
+                raise ExecutionError(
+                    f"execution backend {backend!r} returned {len(outcomes)} "
+                    f"outcome(s) for {len(tasks)} dispatched task(s); backends "
+                    f"must return one (possibly None) slot per task, in task "
+                    f"order, or an empty list"
+                )
             for index, outcome in enumerate(outcomes or []):
                 if outcome is not None:
                     absorb(index, outcome)
@@ -265,7 +289,7 @@ class CandidateEvaluator:
                         repr(tasks[index].structure.name or tasks[index].structure.blocks)
                         for index in still_missing
                     )
-                    raise RuntimeError(
+                    raise ExecutionError(
                         f"execution backend {backend!r} returned no outcome for "
                         f"{len(still_missing)} of {len(tasks)} dispatched candidate(s) "
                         f"({names}), and a serial retry did not recover them"

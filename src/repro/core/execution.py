@@ -10,8 +10,11 @@ This module isolates *where* those evaluations run from *what* they compute:
   and an :class:`EvaluationTask` (structure + seed) it trains and scores one
   candidate and returns a plain, picklable :class:`EvaluationOutcome`;
 * :class:`SerialBackend` runs tasks in-process, one after the other;
-* :class:`ProcessPoolBackend` fans tasks out over a ``multiprocessing``
-  pool.
+* :class:`ProcessPoolBackend` fans tasks out over a local worker-process
+  pool;
+* :class:`~repro.core.distributed.QueueBackend` dispatches tasks to worker
+  processes over a socket-RPC work queue, so workers may live on other
+  hosts (see :mod:`repro.core.distributed`).
 
 Determinism is preserved across backends by seeding every task *per
 candidate* rather than from shared mutable RNG state: the seed is derived
@@ -19,6 +22,13 @@ from the search seed and the candidate's canonical key with a stable hash
 (:func:`derive_candidate_seed`), so a task trains identically no matter
 which backend, worker or batch position executes it.  A parallel search
 therefore produces a ``SearchResult`` bitwise-equal to a serial one.
+
+Fault model: a backend that loses a task (killed worker, dropped
+connection) returns ``None`` in that task's slot instead of hanging or
+raising a bare pool error; :meth:`CandidateEvaluator.evaluate_many` then
+re-dispatches the holes serially and only raises a descriptive
+:class:`ExecutionError` naming the affected candidates when the retry also
+fails.
 """
 
 from __future__ import annotations
@@ -26,6 +36,8 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
@@ -35,9 +47,20 @@ from repro.kge.scoring.bilinear import BlockScoringFunction
 from repro.kge.scoring.blocks import BlockStructure
 from repro.kge.trainer import Trainer, TrainingHistory
 from repro.obs import trace as obs_trace
-from repro.utils.config import EXECUTION_BACKENDS, TrainingConfig
+from repro.utils.config import EXECUTION_BACKENDS, ConfigError, TrainingConfig
 
 from typing import Protocol, runtime_checkable
+
+
+class ExecutionError(RuntimeError):
+    """A batch of evaluation tasks could not be executed to completion.
+
+    Raised with a message naming the affected candidate(s) when a backend
+    permanently loses tasks (dead workers past the retry budget, no workers
+    ever connecting, a backend violating the outcome-alignment contract).
+    Subclasses :class:`RuntimeError` so pre-existing ``except RuntimeError``
+    handlers keep working.
+    """
 
 
 def derive_candidate_seed(base_seed: Optional[int], key: Iterable[int]) -> Optional[int]:
@@ -209,19 +232,29 @@ def _run_worker_task(item: "Tuple[int, EvaluationTask]") -> "Tuple[int, Evaluati
 
 
 class ProcessPoolBackend:
-    """Fan tasks out over a ``multiprocessing`` pool.
+    """Fan tasks out over a local worker-process pool.
 
     Results come back in task order, and every task carries its own seed, so
     the outcome is identical to :class:`SerialBackend` regardless of worker
     scheduling.  Single-task batches (and ``num_workers=1``) short-circuit to
     in-process execution to avoid pointless pool start-up.
+
+    A worker that dies mid-batch (segfault, OOM kill, ``os._exit``) breaks
+    the whole pool: the executor raises :class:`BrokenProcessPool` for every
+    task that has not finished.  :meth:`run` absorbs that — outcomes already
+    completed are kept, every lost task's slot stays ``None`` — so the
+    caller's serial-retry path (:meth:`CandidateEvaluator.evaluate_many`)
+    can re-dispatch exactly the lost candidates instead of the batch
+    hanging forever or dying with a context-free pool error.
     """
 
     name = "process"
 
     def __init__(self, num_workers: int = 2, start_method: Optional[str] = None) -> None:
         if num_workers < 1:
-            raise ValueError("num_workers must be positive")
+            raise ValueError(
+                f"ProcessPoolBackend: num_workers must be >= 1, got {num_workers}"
+            )
         if start_method is not None and start_method not in multiprocessing.get_all_start_methods():
             raise ValueError(f"unsupported start method: {start_method!r}")
         self.num_workers = num_workers
@@ -249,17 +282,35 @@ class ProcessPoolBackend:
             return SerialBackend().run(context, tasks, on_result=on_result)
         workers = min(self.num_workers, len(tasks))
         outcomes: List[Optional[EvaluationOutcome]] = [None] * len(tasks)
-        with self._context().Pool(
-            processes=workers, initializer=_initialize_worker, initargs=(context,)
-        ) as pool:
-            # imap_unordered so every finished candidate streams back (and can
+        executor = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=self._context(),
+            initializer=_initialize_worker,
+            initargs=(context,),
+        )
+        try:
+            futures = {
+                executor.submit(_run_worker_task, (index, task)): index
+                for index, task in enumerate(tasks)
+            }
+            # as_completed so every finished candidate streams back (and can
             # be checkpointed via on_result) the moment it completes, even
             # while an earlier, slower task is still running; results are
-            # slotted back into task order afterwards.
-            for index, outcome in pool.imap_unordered(_run_worker_task, enumerate(tasks)):
+            # slotted back into task order via the returned index.
+            for future in as_completed(futures):
+                try:
+                    index, outcome = future.result()
+                except BrokenProcessPool:
+                    # A worker died mid-batch.  Its own task — and any task
+                    # still queued behind it — is lost; results that already
+                    # arrived are kept.  The ``None`` holes tell the caller
+                    # exactly which candidates to re-dispatch serially.
+                    continue
+                outcomes[index] = outcome
                 if on_result is not None:
                     on_result(index, outcome)
-                outcomes[index] = outcome
+        finally:
+            executor.shutdown(wait=True, cancel_futures=True)
         return outcomes  # type: ignore[return-value]
 
     def __repr__(self) -> str:  # pragma: no cover - repr formatting
@@ -270,10 +321,38 @@ class ProcessPoolBackend:
 BACKEND_NAMES = EXECUTION_BACKENDS
 
 
-def create_backend(name: str, num_workers: int = 1) -> ExecutionBackend:
-    """Instantiate a backend from its configuration name."""
+def create_backend(name: str, num_workers: int = 1, **options) -> ExecutionBackend:
+    """Instantiate a backend from its configuration name.
+
+    ``num_workers`` is validated here — at the configuration seam — so a bad
+    value fails with a :class:`~repro.utils.config.ConfigError` naming the
+    field instead of surfacing (or being silently clamped away) deep inside
+    a backend constructor.  ``options`` are passed through to the backend
+    (the queue backend accepts ``host`` / ``port`` / ``heartbeat_timeout`` /
+    ``worker_timeout`` / ``max_retries``).
+    """
+    if name == "queue":
+        # The queue backend accepts num_workers == 0: rely entirely on
+        # externally started ``repro-autosf worker --connect`` processes.
+        if num_workers < 0:
+            raise ConfigError(
+                f"backend.num_workers: must be >= 0 for the queue backend "
+                f"(0 means external workers only), got {num_workers}"
+            )
+        from repro.core.distributed import QueueBackend
+
+        return QueueBackend(num_workers=num_workers, **options)
+    if options:
+        raise ConfigError(
+            f"backend: options {sorted(options)} are only valid for the "
+            f"'queue' backend, not {name!r}"
+        )
+    if num_workers < 1:
+        raise ConfigError(
+            f"backend.num_workers: must be a positive integer, got {num_workers}"
+        )
     if name == "serial":
         return SerialBackend()
     if name == "process":
-        return ProcessPoolBackend(num_workers=max(num_workers, 1))
+        return ProcessPoolBackend(num_workers=num_workers)
     raise ValueError(f"unknown execution backend {name!r}; available: {', '.join(BACKEND_NAMES)}")

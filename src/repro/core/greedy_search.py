@@ -41,7 +41,14 @@ from repro.utils.timing import TimingRecorder
 
 @dataclass
 class SearchRecord:
-    """One trained candidate inside a search run."""
+    """One trained candidate inside a search run.
+
+    ``rung`` / ``rung_epochs`` / ``full_fidelity`` carry ASHA fidelity
+    metadata: a scheduler-driven loop records low-rung (reduced-epoch)
+    evaluations with ``full_fidelity=False`` so the history shows every
+    training run, while rankings and budgets only consider full-fidelity
+    records.  Plain full-fidelity searches leave the defaults untouched.
+    """
 
     structure: BlockStructure
     validation_mrr: float
@@ -49,6 +56,9 @@ class SearchRecord:
     stage: int
     order: int
     elapsed_seconds: float
+    rung: Optional[int] = None
+    rung_epochs: Optional[int] = None
+    full_fidelity: bool = True
 
 
 @dataclass
@@ -62,30 +72,42 @@ class SearchResult:
     filter_statistics: Dict[str, int] = field(default_factory=dict)
 
     @property
+    def full_fidelity_records(self) -> List[SearchRecord]:
+        """Records trained with the full epoch budget (the comparable ones)."""
+        return [record for record in self.records if record.full_fidelity]
+
+    @property
     def num_evaluations(self) -> int:
-        return len(self.records)
+        """Budget-counted evaluations (full fidelity only)."""
+        return len(self.full_fidelity_records)
 
     def best_per_stage(self) -> Dict[int, SearchRecord]:
-        """The best record of every stage (keyed by block count)."""
+        """The best full-fidelity record of every stage (keyed by block count)."""
         best: Dict[int, SearchRecord] = {}
-        for record in self.records:
+        for record in self.full_fidelity_records:
             current = best.get(record.num_blocks)
             if current is None or record.validation_mrr > current.validation_mrr:
                 best[record.num_blocks] = record
         return best
 
     def anytime_curve(self) -> List[float]:
-        """Best-so-far validation MRR after each trained model (Fig. 6/7)."""
+        """Best-so-far validation MRR after each trained model (Fig. 6/7).
+
+        Low-fidelity rung evaluations are excluded: their MRRs are not
+        comparable to fully trained models.
+        """
         curve: List[float] = []
         best = -np.inf
-        for record in sorted(self.records, key=lambda item: item.order):
+        for record in sorted(self.full_fidelity_records, key=lambda item: item.order):
             best = max(best, record.validation_mrr)
             curve.append(float(best))
         return curve
 
     def top(self, count: int = 5) -> List[SearchRecord]:
-        """The ``count`` best records overall."""
-        return sorted(self.records, key=lambda item: -item.validation_mrr)[:count]
+        """The ``count`` best full-fidelity records overall."""
+        return sorted(self.full_fidelity_records, key=lambda item: -item.validation_mrr)[
+            :count
+        ]
 
 
 class AutoSFSearch:

@@ -24,6 +24,7 @@ this API with seed-identical trajectories.
 """
 
 from repro.experiments.loop import SearchLoop
+from repro.experiments.scheduler import FidelityScheduler
 from repro.experiments.runner import (
     RUN_SCHEMA_VERSION,
     ExperimentRunner,
@@ -42,6 +43,7 @@ from repro.experiments.spec import (
     ExportSpec,
     HPOSpec,
     ObsSpec,
+    SchedulerSpec,
     SearchSpec,
     StoreSpec,
     load_spec,
@@ -66,9 +68,11 @@ __all__ = [
     "ExportSpec",
     "HPOSpec",
     "ObsSpec",
+    "SchedulerSpec",
     "SearchSpec",
     "StoreSpec",
     "load_spec",
+    "FidelityScheduler",
     "SearchLoop",
     "SearchState",
     "SearchStrategy",

@@ -33,8 +33,10 @@ import numpy as np
 from repro.core.evaluator import CandidateEvaluation, CandidateEvaluator
 from repro.core.execution import ExecutionBackend, create_backend
 from repro.core.greedy_search import SearchRecord, SearchResult
+from repro.core.invariance import canonical_key
 from repro.core.store import EvaluationStore
 from repro.datasets.knowledge_graph import KnowledgeGraph
+from repro.experiments.scheduler import FidelityScheduler
 from repro.experiments.strategies import SearchState, SearchStrategy
 from repro.obs import trace as obs_trace
 from repro.utils.config import TrainingConfig
@@ -65,6 +67,12 @@ class SearchLoop:
     evaluator:
         Injectable for sharing one cache across several loops in-process;
         when given, ``store`` is ignored in favour of the evaluator's own.
+    scheduler:
+        Optional :class:`~repro.experiments.scheduler.FidelityScheduler`.
+        When set, each proposed candidate front first runs through reduced-
+        epoch rungs and only promoted survivors are trained at full
+        fidelity; only those full-fidelity evaluations count toward the
+        budget and reach ``strategy.observe``.
     """
 
     def __init__(
@@ -79,6 +87,7 @@ class SearchLoop:
         store: Optional[EvaluationStore] = None,
         cache_dir: Optional[str] = None,
         evaluator: Optional[CandidateEvaluator] = None,
+        scheduler: Optional[FidelityScheduler] = None,
         timing: Optional[TimingRecorder] = None,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
@@ -107,6 +116,13 @@ class SearchLoop:
                 # across strategies, backends and evaluation order.
                 base_seed=seed if isinstance(seed, (int, np.integer)) else None,
             )
+        self.scheduler = scheduler
+        self._rung_evaluators: dict = {}
+        #: Total epochs actually trained (Σ candidates trained × their epoch
+        #: budget) — the compute currency the ASHA bench target is stated in.
+        self.total_training_epochs = 0
+        #: Per-epoch-budget aggregates: {"evaluated", "trained", "promoted"}.
+        self.rung_stats: dict = {}
         self._records: List[SearchRecord] = []
         # Candidate-lifecycle counters share the timing recorder's registry —
         # one sink for Table VII attribution and telemetry (no-op when off).
@@ -176,16 +192,28 @@ class SearchLoop:
             if not candidates:
                 break
             self._m_proposed.inc(len(candidates))
-            if remaining is not None:
+            if self.scheduler is None and remaining is not None:
                 candidates = candidates[:remaining]
             trained_before = self.evaluator.num_trained
+            # Everything inside this span is all-or-nothing per round: if the
+            # backend (or a fidelity rung) fails, the exception propagates
+            # before any record is appended, any evaluation reaches
+            # ``state.evaluations`` or ``strategy.observe`` sees the round —
+            # a partial batch can never corrupt strategy state.
             with obs_trace.span(
                 "search.round", attrs={"candidates": len(candidates)}
             ) as round_span:
+                if self.scheduler is not None:
+                    candidates, order = self._run_rungs(
+                        state, candidates, order, start_time
+                    )
+                    if remaining is not None:
+                        candidates = candidates[:remaining]
                 evaluations = self.evaluator.evaluate_many(
                     candidates, backend=self.backend
                 )
             trained_now = self.evaluator.num_trained - trained_before
+            self.total_training_epochs += trained_now * self.training_config.epochs
             self._m_rounds.inc()
             self._m_evaluated.inc(len(evaluations))
             self._m_trained.inc(trained_now)
@@ -210,12 +238,107 @@ class SearchLoop:
 
         return self._build_result()
 
+    # ------------------------------------------------------------------
+    # ASHA fidelity rungs
+    # ------------------------------------------------------------------
+    def _rung_evaluator(self, epochs: int) -> CandidateEvaluator:
+        """A (cached) evaluator training at a reduced epoch budget.
+
+        Rung evaluators share the loop's timing ledger and base seed but
+        get their own persistent sub-store: store entries are keyed by the
+        candidate alone, so mixing epoch budgets in one directory would let
+        a cheap rung evaluation clobber a full-fidelity entry.
+        """
+        evaluator = self._rung_evaluators.get(epochs)
+        if evaluator is None:
+            store = None
+            if self.store is not None:
+                store = EvaluationStore(self.store.directory / f"rung_{epochs:04d}")
+            evaluator = CandidateEvaluator(
+                self.graph,
+                self.training_config.replace(epochs=epochs),
+                validation_split=self.evaluator.validation_split,
+                timing=self.timing,
+                store=store,
+                base_seed=self.evaluator.base_seed,
+            )
+            self._rung_evaluators[epochs] = evaluator
+        return evaluator
+
+    def _run_rungs(self, state, candidates, order, start_time):
+        """Run the reduced-epoch rungs; return (survivors, order).
+
+        Promotion keeps the scheduler's top fraction per rung, ranked by
+        validation MRR with a canonical-key tie-break so the schedule is
+        deterministic across backends and worker counts.  The survivors are
+        trained at full fidelity by the caller (the final rung *is* the
+        plain evaluator, so survivor results match the full-fidelity path
+        bit for bit).
+        """
+        ladder = self.scheduler.ladder(self.training_config.epochs)
+        survivors = list(candidates)
+        for rung_index, epochs in enumerate(ladder[:-1]):
+            if len(survivors) <= 1:
+                break
+            evaluator = self._rung_evaluator(epochs)
+            trained_before = evaluator.num_trained
+            keep = self.scheduler.promote_count(len(survivors))
+            with obs_trace.span(
+                "search.rung",
+                attrs={"rung": rung_index, "epochs": epochs, "candidates": len(survivors)},
+            ) as rung_span:
+                rung_evaluations = evaluator.evaluate_many(
+                    survivors, backend=self.backend
+                )
+                trained = evaluator.num_trained - trained_before
+                rung_span.attrs["trained"] = trained
+                rung_span.attrs["promoted"] = keep
+            self.total_training_epochs += trained * epochs
+            for evaluation in rung_evaluations:
+                order += 1
+                self._records.append(
+                    SearchRecord(
+                        structure=evaluation.structure,
+                        validation_mrr=evaluation.validation_mrr,
+                        num_blocks=evaluation.structure.num_blocks,
+                        stage=evaluation.structure.num_blocks,
+                        order=order,
+                        elapsed_seconds=time.perf_counter() - start_time,
+                        rung=rung_index,
+                        rung_epochs=epochs,
+                        full_fidelity=False,
+                    )
+                )
+            ranked = sorted(
+                zip(survivors, rung_evaluations),
+                key=lambda pair: (-pair[1].validation_mrr, canonical_key(pair[0])),
+            )
+            survivors = [structure for structure, _ in ranked[:keep]]
+            stats = self.rung_stats.setdefault(
+                epochs,
+                {"rung": rung_index, "epochs": epochs, "evaluated": 0, "trained": 0, "promoted": 0},
+            )
+            stats["evaluated"] += len(rung_evaluations)
+            stats["trained"] += trained
+            stats["promoted"] += len(survivors)
+            state.rung_history.append(
+                {
+                    "rung": rung_index,
+                    "epochs": epochs,
+                    "candidates": len(rung_evaluations),
+                    "promoted": len(survivors),
+                    "trained": trained,
+                }
+            )
+        return survivors, order
+
     def _build_result(self) -> SearchResult:
-        if not self._records:
+        full_fidelity = [record for record in self._records if record.full_fidelity]
+        if not full_fidelity:
             raise RuntimeError(
                 f"{getattr(self.strategy, 'name', 'search')} strategy produced no evaluations"
             )
-        best = max(self._records, key=lambda record: record.validation_mrr)
+        best = max(full_fidelity, key=lambda record: record.validation_mrr)
         statistics = {}
         if hasattr(self.strategy, "statistics"):
             statistics = dict(self.strategy.statistics())

@@ -169,22 +169,25 @@ class ExperimentRunner:
     def _write_history(self, result: SearchResult) -> None:
         lines = []
         for record in sorted(result.records, key=lambda item: item.order):
-            lines.append(
-                to_json_string(
-                    {
-                        "order": record.order,
-                        "stage": record.stage,
-                        "num_blocks": record.num_blocks,
-                        "validation_mrr": record.validation_mrr,
-                        "elapsed_seconds": record.elapsed_seconds,
-                        "structure": {
-                            "blocks": [list(block) for block in record.structure.blocks],
-                            "name": record.structure.name,
-                        },
-                    },
-                    indent=None,
-                )
-            )
+            payload: Dict[str, Any] = {
+                "order": record.order,
+                "stage": record.stage,
+                "num_blocks": record.num_blocks,
+                "validation_mrr": record.validation_mrr,
+                "elapsed_seconds": record.elapsed_seconds,
+                "structure": {
+                    "blocks": [list(block) for block in record.structure.blocks],
+                    "name": record.structure.name,
+                },
+            }
+            # Rung metadata only for scheduler-driven records: full-fidelity
+            # histories stay byte-identical to pre-scheduler releases (the
+            # golden run asserts this digest every tier-1 pass).
+            if record.rung is not None:
+                payload["rung"] = record.rung
+                payload["rung_epochs"] = record.rung_epochs
+                payload["full_fidelity"] = record.full_fidelity
+            lines.append(to_json_string(payload, indent=None))
         (self.run_dir / HISTORY_FILENAME).write_text(
             "\n".join(lines) + ("\n" if lines else ""), encoding="utf-8"
         )
@@ -289,9 +292,9 @@ class ExperimentRunner:
                 strategy,
                 training_config,
                 seed=self.spec.seed,
-                backend=self.spec.backend.backend,
-                num_workers=self.spec.backend.num_workers,
+                backend=self.spec.backend.create(),
                 store=EvaluationStore(self.run_dir),
+                scheduler=self.spec.scheduler.create(),
             )
             budget = (
                 max_evaluations if max_evaluations is not None else self.spec.search.budget
@@ -330,6 +333,11 @@ class ExperimentRunner:
             "training_config": training_config.to_dict(),
             "wall_seconds": time.time() - started,
         }
+        if self.spec.scheduler.enabled:
+            report["scheduler"] = {
+                "total_training_epochs": loop.total_training_epochs,
+                "rungs": [loop.rung_stats[epochs] for epochs in sorted(loop.rung_stats)],
+            }
         if hpo_summary is not None:
             report["hpo"] = hpo_summary
         if artifact_path is not None:

@@ -1,0 +1,94 @@
+"""Successive-halving / ASHA fidelity scheduling for the search loop.
+
+Training every proposed candidate to full convergence dominates search
+cost.  :class:`FidelityScheduler` cuts that cost with the successive-halving
+idea: evaluate the whole candidate front cheaply (few epochs), promote only
+the top fraction to the next *rung* (more epochs), and train just the
+survivors at full fidelity.  Integrated with the paper's predictor-guided
+filtering, the proposed front stays full — the predictor prunes the
+combinatorial space, the scheduler prunes the training budget.
+
+The epoch ladder is geometric: ``min_epochs, min_epochs * reduction, ...``
+capped by the training config's full ``epochs`` (which always forms the
+final rung, so the surviving candidates' results are *exactly* the
+full-fidelity results — the serial full-fidelity path remains the parity
+oracle for them).  Promotion keeps ``ceil(n / reduction)`` candidates per
+rung, ranked by validation MRR with a deterministic canonical-key
+tie-break, so scheduling is reproducible across backends and worker
+counts.
+
+Only final-rung evaluations count toward the search budget and are fed to
+``strategy.observe``; lower-rung evaluations are recorded in the search
+history with ``full_fidelity=False`` and rung metadata for analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["FidelityScheduler"]
+
+
+@dataclass(frozen=True)
+class FidelityScheduler:
+    """Geometric epoch ladder + top-fraction promotion policy.
+
+    Parameters
+    ----------
+    reduction:
+        Halving rate ``eta``: each rung multiplies the epoch budget by this
+        factor and keeps ``ceil(n / reduction)`` of ``n`` candidates.
+    min_epochs:
+        Epoch budget of the cheapest rung.
+    max_rungs:
+        Optional cap on ladder length; the *lowest* rungs are dropped first
+        (the full-fidelity rung is never dropped).
+    """
+
+    reduction: int = 3
+    min_epochs: int = 1
+    max_rungs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.reduction < 2:
+            raise ValueError(
+                f"FidelityScheduler: reduction must be >= 2, got {self.reduction}"
+            )
+        if self.min_epochs < 1:
+            raise ValueError(
+                f"FidelityScheduler: min_epochs must be >= 1, got {self.min_epochs}"
+            )
+        if self.max_rungs is not None and self.max_rungs < 2:
+            raise ValueError(
+                f"FidelityScheduler: max_rungs must be >= 2 (one cheap rung "
+                f"plus the full-fidelity rung), got {self.max_rungs}"
+            )
+
+    def ladder(self, full_epochs: int) -> List[int]:
+        """Ascending epoch budgets, always ending at ``full_epochs``.
+
+        A ``[full_epochs]`` ladder (single rung) means scheduling is a
+        no-op for this config — e.g. when ``full_epochs <= min_epochs``.
+        """
+        if full_epochs <= self.min_epochs:
+            return [full_epochs]
+        rungs: List[int] = []
+        epochs = self.min_epochs
+        while epochs < full_epochs:
+            rungs.append(epochs)
+            epochs *= self.reduction
+        # A top rung within one reduction step of full fidelity saves almost
+        # nothing relative to just running the final rung; drop it (but keep
+        # at least one cheap rung).
+        if len(rungs) > 1 and rungs[-1] * self.reduction > full_epochs:
+            rungs.pop()
+        ladder = rungs + [full_epochs]
+        if self.max_rungs is not None and len(ladder) > self.max_rungs:
+            ladder = ladder[-self.max_rungs :]
+        return ladder
+
+    def promote_count(self, num_candidates: int) -> int:
+        """How many of ``num_candidates`` survive a rung."""
+        return max(1, math.ceil(num_candidates / self.reduction))

@@ -17,6 +17,7 @@ search      strategy name + budget + meta hyper-parameters
 predictor   :class:`~repro.utils.config.PredictorConfig`
 hpo         optional hyper-parameter tuning before the search
 backend     execution backend for candidate training
+scheduler   optional ASHA fidelity rungs for the search loop
 export      serving-artifact export of the best model
 obs         observability: metrics registry + trace spans
 ========== =====================================================
@@ -290,10 +291,22 @@ class HPOSpec:
 
 @dataclass
 class BackendSpec:
-    """Where candidate training executes (see :mod:`repro.core.execution`)."""
+    """Where candidate training executes (see :mod:`repro.core.execution`).
+
+    The ``host`` / ``port`` / timeout / retry fields only apply to (and are
+    only serialized for) the ``"queue"`` backend — the socket-RPC work
+    queue of :mod:`repro.core.distributed`.  For the queue backend,
+    ``num_workers`` may be ``0``: rely entirely on external
+    ``repro-autosf worker --connect host:port`` processes.
+    """
 
     backend: str = "serial"
     num_workers: int = 1
+    host: str = "127.0.0.1"
+    port: int = 0
+    heartbeat_timeout: float = 15.0
+    worker_timeout: float = 60.0
+    max_retries: int = 2
 
     def __post_init__(self) -> None:
         if self.backend not in EXECUTION_BACKENDS:
@@ -301,14 +314,108 @@ class BackendSpec:
                 f"BackendSpec.backend: unknown execution backend {self.backend!r} "
                 f"(available: {', '.join(EXECUTION_BACKENDS)})"
             )
-        if self.num_workers <= 0:
+        if self.backend == "queue":
+            if self.num_workers < 0:
+                raise ConfigError(
+                    "BackendSpec.num_workers: must be >= 0 for the queue "
+                    "backend (0 means external workers only)"
+                )
+            if not 0 <= self.port <= 65535:
+                raise ConfigError("BackendSpec.port: must be in [0, 65535]")
+            if self.heartbeat_timeout <= 0:
+                raise ConfigError("BackendSpec.heartbeat_timeout: must be positive")
+            if self.worker_timeout <= 0:
+                raise ConfigError("BackendSpec.worker_timeout: must be positive")
+            if self.max_retries < 0:
+                raise ConfigError("BackendSpec.max_retries: must be >= 0")
+        elif self.num_workers <= 0:
             raise ConfigError("BackendSpec.num_workers: must be positive")
 
+    def create(self):
+        """Instantiate the configured execution backend."""
+        from repro.core.execution import create_backend
+
+        if self.backend == "queue":
+            return create_backend(
+                "queue",
+                self.num_workers,
+                host=self.host,
+                port=self.port,
+                heartbeat_timeout=self.heartbeat_timeout,
+                worker_timeout=self.worker_timeout,
+                max_retries=self.max_retries,
+            )
+        return create_backend(self.backend, self.num_workers)
+
     def to_dict(self) -> Dict[str, Any]:
-        return {"backend": self.backend, "num_workers": self.num_workers}
+        data: Dict[str, Any] = {"backend": self.backend, "num_workers": self.num_workers}
+        # Queue-only fields are serialized only for the queue backend, so
+        # serial/process spec dumps (and their digests) stay byte-identical
+        # to pre-queue releases.
+        if self.backend == "queue":
+            data.update(
+                host=self.host,
+                port=self.port,
+                heartbeat_timeout=self.heartbeat_timeout,
+                worker_timeout=self.worker_timeout,
+                max_retries=self.max_retries,
+            )
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "BackendSpec":
+        return config_from_dict(cls, data)
+
+
+@dataclass
+class SchedulerSpec:
+    """ASHA successive-halving fidelity scheduling for the search loop.
+
+    Disabled by default (every candidate trains at full fidelity).  When
+    ``enabled``, the loop runs each proposed candidate front through a
+    geometric epoch ladder and trains only promoted survivors at the full
+    epoch budget — see :class:`repro.experiments.scheduler.FidelityScheduler`.
+    """
+
+    enabled: bool = False
+    reduction: int = 3
+    min_epochs: int = 1
+    max_rungs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        from repro.experiments.scheduler import FidelityScheduler
+
+        try:
+            FidelityScheduler(
+                reduction=self.reduction,
+                min_epochs=self.min_epochs,
+                max_rungs=self.max_rungs,
+            )
+        except ValueError as error:
+            raise ConfigError(f"SchedulerSpec: {error}") from error
+
+    def create(self):
+        """The :class:`FidelityScheduler` this section describes (or ``None``)."""
+        from repro.experiments.scheduler import FidelityScheduler
+
+        if not self.enabled:
+            return None
+        return FidelityScheduler(
+            reduction=self.reduction,
+            min_epochs=self.min_epochs,
+            max_rungs=self.max_rungs,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "enabled": self.enabled,
+            "reduction": self.reduction,
+            "min_epochs": self.min_epochs,
+            "max_rungs": self.max_rungs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SchedulerSpec":
         return config_from_dict(cls, data)
 
 
@@ -363,6 +470,7 @@ class ExperimentSpec:
     predictor: PredictorConfig = field(default_factory=PredictorConfig)
     hpo: HPOSpec = field(default_factory=HPOSpec)
     backend: BackendSpec = field(default_factory=BackendSpec)
+    scheduler: SchedulerSpec = field(default_factory=SchedulerSpec)
     export: ExportSpec = field(default_factory=ExportSpec)
     obs: ObsSpec = field(default_factory=ObsSpec)
 
@@ -377,6 +485,7 @@ class ExperimentSpec:
             "predictor": PredictorConfig,
             "hpo": HPOSpec,
             "backend": BackendSpec,
+            "scheduler": SchedulerSpec,
             "export": ExportSpec,
             "obs": ObsSpec,
         }
@@ -419,8 +528,11 @@ class ExperimentSpec:
             "backend": self.backend.to_dict(),
             "export": self.export.to_dict(),
         }
-        # Serialized only when customized: pre-obs specs (and their digests,
-        # e.g. the golden run's manifest) keep byte-identical spec dumps.
+        # Serialized only when customized: pre-obs/pre-scheduler specs (and
+        # their digests, e.g. the golden run's manifest) keep byte-identical
+        # spec dumps.
+        if self.scheduler != SchedulerSpec():
+            data["scheduler"] = self.scheduler.to_dict()
         if self.obs != ObsSpec():
             data["obs"] = self.obs.to_dict()
         return data
@@ -438,6 +550,7 @@ class ExperimentSpec:
             "predictor": PredictorConfig,
             "hpo": HPOSpec,
             "backend": BackendSpec,
+            "scheduler": SchedulerSpec,
             "export": ExportSpec,
             "obs": ObsSpec,
         }

@@ -47,6 +47,11 @@ class SearchState:
     budget: Optional[int] = None
     evaluations: List[CandidateEvaluation] = field(default_factory=list)
     timing: TimingRecorder = field(default_factory=TimingRecorder)
+    #: ASHA rung executions performed by the loop (one dict per rung per
+    #: round: rung index, epoch budget, candidates in/out, trained count).
+    #: Empty for full-fidelity-only searches; ``evaluations`` / the budget
+    #: always count only full-fidelity results.
+    rung_history: List[Dict[str, int]] = field(default_factory=list)
 
     @property
     def num_evaluations(self) -> int:

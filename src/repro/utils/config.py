@@ -17,7 +17,10 @@ from typing import Any, Dict, Optional, Tuple
 
 #: Execution backends the search engine knows how to build (the single
 #: source of truth — the execution layer and the CLI both import this).
-EXECUTION_BACKENDS: Tuple[str, ...] = ("serial", "process")
+#: ``"serial"`` runs in-process, ``"process"`` fans out over a local pool,
+#: ``"queue"`` runs a socket-RPC coordinator that dispatches to worker
+#: processes (local and/or connecting from other hosts).
+EXECUTION_BACKENDS: Tuple[str, ...] = ("serial", "process", "queue")
 
 #: Training engines the trainer knows how to build (the single source of
 #: truth — the engine layer and the CLI both import this).  ``"reference"``

@@ -1,12 +1,17 @@
 """Tests for the execution engine and the persistent evaluation store."""
 
+import multiprocessing
+import os
+
 import numpy as np
 import pytest
 
+from repro.core import execution
 from repro.core.evaluator import CandidateEvaluator, experiment_fingerprint
 from repro.core.execution import (
     EvaluationContext,
     EvaluationTask,
+    ExecutionError,
     ProcessPoolBackend,
     SerialBackend,
     create_backend,
@@ -18,7 +23,7 @@ from repro.core.invariance import canonical_key
 from repro.core.store import EvaluationStore
 from repro.core.search_space import enumerate_f4_structures
 from repro.kge.scoring import classical_structure
-from repro.utils.config import PredictorConfig, SearchConfig, TrainingConfig
+from repro.utils.config import ConfigError, PredictorConfig, SearchConfig, TrainingConfig
 
 
 @pytest.fixture(scope="module")
@@ -171,6 +176,134 @@ class TestEvaluateMany:
         assert evaluator.timing.count("train") == 2
         assert evaluator.timing.total("train") > 0
         assert evaluator.timing.last("evaluate") > 0
+
+
+class TestCreateBackendValidation:
+    """Bad worker counts fail loudly at the configuration seam.
+
+    Regression: ``create_backend`` used to clamp ``num_workers`` with
+    ``max(num_workers, 1)``, silently turning a typo'd ``workers: 0`` into
+    a serial run instead of rejecting it.
+    """
+
+    def test_process_zero_workers_rejected(self):
+        with pytest.raises(ConfigError, match="num_workers"):
+            create_backend("process", num_workers=0)
+
+    def test_serial_negative_workers_rejected(self):
+        with pytest.raises(ConfigError, match="got -5"):
+            create_backend("serial", num_workers=-5)
+
+    def test_options_rejected_for_non_queue_backends(self):
+        with pytest.raises(ConfigError, match="only valid for the 'queue' backend"):
+            create_backend("process", num_workers=2, max_retries=3)
+
+    def test_queue_allows_zero_but_not_negative_workers(self):
+        from repro.core.distributed import QueueBackend
+
+        backend = create_backend("queue", num_workers=0)
+        assert isinstance(backend, QueueBackend)
+        assert backend.num_workers == 0
+        with pytest.raises(ConfigError, match="num_workers"):
+            create_backend("queue", num_workers=-1)
+
+    def test_queue_options_passed_through(self):
+        backend = create_backend(
+            "queue", num_workers=2, max_retries=5, worker_timeout=7.0, port=6000
+        )
+        assert backend.max_retries == 5
+        assert backend.worker_timeout == 7.0
+        assert backend.port == 6000
+
+
+# Module-level (picklable) stand-in for _run_worker_task that simulates a
+# worker being OOM-killed / segfaulting while holding task 0.
+_REAL_RUN_WORKER_TASK = execution._run_worker_task
+
+
+def _killed_worker_task(item):
+    index, task = item
+    if index == 0:
+        os._exit(1)
+    return _REAL_RUN_WORKER_TASK(item)
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method required to inherit the patched worker task",
+)
+class TestDeadPoolWorker:
+    """Regression: a worker dying mid-batch used to kill the whole search
+    with a context-free BrokenProcessPool instead of re-dispatching."""
+
+    def test_dead_worker_yields_none_holes_not_a_pool_error(
+        self, tiny_graph, engine_training_config, monkeypatch
+    ):
+        monkeypatch.setattr(execution, "_run_worker_task", _killed_worker_task)
+        structures = list(enumerate_f4_structures())[:3]
+        tasks = [EvaluationTask(structure=s, seed=0) for s in structures]
+        context = EvaluationContext(tiny_graph, engine_training_config)
+        backend = ProcessPoolBackend(num_workers=2, start_method="fork")
+        outcomes = backend.run(context, tasks)  # must not raise
+        assert len(outcomes) == len(tasks)
+        assert outcomes[0] is None  # the task the dead worker held
+
+    def test_evaluator_recovers_dead_worker_batch(
+        self, tiny_graph, engine_training_config, monkeypatch
+    ):
+        structures = list(enumerate_f4_structures())[:3]
+        healthy = CandidateEvaluator(tiny_graph, engine_training_config, base_seed=0)
+        expected = healthy.evaluate_many(structures)
+
+        monkeypatch.setattr(execution, "_run_worker_task", _killed_worker_task)
+        evaluator = CandidateEvaluator(tiny_graph, engine_training_config, base_seed=0)
+        backend = ProcessPoolBackend(num_workers=2, start_method="fork")
+        recovered = evaluator.evaluate_many(structures, backend=backend)
+        assert len(recovered) == len(structures)
+        for a, b in zip(expected, recovered):
+            assert a.structure.key() == b.structure.key()
+            assert a.validation_mrr == b.validation_mrr  # serial-retry parity
+
+
+class TruncatingBackend(SerialBackend):
+    """Violates the contract: returns one outcome too few."""
+
+    name = "truncating"
+
+    def run(self, context, tasks, on_result=None):
+        return super().run(context, tasks, on_result=on_result)[:-1]
+
+
+class MisalignedBackend(SerialBackend):
+    """Violates the contract: returns outcomes shifted by one slot.
+
+    Does not stream via ``on_result`` (like a backend that only returns a
+    batch), so absorption happens purely from the misaligned return value.
+    """
+
+    name = "misaligned"
+
+    def run(self, context, tasks, on_result=None):
+        outcomes = super().run(context, tasks)
+        return outcomes[1:] + outcomes[:1]
+
+
+class TestOutcomeContract:
+    """Regression: a backend returning a truncated or shuffled outcome list
+    used to be zipped silently against the task list, mis-assigning results
+    to the wrong candidates."""
+
+    def test_truncated_outcome_list_raises(self, tiny_graph, engine_training_config):
+        structures = list(enumerate_f4_structures())[:3]
+        evaluator = CandidateEvaluator(tiny_graph, engine_training_config)
+        with pytest.raises(ExecutionError, match="one .*slot per task"):
+            evaluator.evaluate_many(structures, backend=TruncatingBackend())
+
+    def test_misaligned_outcomes_raise(self, tiny_graph, engine_training_config):
+        structures = list(enumerate_f4_structures())[:3]
+        evaluator = CandidateEvaluator(tiny_graph, engine_training_config)
+        with pytest.raises(ExecutionError, match="outcome-alignment"):
+            evaluator.evaluate_many(structures, backend=MisalignedBackend())
 
 
 class LossyBackend(SerialBackend):

@@ -176,6 +176,62 @@ class TestLoopMechanics:
             SearchLoop(tiny_graph, BarrenStrategy(), loop_training_config, seed=0).run()
 
 
+class TestRoundAtomicity:
+    """Regression: a faulting backend must fail the round *before* any
+    evaluation reaches the records, ``state.evaluations`` or
+    ``strategy.observe`` — a partial batch used to leak misassigned
+    results into strategy state."""
+
+    class _SpyStrategy:
+        name = "spy"
+
+        def __init__(self):
+            self.state = None
+            self.observed = []
+            self._proposed = False
+
+        def propose(self, state):
+            self.state = state
+            self._proposed = True
+            return [classical_structure("distmult"), classical_structure("simple")]
+
+        def observe(self, state, evaluations):
+            self.observed.append(list(evaluations))
+
+        def finished(self, state):
+            return self._proposed
+
+    class _TruncatingBackend:
+        """Returns one outcome slot too few, violating the contract."""
+
+        name = "truncating"
+        num_workers = 1
+
+        def run(self, context, tasks, on_result=None):
+            from repro.core.execution import SerialBackend
+
+            return SerialBackend().run(context, tasks)[:-1]
+
+    def test_contract_violation_leaves_strategy_untouched(
+        self, tiny_graph, loop_training_config
+    ):
+        from repro.core.execution import ExecutionError
+
+        strategy = self._SpyStrategy()
+        loop = SearchLoop(
+            tiny_graph,
+            strategy,
+            loop_training_config,
+            seed=0,
+            backend=self._TruncatingBackend(),
+        )
+        with pytest.raises(ExecutionError, match="slot per task"):
+            loop.run()
+        assert strategy.observed == []
+        assert strategy.state.evaluations == []
+        assert loop._records == []
+
+
 class TestSharedStore:
     """Satellite regression: baselines route through the shared cache."""
 

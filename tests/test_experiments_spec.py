@@ -61,6 +61,48 @@ class TestSections:
         with pytest.raises(ConfigError, match="BackendSpec.backend"):
             BackendSpec(backend="threads")
 
+    def test_backend_workers_validated_at_spec_load(self):
+        # Satellite regression: a queue spec with workers < 0 (or any other
+        # backend with workers < 1) must fail when the spec is constructed,
+        # naming the field — not deep inside backend start-up.
+        with pytest.raises(ConfigError, match="BackendSpec.num_workers"):
+            BackendSpec(backend="process", num_workers=0)
+        with pytest.raises(ConfigError, match="BackendSpec.num_workers"):
+            BackendSpec(backend="queue", num_workers=-1)
+        # Queue accepts 0 workers (external workers only).
+        assert BackendSpec(backend="queue", num_workers=0).num_workers == 0
+
+    def test_backend_queue_field_validation(self):
+        with pytest.raises(ConfigError, match="BackendSpec.port"):
+            BackendSpec(backend="queue", port=70000)
+        with pytest.raises(ConfigError, match="BackendSpec.heartbeat_timeout"):
+            BackendSpec(backend="queue", heartbeat_timeout=0)
+        with pytest.raises(ConfigError, match="BackendSpec.worker_timeout"):
+            BackendSpec(backend="queue", worker_timeout=-1)
+        with pytest.raises(ConfigError, match="BackendSpec.max_retries"):
+            BackendSpec(backend="queue", max_retries=-1)
+
+    def test_backend_queue_fields_serialized_only_for_queue(self):
+        serial = BackendSpec(backend="serial").to_dict()
+        assert set(serial) == {"backend", "num_workers"}
+        queue = BackendSpec(backend="queue", num_workers=0, port=5000).to_dict()
+        assert queue["port"] == 5000
+        assert queue["max_retries"] == 2
+        assert BackendSpec.from_dict(queue) == BackendSpec(
+            backend="queue", num_workers=0, port=5000
+        )
+
+    def test_backend_queue_create(self):
+        from repro.core.distributed import QueueBackend
+
+        backend = BackendSpec(
+            backend="queue", num_workers=0, port=5000, max_retries=1
+        ).create()
+        assert isinstance(backend, QueueBackend)
+        assert backend.num_workers == 0
+        assert backend.port == 5000
+        assert backend.max_retries == 1
+
 
 class TestExperimentSpec:
     def test_defaults(self):
